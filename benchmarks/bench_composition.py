@@ -1,0 +1,54 @@
+"""A-COMP: ablation — the cost of cascading monitors (Section 6).
+
+The paper argues monitors compose without interfering; this ablation
+measures what a cascade *costs*: stacks of k = 0..3 monitors over the same
+program, each monitor owning a disjoint annotation namespace.  The
+expected shape: cost grows with the monitoring activity each added
+monitor performs, not with some super-linear interaction term.
+"""
+
+import pytest
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import CollectingMonitor, LabelCounterMonitor, ProfilerMonitor
+from repro.syntax.parser import parse
+
+PROGRAM = parse(
+    """
+    letrec fib = lambda n.
+        {profile: fib}: {count: fib}: {collect: fib}:
+        (if n < 2 then n else fib (n - 1) + fib (n - 2))
+    in fib 13
+    """
+)
+
+STACKS = {
+    0: [],
+    1: [ProfilerMonitor(namespace="profile")],
+    2: [
+        ProfilerMonitor(namespace="profile"),
+        LabelCounterMonitor(namespace="count"),
+    ],
+    3: [
+        ProfilerMonitor(namespace="profile"),
+        LabelCounterMonitor(namespace="count"),
+        CollectingMonitor(namespace="collect"),
+    ],
+}
+
+
+@pytest.mark.parametrize("depth", sorted(STACKS))
+def test_cascade_depth(benchmark, depth):
+    stack = STACKS[depth]
+
+    if not stack:
+        result = benchmark(lambda: strict.evaluate(PROGRAM))
+        assert result == 233
+        return
+
+    run = benchmark(lambda: run_monitored(strict, PROGRAM, stack))
+    assert run.answer == 233
+    if depth >= 1:
+        # fib 13's call-tree size: c(n) = c(n-1) + c(n-2) + 1, c(0)=c(1)=1.
+        assert run.report("profile") == {"fib": 753}

@@ -1,0 +1,47 @@
+"""F-11: Figure 11 — run time vs. number of requested trace printouts.
+
+The paper's figure plots the monitored interpreter's run time against the
+number of trace printouts, for a fixed test program: the line is linear in
+the monitoring activity and converges to the standard interpreter's time
+as activity goes to zero — "essentially the *only* overhead in using the
+monitored interpreter is the extra computation performed by the monitoring
+activity".
+
+Workload: a 2000-iteration loop in which exactly ``hits`` iterations pass
+through a traced function (so program work is constant while monitoring
+activity varies).  Each benchmark row is one x-axis point; the baseline
+row is the standard interpreter on the same program.
+``benchmarks/report.py`` fits the slope and checks the convergence.
+"""
+
+import pytest
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import TracerMonitor
+
+from benchmarks.workloads import loop_with_trace_hits
+
+TOTAL_ITERATIONS = 2000
+HIT_COUNTS = [0, 50, 200, 500, 1000, 2000]
+
+
+@pytest.mark.parametrize("hits", HIT_COUNTS)
+def test_monitored_interpreter_trace_hits(benchmark, hits):
+    program = loop_with_trace_hits(TOTAL_ITERATIONS, hits)
+    monitor = TracerMonitor()
+
+    def run():
+        return run_monitored(strict, program, monitor)
+
+    result = benchmark(run)
+    assert result.answer == TOTAL_ITERATIONS
+    trace = result.report("trace")
+    assert trace.count("receives") == hits
+
+
+def test_standard_interpreter_baseline(benchmark):
+    # The x-axis origin Figure 11's monitored line converges to.
+    program = loop_with_trace_hits(TOTAL_ITERATIONS, 0)
+    result = benchmark(lambda: strict.evaluate(program))
+    assert result == TOTAL_ITERATIONS

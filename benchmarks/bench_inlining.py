@@ -1,0 +1,49 @@
+"""A-INLINE: ablation — what each piece of level-2 specialization buys.
+
+Four rungs of the specialization ladder over the same ``fib`` workload:
+
+1. tree interpreter (nothing specialized);
+2. closure compiler without static primitive dispatch (syntax dispatch,
+   environment search and annotation recognition specialized away);
+3. closure compiler with static primitive dispatch;
+4. residual Python (direct style — continuation overhead also gone).
+
+Each rung removes one identifiable static computation; the deltas price
+the paper's claim that partial evaluation removes "the interpretive
+overhead associated with the static aspects" piece by piece.
+"""
+
+import pytest
+
+from repro.languages import strict
+from repro.partial_eval.codegen import generate_program
+from repro.partial_eval.compile import compile_program
+
+from benchmarks.workloads import plain_fib
+
+FIB_N = 15
+EXPECTED = 610
+
+
+@pytest.fixture(scope="module")
+def program():
+    return plain_fib(FIB_N)
+
+
+def test_rung1_tree_interpreter(benchmark, program):
+    assert benchmark(lambda: strict.evaluate(program)) == EXPECTED
+
+
+def test_rung2_compiled_no_prim_inlining(benchmark, program):
+    compiled = compile_program(program, inline_primitives=False)
+    assert benchmark(compiled.evaluate) == EXPECTED
+
+
+def test_rung3_compiled_with_prim_inlining(benchmark, program):
+    compiled = compile_program(program)
+    assert benchmark(compiled.evaluate) == EXPECTED
+
+
+def test_rung4_residual_python(benchmark, program):
+    generated = generate_program(program)
+    assert benchmark(generated.evaluate) == EXPECTED

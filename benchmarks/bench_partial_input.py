@@ -1,0 +1,74 @@
+"""A-PE: ablation — level-3 specialization to partial input (Figure 10).
+
+Specializing a program to part of its input should buy run-time
+proportional to the static computation removed.  The classic ``pow``
+benchmark: exponent static, base dynamic; the residual is a straight-line
+multiplication chain.  Also measured: the *instrumented* pow, whose
+annotations survive specialization (monitoring actions preserved).
+"""
+
+import pytest
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import ProfilerMonitor
+from repro.partial_eval.online import specialize
+from repro.syntax.ast import Const
+from repro.syntax.parser import parse
+from repro.syntax.transform import substitute
+
+POW_N = 24
+
+POW = parse(
+    "letrec pow = lambda n. lambda x. "
+    "if n = 0 then 1 else x * (pow (n - 1) x) "
+    f"in pow {POW_N} x"
+)
+POW_INSTRUMENTED = parse(
+    "letrec pow = lambda n. lambda x. "
+    "{pow}: if n = 0 then 1 else x * (pow (n - 1) x) "
+    f"in pow {POW_N} x"
+)
+
+BASE = 3
+
+
+def close(program, value=BASE):
+    return substitute(program, {"x": Const(value)})
+
+
+def test_unspecialized_pow(benchmark):
+    program = close(POW)
+    result = benchmark(lambda: strict.evaluate(program))
+    assert result == BASE**POW_N
+
+
+def test_specialized_pow(benchmark):
+    residual = specialize(POW).residual
+    program = close(residual)
+    result = benchmark(lambda: strict.evaluate(program))
+    assert result == BASE**POW_N
+
+
+def test_unspecialized_instrumented_pow(benchmark):
+    program = close(POW_INSTRUMENTED)
+    monitor = ProfilerMonitor()
+    result = benchmark(lambda: run_monitored(strict, program, monitor))
+    assert result.answer == BASE**POW_N
+    assert result.report() == {"pow": POW_N + 1}
+
+
+def test_specialized_instrumented_pow(benchmark):
+    residual = specialize(POW_INSTRUMENTED).residual
+    program = close(residual)
+    monitor = ProfilerMonitor()
+    result = benchmark(lambda: run_monitored(strict, program, monitor))
+    assert result.answer == BASE**POW_N
+    # Monitoring actions preserved through specialization.
+    assert result.report() == {"pow": POW_N + 1}
+
+
+def test_specialization_time_itself(benchmark):
+    # The cost of running the specializer (paper: done once, offline).
+    result = benchmark(lambda: specialize(POW).residual)
+    assert result is not None

@@ -1,0 +1,59 @@
+"""A-REF: ablation — the cost of the reference implementations.
+
+Three implementations of the same (monitored) semantics:
+
+* the production trampolined machine;
+* the literal denotational semantics (answers as ``MS -> (Ans x MS)``
+  closures, host-stack recursion);
+* the monadic interpreter (state monad, host-stack recursion).
+
+The references exist for cross-checking, not speed; this benchmark makes
+the trade-off visible (and guards against the references regressing into
+unusability for the test suite).
+"""
+
+import pytest
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import LabelCounterMonitor
+from repro.semantics.denotational import run_denotational
+from repro.semantics.monadic import run_state
+from repro.syntax.parser import parse
+
+PROGRAM = parse(
+    """
+    letrec fib = lambda n. {fib}: if n < 2 then n else fib (n - 1) + fib (n - 2)
+    in fib 12
+    """
+)
+EXPECTED_ANSWER = 144
+EXPECTED_HITS = {"fib": 465}
+
+
+def test_machine(benchmark):
+    result = benchmark(
+        lambda: run_monitored(strict, PROGRAM, LabelCounterMonitor())
+    )
+    assert result.answer == EXPECTED_ANSWER
+    assert result.report() == EXPECTED_HITS
+
+
+def test_denotational_reference(benchmark):
+    def run():
+        return run_denotational(
+            PROGRAM, LabelCounterMonitor(), recursion_limit=400_000
+        )
+
+    answer, state = benchmark(run)
+    assert answer == EXPECTED_ANSWER
+    assert state == EXPECTED_HITS
+
+
+def test_monadic_reference(benchmark):
+    def run():
+        return run_state(PROGRAM, LabelCounterMonitor(), recursion_limit=400_000)
+
+    answer, state = benchmark(run)
+    assert answer == EXPECTED_ANSWER
+    assert state == EXPECTED_HITS

@@ -1,0 +1,75 @@
+"""Shared benchmark workloads.
+
+The paper benchmarks a "simple test program" under the ``L_lambda``
+standard interpreter and its tracer (Section 9.1 / Figure 11).  We use
+the same factorial/fibonacci family the paper's examples are built from,
+at sizes that give stable timings on a laptop-scale machine.
+"""
+
+from __future__ import annotations
+
+from repro.syntax.ast import Expr
+from repro.syntax.parser import parse
+
+#: fib with traced/profiled function body (the paper's tracer benchmark shape).
+TRACED_FIB = """
+letrec fib = lambda n. {fib(n)}: if n < 2 then n
+             else fib (n - 1) + fib (n - 2)
+in fib %d
+"""
+
+PLAIN_FIB = """
+letrec fib = lambda n. if n < 2 then n
+             else fib (n - 1) + fib (n - 2)
+in fib %d
+"""
+
+PROFILED_FIB = """
+letrec fib = lambda n. {fib}: if n < 2 then n
+             else fib (n - 1) + fib (n - 2)
+in fib %d
+"""
+
+
+def plain_fib(n: int) -> Expr:
+    return parse(PLAIN_FIB % n)
+
+
+def traced_fib(n: int) -> Expr:
+    return parse(TRACED_FIB % n)
+
+
+def profiled_fib(n: int) -> Expr:
+    return parse(PROFILED_FIB % n)
+
+
+def loop_with_trace_hits(total_iterations: int, traced_iterations: int) -> Expr:
+    """Figure 11's workload: fixed work, varying monitoring activity.
+
+    A loop of ``total_iterations`` in which exactly ``traced_iterations``
+    pass through a traced helper function — so the number of requested
+    trace printouts varies while the program's own work stays constant.
+    """
+    assert 0 <= traced_iterations <= total_iterations
+    return parse(
+        """
+        letrec traced = lambda x. {traced(x)}: (x + 1)
+        and plain = lambda x. x + 1
+        and loop = lambda i. lambda acc.
+            if i = 0 then acc
+            else if i <= %d
+                 then loop (i - 1) (traced acc)
+                 else loop (i - 1) (plain acc)
+        in loop %d 0
+        """
+        % (traced_iterations, total_iterations)
+    )
+
+
+#: Number of trace events (receives+returns lines) fib n produces: 2 calls
+#: per node of the call tree.
+def fib_call_count(n: int) -> int:
+    a, b = 1, 1
+    for _ in range(2, n + 1):
+        a, b = b, a + b + 1
+    return b if n >= 1 else a

@@ -1,0 +1,86 @@
+"""Monitor composition (Section 6) and the programming environment (9.2).
+
+Demonstrates:
+
+* composing monitors with the ``&`` operator (disjoint annotation
+  syntaxes via namespaces);
+* the paper's remark that "a monitor could monitor the behavior of the
+  monitors before it in the cascade" — a meta-monitor that watches the
+  profiler's counters grow;
+* the `Session` front end that places annotations automatically.
+
+Run:  python examples/composed_monitors.py
+"""
+
+from repro import parse, strict
+from repro.monitoring import run_monitored
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors import CollectingMonitor, ProfilerMonitor, TracerMonitor
+from repro.syntax.annotations import Label
+from repro.toolbox import Session
+
+# ---------------------------------------------------------- composed via '&'
+program = parse(
+    """
+    letrec mul = lambda x. lambda y. {trace: mul(x, y)}: {profile: mul}: (x*y) in
+    letrec fac = lambda x.
+        {trace: fac(x)}: {profile: fac}: if (x=0) then 1 else mul x (fac (x-1))
+    in fac 3
+    """
+)
+stack = ProfilerMonitor(namespace="profile") & TracerMonitor(namespace="trace")
+result = run_monitored(strict, program, stack)
+print("answer:", result.answer)
+print("profile:", result.report("profile"))
+print(result.report("trace"), end="")
+
+
+# ------------------------------------------------ a monitor watching a monitor
+class ProfileWatcher(MonitorSpec):
+    """Records the profiler's counter environment at every traced call.
+
+    Declared with ``observes=("profile",)``, it receives a read-only view
+    of the profiler's state — the cascade introspection of Section 6.
+    """
+
+    key = "profile-watcher"
+    observes = ("profile",)
+
+    def recognize(self, annotation):
+        # Piggy-back on the tracer's sites: watch at {watch: ...} labels.
+        from repro.syntax.annotations import Tagged
+
+        if isinstance(annotation, Tagged) and annotation.tool == "watch":
+            return annotation.payload
+        return None
+
+    def initial_state(self):
+        return ()
+
+    def pre(self, annotation, term, ctx, state, inner=None):
+        snapshot = dict(inner["profile"]) if inner else {}
+        return state + ((annotation.name, snapshot),)
+
+
+watched = parse(
+    """
+    letrec fac = lambda x.
+        {watch: fac}: {profile: fac}: if (x=0) then 1 else x * fac (x - 1)
+    in fac 3
+    """
+)
+meta_stack = ProfilerMonitor(namespace="profile") & ProfileWatcher()
+meta = run_monitored(strict, watched, meta_stack)
+print("\nprofiler counters as seen by the meta-monitor, call by call:")
+for label, snapshot in meta.report("profile-watcher"):
+    print(f"  at {label}: {snapshot}")
+
+# ----------------------------------------------------------------- the session
+print("\nSession front end (annotations placed automatically):")
+session = Session()
+session.define("mul", "lambda x. lambda y. x * y")
+session.define("fac", "lambda x. if x = 0 then 1 else mul x (fac (x - 1))")
+run = session.evaluate("fac 3", tools="profile & trace & collect")
+print("answer:", run.answer)
+print("profile:", run.report("profile"))
+print(run.report("trace"), end="")

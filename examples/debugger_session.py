@@ -1,0 +1,45 @@
+"""A scriptable dbx-style debugging session (Section 9.2's toolbox).
+
+The debugger is an ordinary monitor: breakpoints are annotations, the
+command stream is its input, and the transcript is an output stream in
+its state — a pure value.  Interactive front ends would feed the same
+monitor from a prompt; scripts (and tests) feed it a list.
+
+Run:  python examples/debugger_session.py
+"""
+
+from repro import parse, strict
+from repro.monitoring import run_monitored
+from repro.monitors import DebuggerMonitor
+
+program = parse(
+    """
+    letrec merge = lambda xs. lambda ys.
+        {merge}: if xs = [] then ys
+        else if ys = [] then xs
+        else if (hd xs) <= (hd ys) then (hd xs) :: (merge (tl xs) ys)
+        else (hd ys) :: (merge xs (tl ys))
+    in merge [1, 4, 7] [2, 3, 9]
+    """
+)
+
+# Stop at the first two activations of merge, inspect the arguments, then
+# let everything run; finish by observing the final return value.
+script = [
+    "where",
+    "print xs",
+    "print ys",
+    "step",
+    "where",
+    "print xs",
+    "print ys",
+    "finish",
+    "source",
+    "quit",
+]
+debugger = DebuggerMonitor(script, breakpoints=["merge"])
+result = run_monitored(strict, program, debugger)
+
+print("final answer:", result.answer)
+print("\nsession transcript:")
+print(result.report())

@@ -1,0 +1,53 @@
+"""Monitoring exceptional control flow (the L_exc language module).
+
+``raise`` discards pending continuations — including the updPost hooks a
+monitor composed into them.  That is not a bug but the semantics: the
+tracer shows calls that never return, and the unwind monitor turns the
+unmatched enters into a post-mortem "what did this exception abort?"
+report.
+
+Run:  python examples/exceptions_and_unwinding.py
+"""
+
+from repro.languages.exceptions import exceptions_language, parse_exc
+from repro.monitoring import run_monitored
+from repro.monitors import TracerMonitor
+from repro.monitors.unwind import UnwindMonitor
+
+# Division pipeline: dividing by zero raises; the caller substitutes 0.
+program = parse_exc(
+    """
+    letrec div = lambda a. lambda b.
+        {div(a, b)}: if b = 0 then raise a else a / b
+    and sumQuotients = lambda xs. lambda ys.
+        {sumQuotients}: if xs = [] then 0
+        else (try div (hd xs) (hd ys) catch bad. 0)
+             + sumQuotients (tl xs) (tl ys)
+    in sumQuotients [10, 6, 9] [2, 0, 3]
+    """
+)
+
+result = run_monitored(
+    exceptions_language,
+    program,
+    TracerMonitor() & UnwindMonitor(namespace="unwind"),
+)
+print("answer:", result.answer)  # 10/2 + 0 + 9/3 = 8
+
+print("\ntrace (note DIV receives (6 0) never returns):")
+print(result.report("trace"), end="")
+
+# Annotate for the unwind monitor in its own namespace.
+program2 = parse_exc(
+    """
+    letrec risky = lambda n.
+        {unwind: risky}: (if n = 0 then raise n else 1 + risky (n - 1))
+    in try ({unwind: top}: (risky 3)) catch e. e
+    """
+)
+result2 = run_monitored(
+    exceptions_language, program2, UnwindMonitor(namespace="unwind")
+)
+print("\nanswer:", result2.answer)
+print("unwind report:")
+print(result2.report().render())

@@ -1,0 +1,42 @@
+"""Monitoring under lazy evaluation: monitors observe *demand*.
+
+The lazy language module shares ``L_lambda``'s syntax but evaluates
+call-by-need; because monitoring semantics hooks the continuation flow,
+a monitor sees annotated expressions when they are *forced* — never, if
+the value is not needed, and once, however often it is shared.
+
+Run:  python examples/lazy_vs_strict.py
+"""
+
+from repro import parse, lazy, strict
+from repro.monitoring import run_monitored
+from repro.monitors import LabelCounterMonitor
+
+# `wasted` is annotated but its value is never used.
+program = parse(
+    """
+    let wasted = {wasted}: (1 + 2) in
+    let shared = {shared}: (3 * 3) in
+    (lambda x. x + x) shared
+    """
+)
+
+for language in (strict, lazy):
+    result = run_monitored(language, program, LabelCounterMonitor())
+    print(f"{language.name:>10}: answer={result.answer} hits={result.report()}")
+
+# Expected: strict evaluates both bindings once each (call-by-value
+# evaluates let bindings eagerly); lazy never touches `wasted`, and the
+# memoizing thunk means `shared` is computed once despite two uses.
+
+print()
+print("An unused divergent expression: lazy terminates, strict would not.")
+diverging = parse(
+    """
+    letrec loop = lambda n. loop n in
+    let unused = {unused}: (loop 0) in
+    42
+    """
+)
+result = run_monitored(lazy, diverging, LabelCounterMonitor())
+print("lazy answer:", result.answer, "- hits:", result.report())

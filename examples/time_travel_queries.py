@@ -1,0 +1,48 @@
+"""Post-mortem analysis: history + call-graph monitors over one run.
+
+The execution-history monitor records a bounded event log; the call-graph
+monitor accumulates caller/callee edges.  Together they answer the
+questions a time-travel debugger answers — *after* the program finished,
+from pure monitor state, with no rerun.
+
+Run:  python examples/time_travel_queries.py
+"""
+
+from repro import strict
+from repro.monitoring import run_monitored
+from repro.monitors import CallGraphMonitor, HistoryMonitor
+from repro.prelude import with_prelude
+from repro.toolbox.autoannotate import profile_functions
+
+# A qsort run over prelude functions, with qsort/filter/append annotated.
+# Two monitors watching the SAME functions need disjoint annotation
+# syntaxes (Section 6), so each gets its own namespaced copy of the
+# annotations — exactly what an environment command would add.
+program = with_prelude("qsort [5, 3, 8, 1, 9, 2]")
+for namespace in ("history", "callgraph"):
+    program = profile_functions(
+        program, "qsort", "filter", "append", namespace=namespace
+    )
+
+stack = [
+    HistoryMonitor(capacity=64, namespace="history"),
+    CallGraphMonitor(namespace="callgraph"),
+]
+result = run_monitored(strict, program, stack)
+print("answer:", result.answer)
+
+# ---------------------------------------------------------------- call graph
+graph = result.report("callgraph")
+print("\ncalls:", graph.calls)
+print("who calls filter?", graph.callers_of("filter"))
+print("what does qsort call?", graph.callees_of("qsort"))
+
+# ------------------------------------------------------------------ history
+history = result.report("history")
+print(f"\n{len(history)} events recorded ({history.dropped} dropped by the ring)")
+print("first qsort activation returned:", history.nth_return_value("qsort", 0))
+print("last qsort activation returned:", history.nth_return_value(
+    "qsort", len(history.returns_of("qsort")) - 1))
+
+print("\ntail of the event log:")
+print(history.render(limit=8))

@@ -1,0 +1,100 @@
+"""Monitoring semantics — a reproduction of Kishon, Hudak & Consel (PLDI 1991).
+
+A formal framework for specifying, implementing and reasoning about
+execution monitors (debuggers, profilers, tracers, demons), built on
+continuation semantics:
+
+* write a language's standard semantics as a *functional*
+  (:mod:`repro.semantics`, :mod:`repro.languages`);
+* automatically derive a parameterized monitoring semantics from it
+  (:mod:`repro.monitoring`);
+* instantiate it with monitor specifications from the toolbox
+  (:mod:`repro.monitors`) — soundness is a theorem: monitors cannot
+  change program behavior;
+* compose monitors with ``&`` and run them through the programming
+  environment (:mod:`repro.toolbox`);
+* remove the interpretive overhead with partial evaluation
+  (:mod:`repro.partial_eval`), producing instrumented programs.
+
+Quickstart::
+
+    from repro import parse, evaluate, strict
+    from repro.monitors import ProfilerMonitor
+    from repro.monitoring import run_monitored
+
+    prog = parse(\"\"\"
+        letrec fac = lambda x. {fac}: if x = 0 then 1 else x * fac (x - 1)
+        in fac 5
+    \"\"\")
+    result = run_monitored(strict, prog, ProfilerMonitor())
+    result.answer      # 120 — always the standard answer
+    result.report()    # {'fac': 6} — the monitoring information
+"""
+
+from repro.errors import (
+    EvalError,
+    LexError,
+    MonitorError,
+    ParseError,
+    ReproError,
+    SpecializationError,
+)
+from repro.languages import (
+    exceptions_language,
+    imperative,
+    lazy,
+    lazy_data,
+    parse_exc,
+    parse_imp,
+    strict,
+)
+from repro.monitoring import MonitorSpec, compose, run_monitored
+from repro.monitoring.soundness import assert_sound, check_soundness
+from repro.monitoring.validate import assert_valid_monitor, validate_monitor
+from repro.partial_eval import (
+    compile_program,
+    simplify,
+    specialize,
+    specialize_and_simplify,
+)
+from repro.partial_eval.codegen import generate_program
+from repro.prelude import prelude_session, with_prelude
+from repro.syntax import parse, pretty
+from repro.toolbox import Session, evaluate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvalError",
+    "LexError",
+    "MonitorError",
+    "MonitorSpec",
+    "ParseError",
+    "ReproError",
+    "Session",
+    "SpecializationError",
+    "assert_sound",
+    "assert_valid_monitor",
+    "check_soundness",
+    "compile_program",
+    "compose",
+    "evaluate",
+    "exceptions_language",
+    "generate_program",
+    "imperative",
+    "lazy",
+    "lazy_data",
+    "parse",
+    "parse_exc",
+    "parse_imp",
+    "prelude_session",
+    "pretty",
+    "run_monitored",
+    "simplify",
+    "specialize",
+    "specialize_and_simplify",
+    "strict",
+    "validate_monitor",
+    "with_prelude",
+    "__version__",
+]

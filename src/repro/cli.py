@@ -1,0 +1,323 @@
+"""Command-line interface: the programming environment at a shell prompt.
+
+::
+
+    python -m repro run prog.lam --tools profile,trace
+    python -m repro run -e "letrec f = ... in f 3" --tools profile
+    python -m repro trace prog.lam --functions fac,mul
+    python -m repro specialize prog.lam --static n=3
+    python -m repro emit prog.lam --tools profile     # residual Python
+    python -m repro debug prog.lam --break fac --command "print x" --command continue
+
+Programs are ``L_lambda`` surface syntax (``--language imperative``
+switches to the ``L_imp`` grammar).  Every subcommand is a thin shell over
+the library API, so anything the CLI does a script can do too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import LexError, ParseError, ReproError, format_source_context
+from repro.languages import exceptions_language, imperative, lazy, lazy_data, strict
+from repro.languages.exceptions import parse_exc
+from repro.languages.imp_syntax import parse_imp
+from repro.monitoring.derive import run_monitored
+from repro.partial_eval.codegen import generate_program
+from repro.partial_eval.online import specialize
+from repro.semantics.values import value_to_string
+from repro.syntax.parser import parse
+from repro.syntax.pretty import pretty
+from repro.toolbox.autoannotate import annotate_function_bodies
+from repro.toolbox.registry import make_tool
+
+LANGUAGES = {
+    "strict": strict,
+    "lazy": lazy,
+    "lazy-data": lazy_data,
+    "imperative": imperative,
+    "exceptions": exceptions_language,
+}
+
+
+def _load_program(args) -> object:
+    if args.expression is not None:
+        source = args.expression
+    else:
+        if args.program is None:
+            raise ReproError("provide a program file or -e EXPRESSION")
+        with open(args.program, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    try:
+        if args.language == "imperative":
+            return parse_imp(source)
+        if args.language == "exceptions":
+            return parse_exc(source)
+        return parse(source)
+    except (LexError, ParseError) as exc:
+        context = format_source_context(source, exc.location)
+        if context:
+            raise ReproError(f"{exc}\n{context}") from None
+        raise
+
+
+def _language(args):
+    return LANGUAGES[args.language]
+
+
+def _tools(names: Optional[str]) -> List:
+    if not names:
+        return []
+    return [make_tool(name.strip()) for name in names.split(",") if name.strip()]
+
+
+def _render_answer(answer) -> str:
+    if isinstance(answer, tuple) and len(answer) == 2 and isinstance(answer[0], dict):
+        bindings, output = answer  # L_imp result
+        rendered = ", ".join(
+            f"{k} = {value_to_string(v)}" for k, v in sorted(bindings.items())
+        )
+        lines = [f"store: {rendered}"]
+        if output:
+            lines.append("output: " + " ".join(value_to_string(v) for v in output))
+        return "\n".join(lines)
+    try:
+        return value_to_string(answer)
+    except Exception:
+        return repr(answer)
+
+
+def _print_reports(result) -> None:
+    for key, report in result.reports().items():
+        print(f"--- {key} ---")
+        if isinstance(report, str):
+            print(report, end="" if report.endswith("\n") else "\n")
+        elif hasattr(report, "render"):
+            print(report.render())
+        else:
+            print(report)
+
+
+# Subcommands -------------------------------------------------------------------
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args)
+    language = _language(args)
+    tools = _tools(args.tools)
+    if not tools:
+        answer = language.evaluate(program, max_steps=args.max_steps)
+        print(_render_answer(answer))
+        return 0
+    result = run_monitored(language, program, tools, max_steps=args.max_steps)
+    print(_render_answer(result.answer))
+    _print_reports(result)
+    return 0
+
+
+def _annotated_run(args, tool_name: str, style: str) -> int:
+    program = _load_program(args)
+    language = _language(args)
+    functions = (
+        [name.strip() for name in args.functions.split(",")]
+        if args.functions
+        else None
+    )
+    annotated = annotate_function_bodies(
+        program, functions, style=style, namespace=tool_name
+    )
+    monitor = make_tool(tool_name, namespace=tool_name)
+    result = run_monitored(language, annotated, monitor, max_steps=args.max_steps)
+    print(_render_answer(result.answer))
+    _print_reports(result)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    return _annotated_run(args, "trace", "header")
+
+
+def cmd_profile(args) -> int:
+    return _annotated_run(args, "profile", "label")
+
+
+def cmd_specialize(args) -> int:
+    program = _load_program(args)
+    static = {}
+    for item in args.static or []:
+        if "=" not in item:
+            raise ReproError(f"--static expects name=value, got {item!r}")
+        name, _, literal = item.partition("=")
+        static[name.strip()] = strict.evaluate(parse(literal))
+    result = specialize(program, static, budget=args.budget)
+    if args.simplify:
+        from repro.partial_eval.postprocess import simplify
+
+        result.residual = simplify(result.residual)
+    print(pretty(result.residual))
+    if args.stats:
+        print(f"-- {result.stats}", file=sys.stderr)
+    return 0
+
+
+def cmd_emit(args) -> int:
+    program = _load_program(args)
+    generated = generate_program(program, _tools(args.tools))
+    print(generated.source, end="")
+    return 0
+
+
+def cmd_session(args) -> int:
+    from repro.toolbox.session import Session
+
+    session = Session.load(args.session_file, language=_language(args))
+    result = session.evaluate(
+        args.eval,
+        tools=args.tools,
+        functions=(
+            [name.strip() for name in args.functions.split(",")]
+            if args.functions
+            else None
+        ),
+        max_steps=args.max_steps,
+    )
+    print(_render_answer(result.answer))
+    if result.monitored is not None:
+        _print_reports(result.monitored)
+    return 0
+
+
+def cmd_debug(args) -> int:
+    from repro.monitors.interactive import ConsoleSource, debug
+
+    program = _load_program(args)
+    source = None if args.command else ConsoleSource()
+    result = debug(
+        program,
+        breakpoints=args.breakpoints or None,
+        language=_language(args),
+        script=args.command or [],
+        source=source or (lambda: None),
+    )
+    print(f"=> {_render_answer(result.answer)}")
+    return 0
+
+
+# Argument parsing ------------------------------------------------------------------
+
+
+def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", nargs="?", help="program file")
+    parser.add_argument("-e", "--expression", help="program text inline")
+    parser.add_argument(
+        "--language",
+        choices=sorted(LANGUAGES),
+        default="strict",
+        help="language module (default: strict)",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=None, help="evaluation step budget"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Monitoring-semantics programming environment"
+    )
+    subparsers = parser.add_subparsers(dest="subcommand", required=True)
+
+    run_parser = subparsers.add_parser("run", help="evaluate a program")
+    _add_program_arguments(run_parser)
+    run_parser.add_argument(
+        "--tools", help="comma-separated toolbox monitors (profile,trace,...)"
+    )
+    run_parser.set_defaults(handler=cmd_run)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="auto-annotate functions and trace calls"
+    )
+    _add_program_arguments(trace_parser)
+    trace_parser.add_argument("--functions", help="comma-separated function names")
+    trace_parser.set_defaults(handler=cmd_trace)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="auto-annotate functions and profile calls"
+    )
+    _add_program_arguments(profile_parser)
+    profile_parser.add_argument("--functions", help="comma-separated function names")
+    profile_parser.set_defaults(handler=cmd_profile)
+
+    spec_parser = subparsers.add_parser(
+        "specialize", help="partially evaluate with respect to static inputs"
+    )
+    _add_program_arguments(spec_parser)
+    spec_parser.add_argument(
+        "--static",
+        action="append",
+        metavar="NAME=VALUE",
+        help="static input binding (repeatable)",
+    )
+    spec_parser.add_argument("--budget", type=int, default=200_000)
+    spec_parser.add_argument("--stats", action="store_true")
+    spec_parser.add_argument(
+        "--simplify", action="store_true", help="post-process the residual program"
+    )
+    spec_parser.set_defaults(handler=cmd_specialize)
+
+    emit_parser = subparsers.add_parser(
+        "emit", help="emit the residual instrumented program as Python"
+    )
+    _add_program_arguments(emit_parser)
+    emit_parser.add_argument("--tools", help="comma-separated toolbox monitors")
+    emit_parser.set_defaults(handler=cmd_emit)
+
+    session_parser = subparsers.add_parser(
+        "session", help="evaluate against a saved session file"
+    )
+    session_parser.add_argument("session_file", help="file written by Session.save")
+    session_parser.add_argument("--eval", required=True, help="expression to evaluate")
+    session_parser.add_argument("--tools", help="toolbox monitors (profile & trace)")
+    session_parser.add_argument("--functions", help="restrict auto-annotation")
+    session_parser.add_argument(
+        "--language", choices=sorted(LANGUAGES), default="strict"
+    )
+    session_parser.add_argument("--max-steps", type=int, default=None)
+    session_parser.set_defaults(handler=cmd_session)
+
+    debug_parser = subparsers.add_parser("debug", help="scriptable/interactive debugger")
+    _add_program_arguments(debug_parser)
+    debug_parser.add_argument(
+        "--break",
+        dest="breakpoints",
+        action="append",
+        metavar="LABEL",
+        help="breakpoint label (repeatable; default: every annotated site)",
+    )
+    debug_parser.add_argument(
+        "--command",
+        action="append",
+        metavar="CMD",
+        help="debugger command to run at stops (repeatable); omit for a console",
+    )
+    debug_parser.set_defaults(handler=cmd_debug)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Exception hierarchy and source locations for the monitoring-semantics system.
+
+Every user-facing failure in the library is an instance of :class:`ReproError`
+so callers can catch one type.  Errors raised while *evaluating* an object
+language program carry the source location of the offending term when the
+term was produced by the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in an object-language source text.
+
+    ``line`` and ``column`` are 1-based.  ``offset`` is the 0-based character
+    offset into the source string, which is convenient for slicing out
+    context when reporting errors.
+    """
+
+    line: int
+    column: int
+    offset: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+#: Location used for synthesized terms that have no source text.
+NO_LOCATION = SourceLocation(line=0, column=0, offset=-1)
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class LexError(ReproError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, location: SourceLocation) -> None:
+        super().__init__(f"lexical error at {location}: {message}")
+        self.location = location
+
+
+class ParseError(ReproError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, location: SourceLocation) -> None:
+        super().__init__(f"parse error at {location}: {message}")
+        self.location = location
+
+
+class EvalError(ReproError):
+    """Raised when evaluation of an object-language program goes wrong.
+
+    This covers unbound identifiers, applying non-functions, type errors in
+    primitives, and so on.  The standard semantics and every derived
+    monitoring semantics raise the same errors for the same programs — a
+    monitor cannot introduce or mask an evaluation error.
+    """
+
+    def __init__(self, message: str, location: SourceLocation = NO_LOCATION) -> None:
+        if location is not NO_LOCATION:
+            message = f"{message} (at {location})"
+        super().__init__(message)
+        self.location = location
+
+
+class UnboundIdentifierError(EvalError):
+    """An identifier was referenced that is not bound in the environment."""
+
+    def __init__(self, name: str, location: SourceLocation = NO_LOCATION) -> None:
+        super().__init__(f"unbound identifier: {name!r}", location)
+        self.name = name
+
+
+class NotAFunctionError(EvalError):
+    """A non-function value appeared in operator position."""
+
+
+class PrimitiveError(EvalError):
+    """A primitive operation was applied to values outside its domain."""
+
+
+class StepLimitExceeded(EvalError):
+    """Evaluation exceeded the configured trampoline step budget.
+
+    The machine accepts an optional ``max_steps`` bound so that test suites
+    can run possibly-divergent programs safely.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"evaluation exceeded step limit of {limit}")
+        self.limit = limit
+
+
+class MonitorError(ReproError):
+    """Raised when a monitor specification is malformed or misused.
+
+    Note that this is *not* raised for programs the monitor observes — a
+    well-formed monitor can never change or abort program evaluation — but
+    for configuration mistakes such as composing two monitors whose
+    annotation syntaxes overlap.
+    """
+
+
+class SpecializationError(ReproError):
+    """Raised by the partial-evaluation subsystem for unspecializable input."""
+
+
+def format_source_context(source: str, location: SourceLocation, width: int = 60) -> str:
+    """Render the source line at ``location`` with a caret under the column.
+
+    Used by the CLI (and available to any embedder) to turn a
+    :class:`LexError`/:class:`ParseError` into a friendly diagnostic::
+
+        let x = = 1 in x
+                ^
+    """
+    if location is NO_LOCATION or location.line < 1:
+        return ""
+    lines = source.splitlines()
+    if location.line > len(lines):
+        return ""
+    line = lines[location.line - 1]
+    column = max(1, location.column)
+    start = 0
+    if column > width:
+        start = column - width // 2
+        line = "..." + line[start:]
+        column = column - start + 3
+    if len(line) > width + 6:
+        line = line[: width + 6] + "..."
+    caret = " " * (column - 1) + "^"
+    return f"{line}\n{caret}"

@@ -1,0 +1,44 @@
+"""Language modules (Section 9.2).
+
+The Haskell implementation the paper describes "allows automatic
+integration of monitoring tools with several language modules (lazy,
+strict and imperative languages)".  We reproduce all three:
+
+* :mod:`repro.languages.strict` — call-by-value ``L_lambda`` (Figure 2).
+* :mod:`repro.languages.lazy` — call-by-need ``L_lambda``; same syntax,
+  thunks in the environment, monitors observe forced values.
+* :mod:`repro.languages.imperative` — ``L_imp``: a small imperative
+  language (assignment, sequencing, while) with a store threaded through
+  expression and command continuations.
+
+Each module exposes a ``Language`` object whose ``functional`` is a
+standard continuation semantics in the shape the monitoring derivation
+expects, so ``run_monitored(language, program, monitors)`` works uniformly.
+"""
+
+from repro.languages.base import BaseLanguage
+from repro.languages.strict import StrictLanguage, strict
+from repro.languages.lazy import LazyLanguage, lazy, lazy_data
+from repro.languages.imperative import ImperativeLanguage, imperative
+from repro.languages.imp_syntax import parse_imp, pretty_imp
+from repro.languages.exceptions import (
+    ExceptionsLanguage,
+    exceptions_language,
+    parse_exc,
+)
+
+__all__ = [
+    "BaseLanguage",
+    "ExceptionsLanguage",
+    "ImperativeLanguage",
+    "LazyLanguage",
+    "StrictLanguage",
+    "exceptions_language",
+    "imperative",
+    "lazy",
+    "lazy_data",
+    "parse_exc",
+    "parse_imp",
+    "pretty_imp",
+    "strict",
+]

@@ -1,0 +1,57 @@
+"""Common scaffolding for language modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
+from repro.semantics.machine import Functional, final_kont, fix
+from repro.semantics.trampoline import trampoline
+
+
+class BaseLanguage:
+    """Shared driver logic for languages whose programs are single expressions.
+
+    Subclasses provide ``name``, :meth:`functional` and
+    :meth:`initial_context`; programs are evaluated in that context with
+    the standard initial continuation ``{\\v. phi v}``.
+    """
+
+    name = "base"
+
+    def functional(self) -> Functional:
+        raise NotImplementedError
+
+    def initial_context(self):
+        raise NotImplementedError
+
+    def run_program(
+        self,
+        program,
+        eval_fn,
+        *,
+        answers: AnswerAlgebra = STANDARD_ANSWERS,
+        ms=None,
+        max_steps: Optional[int] = None,
+    ):
+        """Drive ``eval_fn`` over ``program`` and return ``(answer, ms)``."""
+        ctx = self.initial_context()
+        step = eval_fn(program, ctx, final_kont(answers), ms)
+        return trampoline(step, max_steps=max_steps)
+
+    def evaluate(
+        self,
+        program,
+        *,
+        answers: AnswerAlgebra = STANDARD_ANSWERS,
+        max_steps: Optional[int] = None,
+    ):
+        """Evaluate under this language's *standard* semantics."""
+        eval_fn = fix(self.functional())
+        answer, _ = self.run_program(
+            program, eval_fn, answers=answers, max_steps=max_steps
+        )
+        return answer
+
+    def __repr__(self) -> str:
+        return f"<language {self.name}>"

@@ -1,0 +1,251 @@
+"""Concrete syntax for ``L_imp``: parser and pretty printer.
+
+The surface grammar (contextual keywords, so the shared lexer and the
+``L_lambda`` expression grammar are reused unchanged)::
+
+    program := cmd (';' cmd)* ';'?
+    cmd     := IDENT ':=' expr
+             | 'skip'
+             | 'emit' expr
+             | 'if' expr 'then' block 'else' block
+             | 'while' expr 'do' block
+             | 'local' IDENT '=' expr 'in' block
+             | '{' annotation '}' ':' cmd
+    block   := 'begin' program 'end' | cmd
+
+Expressions are the ``L_lambda`` expression grammar restricted to the
+``L_imp`` fragment: constants, variables, conditionals and primitive
+applications — ``lambda``/``let``/``letrec`` are rejected with a parse
+error, matching the language's semantics (Section 9.2's imperative module
+monitors a genuinely first-order store-threading language).
+
+Example::
+
+    i := 10;
+    total := 0;
+    while i > 0 do begin
+        {acc}: total := total + i * i;
+        emit total;
+        i := i - 1
+    end
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParseError
+from repro.languages.imperative import (
+    AnnotatedCmd,
+    Assign,
+    Cmd,
+    Emit,
+    IfC,
+    Local,
+    Seq,
+    Skip,
+    While,
+    seq,
+)
+from repro.syntax import lexer
+from repro.syntax.annotations import parse_annotation_text
+from repro.syntax.ast import Expr, Lam, Let, Letrec
+from repro.syntax.lexer import tokenize
+from repro.syntax.parser import Parser
+from repro.syntax.pretty import pretty
+
+#: Words treated as command keywords by the L_imp parser (contextually —
+#: they are plain identifiers to the L_lambda grammar).
+COMMAND_KEYWORDS = frozenset(
+    {"skip", "emit", "while", "do", "begin", "end", "local"}
+)
+
+
+class ImpParser(Parser):
+    """Commands on top of the shared expression parser."""
+
+    application_stop_words = COMMAND_KEYWORDS
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_word(self, word: str) -> bool:
+        token = self._peek()
+        if token.kind == lexer.IDENT and token.value == word:
+            return True
+        return token.kind == lexer.KEYWORD and token.value == word
+
+    def _expect_word(self, word: str):
+        if not self._check_word(word):
+            token = self._peek()
+            raise ParseError(
+                f"expected {word!r}, found {token.value or token.kind!r}",
+                token.location,
+            )
+        return self._advance()
+
+    def parse_imp_expr(self) -> Expr:
+        expr = self.parse_expr()
+        offending = _find_higher_order(expr)
+        if offending is not None:
+            raise ParseError(
+                f"{type(offending).__name__} is not part of L_imp expressions",
+                offending.location,
+            )
+        return expr
+
+    # -- productions -------------------------------------------------------------
+
+    def parse_imp_program(self) -> Cmd:
+        command = self._parse_sequence(stop_words=())
+        token = self._peek()
+        if token.kind != lexer.EOF:
+            raise ParseError(
+                f"unexpected trailing input: {token.value!r}", token.location
+            )
+        return command
+
+    def _parse_sequence(self, stop_words) -> Cmd:
+        commands: List[Cmd] = [self.parse_command()]
+        while self._match(lexer.SEMI):
+            token = self._peek()
+            if token.kind == lexer.EOF:
+                break
+            if token.kind in (lexer.IDENT, lexer.KEYWORD) and token.value in stop_words:
+                break
+            commands.append(self.parse_command())
+        return seq(*commands)
+
+    def parse_command(self) -> Cmd:
+        token = self._peek()
+
+        if self._check_word("begin"):
+            # An explicit block is a command form of its own, so annotated
+            # sequences are expressible: {p}: begin c1; c2 end.
+            return self._parse_block()
+
+        if token.kind == lexer.ANNOT:
+            self._advance()
+            annotation = parse_annotation_text(token.value, token.location)
+            self._expect(lexer.COLON)
+            return AnnotatedCmd(annotation, self.parse_command())
+
+        if self._check_word("skip"):
+            self._advance()
+            return Skip()
+
+        if self._check_word("emit"):
+            self._advance()
+            return Emit(self.parse_imp_expr())
+
+        if self._check_word("while"):
+            self._advance()
+            condition = self.parse_imp_expr()
+            self._expect_word("do")
+            body = self._parse_block()
+            return While(condition, body)
+
+        if self._check_word("local"):
+            self._advance()
+            name = self._expect(lexer.IDENT).value
+            self._expect(lexer.OP, "=")
+            init = self.parse_imp_expr()
+            self._expect(lexer.KEYWORD, "in")
+            body = self._parse_block()
+            return Local(name, init, body)
+
+        if token.kind == lexer.KEYWORD and token.value == "if":
+            self._advance()
+            condition = self.parse_imp_expr()
+            self._expect(lexer.KEYWORD, "then")
+            then_branch = self._parse_block()
+            self._expect(lexer.KEYWORD, "else")
+            else_branch = self._parse_block()
+            return IfC(condition, then_branch, else_branch)
+
+        if token.kind == lexer.IDENT:
+            # assignment: IDENT ':=' expr
+            name = self._advance().value
+            self._expect(lexer.OP, ":=")
+            return Assign(name, self.parse_imp_expr())
+
+        raise ParseError(
+            f"expected a command, found {token.value or token.kind!r}",
+            token.location,
+        )
+
+    def _parse_block(self) -> Cmd:
+        if self._check_word("begin"):
+            self._advance()
+            body = self._parse_sequence(stop_words={"end"})
+            self._expect_word("end")
+            return body
+        return self.parse_command()
+
+
+def _find_higher_order(expr: Expr):
+    """The first ``lambda``/``let``/``letrec`` node in ``expr``, if any."""
+    for node in expr.walk():
+        if isinstance(node, (Lam, Let, Letrec)):
+            return node
+    return None
+
+
+def parse_imp(source: str) -> Cmd:
+    """Parse ``L_imp`` surface syntax into a command."""
+    return ImpParser(tokenize(source)).parse_imp_program()
+
+
+# Pretty printing ---------------------------------------------------------------
+
+
+def pretty_imp(command: Cmd, indent: int = 0) -> str:
+    """Render a command as parseable ``L_imp`` surface syntax."""
+    pad = "    " * indent
+
+    if isinstance(command, Skip):
+        return f"{pad}skip"
+    if isinstance(command, Assign):
+        return f"{pad}{command.name} := {pretty(command.expr)}"
+    if isinstance(command, Emit):
+        return f"{pad}emit {pretty(command.expr)}"
+    if isinstance(command, Seq):
+        parts: List[Cmd] = []
+        node: Cmd = command
+        while isinstance(node, Seq):
+            parts.append(node.first)
+            node = node.second
+        parts.append(node)
+        return ";\n".join(pretty_imp(part, indent) for part in parts)
+    if isinstance(command, IfC):
+        return (
+            f"{pad}if {pretty(command.cond)} then\n"
+            f"{_block(command.then_branch, indent)}\n"
+            f"{pad}else\n"
+            f"{_block(command.else_branch, indent)}"
+        )
+    if isinstance(command, While):
+        return (
+            f"{pad}while {pretty(command.cond)} do\n"
+            f"{_block(command.body, indent)}"
+        )
+    if isinstance(command, Local):
+        return (
+            f"{pad}local {command.name} = {pretty(command.init)} in\n"
+            f"{_block(command.body, indent)}"
+        )
+    if isinstance(command, AnnotatedCmd):
+        if isinstance(command.body, Seq):
+            # A sequence under one annotation needs an explicit block.
+            return (
+                f"{pad}{{{command.annotation.render()}}}:\n"
+                f"{_block(command.body, indent)}"
+            )
+        inner = pretty_imp(command.body, indent).lstrip()
+        return f"{pad}{{{command.annotation.render()}}}: {inner}"
+    raise TypeError(f"unknown L_imp command: {type(command).__name__}")
+
+
+def _block(command: Cmd, indent: int) -> str:
+    pad = "    " * indent
+    inner = pretty_imp(command, indent + 1)
+    return f"{pad}begin\n{inner}\n{pad}end"

@@ -1,0 +1,179 @@
+"""The lazy (call-by-need) ``L_lambda`` language module.
+
+Same syntax as the strict language, non-strict semantics: application
+binds the argument to a memoizing :class:`~repro.semantics.values.Thunk`
+and variables force on demand.  The semantics is still a continuation
+semantics — forcing is sequenced through continuations — so the monitoring
+derivation applies unchanged.  Monitors consequently observe *demand*
+order, not syntactic order: an annotated expression that is never needed
+triggers no monitoring activity, and a shared thunk triggers it exactly
+once.  (That observable difference between strict and lazy monitoring is
+itself tested.)
+
+Sharing: when an argument is already a variable, the bound
+thunk/value is passed through directly, so ``let x = costly in f x x``
+forces ``costly`` at most once even through several indirections.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvalError, NotAFunctionError
+from repro.languages.base import BaseLanguage
+from repro.semantics.env import Environment
+from repro.semantics.machine import Functional, Valuation
+from repro.semantics.primitives import initial_environment
+from repro.semantics.trampoline import Bounce, Step
+from repro.semantics.values import (
+    Closure,
+    PrimFun,
+    Thunk,
+    value_to_string,
+)
+from repro.syntax.ast import (
+    Annotated,
+    App,
+    Const,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Var,
+)
+
+
+def _force(value, kont, ms, recur) -> Step:
+    """Reduce ``value`` to weak head normal form, memoizing thunks."""
+    if isinstance(value, Thunk):
+        if value.forced:
+            return Bounce(kont, (value.value, ms))
+
+        thunk = value
+
+        def memoizing_kont(result, ms_inner) -> Step:
+            return Bounce(kont, (thunk.memoize(result), ms_inner))
+
+        return Bounce(recur, (thunk.expr, thunk.env, memoizing_kont, ms))
+    return Bounce(kont, (value, ms))
+
+
+def _delay(expr, env: Environment):
+    """The argument-passing rule: share existing bindings, delay the rest."""
+    if type(expr) is Var:
+        return env.lookup(expr.name)  # share the existing thunk or value
+    if type(expr) is Const:
+        return expr.value
+    return Thunk(expr, env)
+
+
+def make_lazy_functional(lazy_constructors: bool = False):
+    """Build the call-by-need functional.
+
+    With ``lazy_constructors=True``, ``cons`` does not force its arguments:
+    list cells hold thunks, projections force on demand, and infinite
+    structures become expressible (the classic Haskell-style lists the
+    paper's lazy language module suggests).  Structural equality over
+    partially forced lists is rejected rather than silently wrong — force
+    a list (e.g. via ``length``) before comparing.
+    """
+
+    def lazy_functional(recur: Valuation) -> Valuation:
+        return _make_eval(recur, lazy_constructors)
+
+    return lazy_functional
+
+
+def lazy_functional(recur: Valuation) -> Valuation:
+    """Call-by-need continuation semantics with strict constructors."""
+    return _make_eval(recur, lazy_constructors=False)
+
+
+def _make_eval(recur: Valuation, lazy_constructors: bool) -> Valuation:
+    def eval_expr(expr, env: Environment, kont, ms) -> Step:
+        node_type = type(expr)
+
+        if node_type is Const:
+            return Bounce(kont, (expr.value, ms))
+
+        if node_type is Var:
+            return _force(env.lookup(expr.name), kont, ms, recur)
+
+        if node_type is Lam:
+            return Bounce(kont, (Closure(expr.param, expr.body, env), ms))
+
+        if node_type is If:
+
+            def branch_kont(value, ms_inner) -> Step:
+                if value is True:
+                    return Bounce(recur, (expr.then_branch, env, kont, ms_inner))
+                if value is False:
+                    return Bounce(recur, (expr.else_branch, env, kont, ms_inner))
+                raise EvalError(
+                    f"condition evaluated to non-boolean {value_to_string(value)!r}",
+                    expr.location,
+                )
+
+            return Bounce(recur, (expr.cond, env, branch_kont, ms))
+
+        if node_type is App:
+            delayed = _delay(expr.arg, env)
+
+            def fn_kont(fn_value, ms_fn) -> Step:
+                if isinstance(fn_value, Closure):
+                    extended = fn_value.env.extend(fn_value.param, delayed)
+                    return Bounce(recur, (fn_value.body, extended, kont, ms_fn))
+                if isinstance(fn_value, PrimFun):
+                    if lazy_constructors and fn_value.name == "cons":
+                        # Lazy constructor: the cell holds thunks; whoever
+                        # later demands head/tail forces them.
+                        return Bounce(kont, (fn_value.apply(delayed), ms_fn))
+
+                    # Other primitives are strict: force the argument, and
+                    # force any thunk a projection (hd/tl) pulls out of a
+                    # lazily built cell — evaluation results are WHNF.
+                    def apply_kont(arg_value, ms_arg) -> Step:
+                        result = fn_value.apply(arg_value)
+                        if lazy_constructors and isinstance(result, Thunk):
+                            return _force(result, kont, ms_arg, recur)
+                        return Bounce(kont, (result, ms_arg))
+
+                    return _force(delayed, apply_kont, ms_fn, recur)
+                raise NotAFunctionError(
+                    f"attempt to apply non-function value "
+                    f"{value_to_string(fn_value)!r}"
+                )
+
+            return Bounce(recur, (expr.fn, env, fn_kont, ms))
+
+        if node_type is Let:
+            extended = env.extend(expr.name, _delay(expr.bound, env))
+            return Bounce(recur, (expr.body, extended, kont, ms))
+
+        if node_type is Letrec:
+            recursive_env = env.extend_recursive(expr.bindings)
+            return Bounce(recur, (expr.body, recursive_env, kont, ms))
+
+        if node_type is Annotated:
+            return Bounce(recur, (expr.body, env, kont, ms))
+
+        raise TypeError(f"unknown expression node: {node_type.__name__}")
+
+    return eval_expr
+
+
+class LazyLanguage(BaseLanguage):
+    def __init__(self, lazy_constructors: bool = False) -> None:
+        self.lazy_constructors = lazy_constructors
+        self.name = "lazy-data" if lazy_constructors else "lazy"
+
+    def functional(self) -> Functional:
+        return make_lazy_functional(self.lazy_constructors)
+
+    def initial_context(self):
+        return initial_environment()
+
+
+#: Call-by-need functions, strict constructors (finite data).
+lazy = LazyLanguage()
+
+#: Call-by-need functions *and* constructors: infinite lists work.
+lazy_data = LazyLanguage(lazy_constructors=True)

@@ -1,0 +1,41 @@
+"""Parameterized monitoring semantics (Sections 4–7).
+
+The pipeline mirrors Figure 1 of the paper:
+
+1. A language module supplies a standard continuation semantics as a
+   *functional* (``Den``).
+2. :func:`repro.monitoring.derive.derive_functional` produces the
+   parameterized monitoring semantics ``M(Den)`` (Definition 4.2).
+3. Instantiating it with a :class:`repro.monitoring.spec.MonitorSpec`
+   (Definition 5.1) yields a complete monitor.
+4. :mod:`repro.monitoring.compose` cascades monitors (Section 6).
+5. :mod:`repro.monitoring.soundness` checks Theorem 7.7 executably.
+"""
+
+from repro.monitoring.compose import MonitorStack, compose, nested_answer
+from repro.monitoring.derive import MonitoredResult, derive_functional, run_monitored
+from repro.monitoring.spec import MonitorSpec
+from repro.monitoring.state import MonitorStateVector
+from repro.monitoring.transformers import (
+    bounded,
+    filtered,
+    mapped_report,
+    renamed,
+    sampled,
+)
+
+__all__ = [
+    "MonitorSpec",
+    "MonitorStack",
+    "MonitorStateVector",
+    "MonitoredResult",
+    "bounded",
+    "compose",
+    "derive_functional",
+    "filtered",
+    "mapped_report",
+    "nested_answer",
+    "renamed",
+    "run_monitored",
+    "sampled",
+]

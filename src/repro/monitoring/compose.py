@@ -1,0 +1,111 @@
+"""Monitor composition (Section 6).
+
+Monitors compose by cascading derivations: construct the first monitor
+from the original semantics, treat the result as a new continuation
+semantics, and repeat.  The user-facing form is the ``&`` operator of the
+Haskell environment (Section 9.2)::
+
+    stack = profiler & tracer            # MonitorStack
+    result = run_monitored(strict, prog, stack)
+
+Composition is associative and the identity is the empty stack; those
+algebraic properties are property-tested.  The disjoint-annotation
+constraint is enforced by :func:`repro.monitoring.derive.check_disjoint`
+when a stack is run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.errors import MonitorError
+from repro.monitoring.spec import MonitorSpec
+
+
+class MonitorStack:
+    """An ordered cascade of monitors.
+
+    Order matters for the *nesting* (later monitors are derived later and
+    so sit outside earlier ones, and may ``observe`` them); by Theorem 7.7
+    it never matters for the program's answer.
+    """
+
+    def __init__(self, monitors: Sequence[MonitorSpec]) -> None:
+        self.monitors: Tuple[MonitorSpec, ...] = tuple(monitors)
+        keys = [m.key for m in self.monitors]
+        if len(set(keys)) != len(keys):
+            raise MonitorError(f"duplicate monitor keys in stack: {keys}")
+
+    def __and__(self, other: "MonitorLike") -> "MonitorStack":
+        return compose(self, other)
+
+    def __iter__(self):
+        return iter(self.monitors)
+
+    def __len__(self) -> int:
+        return len(self.monitors)
+
+    def __repr__(self) -> str:
+        inner = " & ".join(m.key for m in self.monitors)
+        return f"<monitor stack {inner}>"
+
+
+MonitorLike = Union[MonitorSpec, MonitorStack, Sequence[MonitorSpec]]
+
+
+def flatten_monitors(monitors: MonitorLike) -> List[MonitorSpec]:
+    """Normalize any monitor-like argument to a flat list of specs."""
+    if isinstance(monitors, MonitorSpec):
+        return [monitors]
+    if isinstance(monitors, MonitorStack):
+        return list(monitors.monitors)
+    flat: List[MonitorSpec] = []
+    for item in monitors:
+        flat.extend(flatten_monitors(item))
+    return flat
+
+
+def compose(*parts: MonitorLike) -> MonitorStack:
+    """The ``&`` operator: cascade monitors left to right.
+
+    ``compose(a, b, c)`` derives ``a`` first (innermost), then ``b``, then
+    ``c`` — so ``c`` may observe the states of ``a`` and ``b``.
+    """
+    flat: List[MonitorSpec] = []
+    for part in parts:
+        flat.extend(flatten_monitors(part))
+    return MonitorStack(flat)
+
+
+def nested_answer(result) -> tuple:
+    """The literal Section 6 answer shape for a cascaded run.
+
+    A k-monitor cascade denotes answers in
+    ``MS_k -> ((...((Ans x MS_1) ...) x MS_k)``; the machine threads a
+    state *vector* instead, which is isomorphic.  This adapter applies the
+    isomorphism: given a :class:`~repro.monitoring.derive.MonitoredResult`
+    it rebuilds the left-nested pair ``((answer, sigma_1), ..., sigma_k)``
+    in cascade order.
+    """
+    answer = result.answer
+    for monitor in result.monitors:
+        answer = (answer, result.states.get(monitor.key))
+    return answer
+
+
+def validate_observations(monitors: Iterable[MonitorSpec]) -> None:
+    """Check that ``observes`` declarations only look *backwards* in the cascade.
+
+    A monitor may watch monitors derived before it (their states exist in
+    the nested answer domain underneath it); watching a later monitor would
+    have no denotational meaning.
+    """
+    seen: set = set()
+    for monitor in monitors:
+        for observed in monitor.observes:
+            if observed not in seen:
+                raise MonitorError(
+                    f"monitor {monitor.key!r} observes {observed!r}, which is "
+                    f"not an earlier monitor in the cascade"
+                )
+        seen.add(monitor.key)

@@ -1,0 +1,188 @@
+"""Automatic derivation of monitoring semantics (Definition 4.2).
+
+:func:`derive_functional` is the heart of the reproduction.  Given the
+valuation *functional* of any continuation semantics and a monitor
+specification, it returns a new functional that
+
+* on an annotated term the monitor recognizes, runs ``updPre`` on the
+  monitor state, evaluates the body, and composes ``updPost`` into the
+  continuation — exactly the ``[[{mu}: s']]`` equation of Definition 4.2;
+* on everything else (including annotations belonging to *other*
+  monitors), defers to the base functional.
+
+Because the result is again a functional of the same shape, the derivation
+can be applied repeatedly — that is Section 6's monitor composition — and
+because the fixpoint is taken *after* derivation, the monitoring behavior
+appears at every level of recursion, inside every closure body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MonitorError
+from repro.monitoring.spec import MonitorSpec
+from repro.monitoring.state import MonitorStateVector
+from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
+from repro.semantics.machine import Functional, fix
+from repro.semantics.trampoline import Bounce, Step
+from repro.syntax.ast import Expr, annotations_in
+
+
+def derive_functional(base_functional: Functional, monitor: MonitorSpec) -> Functional:
+    """``M(G)`` instantiated with ``monitor`` — one cascade level.
+
+    The returned functional expects the machine to thread a
+    :class:`~repro.monitoring.state.MonitorStateVector` as its ``ms``
+    argument, with a slot for ``monitor.key``.
+    """
+    key = monitor.key
+    observes = tuple(monitor.observes)
+
+    def functional(recur):
+        base_eval = base_functional(recur)
+
+        def eval_monitored(term, ctx, kont, ms) -> Step:
+            # Any annotated node — an L_lambda ``Annotated`` expression or
+            # another language's annotated form (e.g. L_imp's AnnotatedCmd)
+            # — is recognized by its ``annotation``/``body`` attributes.
+            payload = getattr(term, "annotation", None)
+            if payload is not None:
+                annotation = monitor.recognize(payload)
+                if annotation is not None:
+                    body = term.body
+                    # updPre = M_pre [[mu]] [[s']] a*
+                    if observes:
+                        inner = ms.view(observes)
+                        pre_state = monitor.pre(
+                            annotation, body, ctx, ms.get(key), inner=inner
+                        )
+                    else:
+                        pre_state = monitor.pre(annotation, body, ctx, ms.get(key))
+                    ms_pre = ms.set(key, pre_state)
+
+                    # kappa_post = { \iota*. (kappa iota*) o updPost }
+                    def kont_post(result, ms_inner) -> Step:
+                        if observes:
+                            post_state = monitor.post(
+                                annotation,
+                                body,
+                                ctx,
+                                result,
+                                ms_inner.get(key),
+                                inner=ms_inner.view(observes),
+                            )
+                        else:
+                            post_state = monitor.post(
+                                annotation, body, ctx, result, ms_inner.get(key)
+                            )
+                        return Bounce(kont, (result, ms_inner.set(key, post_state)))
+
+                    return Bounce(recur, (body, ctx, kont_post, ms_pre))
+            return base_eval(term, ctx, kont, ms)
+
+        return eval_monitored
+
+    return functional
+
+
+def derive_all(
+    base_functional: Functional, monitors: Sequence[MonitorSpec]
+) -> Functional:
+    """Cascade the derivation over ``monitors`` (first monitor innermost).
+
+    ``derive_all(G, [m1, m2])`` is the paper's Figure 5 construction:
+    derive for ``m1``, treat the result as a standard semantics, derive for
+    ``m2``.  The outermost monitor therefore intercepts its annotations
+    first, and — via ``observes`` — may watch the states of monitors before
+    it in the cascade.
+    """
+    return reduce(derive_functional, monitors, base_functional)
+
+
+def check_disjoint(monitors: Sequence[MonitorSpec], program: Expr) -> None:
+    """Enforce Section 6's constraint that annotation syntaxes are disjoint.
+
+    Disjointness is undecidable for arbitrary ``recognize`` predicates, so
+    we check it on the annotations that actually occur in ``program``:
+    no annotation may be recognized by more than one monitor in the stack.
+    """
+    keys = [monitor.key for monitor in monitors]
+    if len(set(keys)) != len(keys):
+        raise MonitorError(f"duplicate monitor keys in stack: {keys}")
+    for annotation in set(annotations_in(program)):
+        claimed = [m.key for m in monitors if m.recognize(annotation) is not None]
+        if len(claimed) > 1:
+            raise MonitorError(
+                f"annotation {annotation!r} is recognized by multiple monitors: "
+                f"{claimed} — cascaded monitors must have disjoint annotation "
+                f"syntaxes (Section 6)"
+            )
+
+
+@dataclass
+class MonitoredResult:
+    """The meaning of a program under a monitoring semantics.
+
+    ``answer`` is the program's (standard) answer; ``states`` holds each
+    monitor's final state, and :meth:`report` renders one monitor's state
+    through its spec's ``report`` method.
+    """
+
+    answer: object
+    states: MonitorStateVector
+    monitors: Tuple[MonitorSpec, ...]
+
+    def state_of(self, monitor: "MonitorSpec | str"):
+        key = monitor if isinstance(monitor, str) else monitor.key
+        return self.states.get(key)
+
+    def report(self, monitor: "MonitorSpec | str | None" = None):
+        if monitor is None:
+            if len(self.monitors) != 1:
+                return {m.key: m.report(self.states.get(m.key)) for m in self.monitors}
+            monitor = self.monitors[0]
+        if isinstance(monitor, str):
+            matches = [m for m in self.monitors if m.key == monitor]
+            if not matches:
+                raise MonitorError(f"no monitor with key {monitor!r} in this result")
+            monitor = matches[0]
+        return monitor.report(self.states.get(monitor.key))
+
+    def reports(self) -> Dict[str, object]:
+        return {m.key: m.report(self.states.get(m.key)) for m in self.monitors}
+
+
+def run_monitored(
+    language,
+    program,
+    monitors: "MonitorSpec | Sequence[MonitorSpec]",
+    *,
+    answers: AnswerAlgebra = STANDARD_ANSWERS,
+    max_steps: Optional[int] = None,
+    check_disjointness: bool = True,
+) -> MonitoredResult:
+    """Evaluate ``program`` under ``language`` with ``monitors`` cascaded.
+
+    Returns the pair the monitoring semantics denotes — the standard answer
+    together with the final monitor state(s) (Section 2) — packaged as a
+    :class:`MonitoredResult`.
+    """
+    from repro.monitoring.compose import flatten_monitors, validate_observations
+
+    monitor_list: List[MonitorSpec] = flatten_monitors(monitors)
+    validate_observations(monitor_list)
+    if check_disjointness:
+        check_disjoint(monitor_list, program)
+
+    functional = derive_all(language.functional(), monitor_list)
+    eval_fn = fix(functional)
+    initial = MonitorStateVector.initial(monitor_list)
+    answer, final_states = language.run_program(
+        program, eval_fn, answers=answers, ms=initial, max_steps=max_steps
+    )
+    return MonitoredResult(
+        answer=answer, states=final_states, monitors=tuple(monitor_list)
+    )

@@ -1,0 +1,173 @@
+"""Monitor specifications — ``Mon = (MSyn, MAlg, MFun)`` (Definition 5.1).
+
+A :class:`MonitorSpec` bundles the three components of the paper's monitor
+specification format:
+
+* **MSyn** — which annotation values the monitor recognizes
+  (:meth:`MonitorSpec.recognize`).  Cascading safety (Section 6) requires
+  the recognized sets of composed monitors to be disjoint; the runner
+  verifies this on the annotations actually present in a program.
+* **MAlg** — the monitor-state algebra: :meth:`MonitorSpec.initial_state`
+  plus whatever operations the concrete spec defines on its state.
+* **MFun** — the pre/post monitoring function pair
+  (:meth:`MonitorSpec.pre` / :meth:`MonitorSpec.post`) with the paper's
+  functionalities::
+
+      M_pre  : Ann -> S -> A* -> MS -> MS
+      M_post : Ann -> S -> A* -> A*' -> MS -> MS
+
+  ``ctx`` is the language's semantic context (``A*`` — the environment for
+  ``L_lambda``) and ``result`` the intermediate result passed to the
+  continuation (``A*'``).
+
+Monitoring functions must be **pure**: they receive a state and return a
+(possibly new) state, and must not mutate program values or perform host
+I/O.  Output-producing monitors (the tracer) keep an output *stream value*
+inside their state.  Purity is what makes the soundness theorem go through
+— and is enforced in spirit by the derivation, which only ever feeds a
+monitor its own state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.syntax.annotations import Annotation
+from repro.syntax.ast import Expr
+
+
+class MonitorSpec:
+    """Base class for monitor specifications.
+
+    Subclasses override :meth:`recognize`, :meth:`initial_state`,
+    :meth:`pre` and :meth:`post`; ``key`` must be unique within any monitor
+    stack, and is the index of this monitor's slot in the threaded
+    :class:`~repro.monitoring.state.MonitorStateVector`.
+    """
+
+    #: Unique identity of this monitor within a stack.
+    key: str = "monitor"
+
+    #: Keys of earlier monitors in the cascade whose states this monitor
+    #: may observe (read-only), realizing Section 6's remark that "a monitor
+    #: could monitor the behavior of the monitors before it in the cascade".
+    observes: Tuple[str, ...] = ()
+
+    # MSyn -------------------------------------------------------------------
+
+    def recognize(self, annotation: Annotation) -> Optional[object]:
+        """Return the monitor's view of ``annotation``, or ``None``.
+
+        Returning ``None`` means the annotation belongs to some other
+        monitor and evaluation falls through to the underlying semantics.
+        The returned object (often the annotation itself, or its payload
+        for namespaced annotations) is what ``pre``/``post`` receive.
+        """
+        raise NotImplementedError
+
+    # MAlg -------------------------------------------------------------------
+
+    def initial_state(self) -> Any:
+        """The initial (presumably empty) monitor state ``sigma_0``."""
+        raise NotImplementedError
+
+    def report(self, state: Any) -> Any:
+        """Present the final state as the monitor's user-facing result.
+
+        Defaults to the state itself; e.g. the tracer overrides this to
+        render its output stream.
+        """
+        return state
+
+    # MFun -------------------------------------------------------------------
+
+    def pre(
+        self, annotation: object, term: Expr, ctx: Any, state: Any, inner: Any = None
+    ) -> Any:
+        """``M_pre``: observe the state *before* evaluating ``term``.
+
+        ``inner`` is only supplied (as a read-only mapping of earlier
+        monitors' states) when ``observes`` is non-empty; monitors that do
+        not observe may omit the parameter when overriding.
+        """
+        return state
+
+    def post(
+        self,
+        annotation: object,
+        term: Expr,
+        ctx: Any,
+        result: Any,
+        state: Any,
+        inner: Any = None,
+    ) -> Any:
+        """``M_post``: observe the state *after* ``term`` produced ``result``."""
+        return state
+
+    # Conveniences -------------------------------------------------------------
+
+    def __and__(self, other):
+        """Monitor composition: ``profiler & tracer`` builds a stack (Section 6)."""
+        from repro.monitoring.compose import compose
+
+        return compose(self, other)
+
+    def __repr__(self) -> str:
+        return f"<monitor {self.key}>"
+
+
+class FunctionSpec(MonitorSpec):
+    """A monitor specification assembled from plain functions.
+
+    Handy for one-off monitors in tests and user scripts::
+
+        counter = FunctionSpec(
+            key="count",
+            recognize=lambda ann: ann if isinstance(ann, Label) else None,
+            initial=lambda: 0,
+            pre=lambda ann, term, ctx, state: state + 1,
+        )
+    """
+
+    def __init__(
+        self,
+        key: str,
+        recognize,
+        initial,
+        pre=None,
+        post=None,
+        report=None,
+        observes: Tuple[str, ...] = (),
+    ) -> None:
+        self.key = key
+        self._recognize = recognize
+        self._initial = initial
+        self._pre = pre
+        self._post = post
+        self._report = report
+        self.observes = observes
+
+    def recognize(self, annotation: Annotation):
+        return self._recognize(annotation)
+
+    def initial_state(self):
+        return self._initial()
+
+    def pre(self, annotation, term, ctx, state, inner=None):
+        if self._pre is None:
+            return state
+        if self.observes:
+            return self._pre(annotation, term, ctx, state, inner)
+        return self._pre(annotation, term, ctx, state)
+
+    def post(self, annotation, term, ctx, result, state, inner=None):
+        if self._post is None:
+            return state
+        if self.observes:
+            return self._post(annotation, term, ctx, result, state, inner)
+        return self._post(annotation, term, ctx, result, state)
+
+    def report(self, state):
+        if self._report is None:
+            return state
+        return self._report(state)

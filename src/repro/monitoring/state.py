@@ -1,0 +1,58 @@
+"""Monitor-state vectors: the operational form of cascaded monitor states.
+
+The paper nests answer domains per cascade level
+(``MS2 -> ((Ans x MS1) x MS2)``, Section 6).  The machine instead threads a
+single immutable *vector* with one slot per monitor, which is isomorphic to
+the nested pairs: projecting a level of the nest corresponds to reading a
+slot.  Immutability gives the same guarantee the types give in the paper —
+a monitor's update produces a *new* vector and can only replace its own
+slot (the derivation performs the write; monitor code never sees the
+vector, only its own state).
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+class MonitorStateVector:
+    """An immutable mapping from monitor key to that monitor's state."""
+
+    __slots__ = ("_slots",)
+
+    def __init__(self, slots: Dict[str, object]) -> None:
+        self._slots = slots
+
+    @classmethod
+    def initial(cls, monitors: Iterable) -> "MonitorStateVector":
+        """Build the vector of ``sigma_0`` states for ``monitors``."""
+        return cls({monitor.key: monitor.initial_state() for monitor in monitors})
+
+    def get(self, key: str):
+        return self._slots[key]
+
+    def set(self, key: str, state) -> "MonitorStateVector":
+        """A new vector with ``key``'s slot replaced."""
+        slots = dict(self._slots)
+        slots[key] = state
+        return MonitorStateVector(slots)
+
+    def view(self, keys: Tuple[str, ...]) -> Mapping[str, object]:
+        """A read-only view of selected slots, for cascade observation."""
+        return MappingProxyType({key: self._slots[key] for key in keys})
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._slots)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._slots)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __repr__(self) -> str:
+        return f"MonitorStateVector({self._slots!r})"

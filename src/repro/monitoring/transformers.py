@@ -1,0 +1,180 @@
+"""Monitor transformers: combinators over monitor specifications.
+
+The paper composes monitors side by side (Section 6).  A second,
+complementary kind of modularity is composing *onto* a single monitor —
+wrapping a spec to filter, sample, gate or post-process it without
+touching its code.  Because a monitor specification is just three
+functions over an opaque state, these transformers are small and
+mechanical, and the wrapped monitor remains a perfectly ordinary
+:class:`~repro.monitoring.spec.MonitorSpec` (it validates, composes,
+specializes and soundness-checks like any other).
+
+* :func:`filtered` — only forward events whose annotation satisfies a
+  predicate;
+* :func:`sampled` — forward every n-th recognized activation;
+* :func:`bounded` — stop monitoring after a budget of activations (a
+  fuel-limited monitor for long runs);
+* :func:`mapped_report` — post-process the report;
+* :func:`renamed` — change the key/namespace binding without rebuilding
+  the underlying spec.
+
+All transformers preserve the base monitor's purity: the combined state
+is ``(own bookkeeping, base state)`` and the base never sees the
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.monitoring.spec import MonitorSpec
+
+
+class _WrappedMonitor(MonitorSpec):
+    """Shared plumbing: delegate to ``base`` under a gate function.
+
+    ``gate(counter, annotation) -> (fire, new_counter)`` decides, per
+    recognized activation, whether the base monitor's hooks run.  The
+    state is ``(counter, base_state)``; gating is decided at ``pre`` and
+    remembered (via a pending stack) so the matching ``post`` is gated
+    identically even for recursive activations.
+    """
+
+    def __init__(
+        self,
+        base: MonitorSpec,
+        gate: Callable,
+        *,
+        key: Optional[str] = None,
+    ) -> None:
+        self.base = base
+        self.gate = gate
+        self.key = key or base.key
+        self.observes = base.observes
+
+    def recognize(self, annotation):
+        return self.base.recognize(annotation)
+
+    def initial_state(self):
+        # (gate counter, stack of per-activation fire decisions, base state)
+        return (0, (), self.base.initial_state())
+
+    def pre(self, annotation, term, ctx, state, inner=None):
+        counter, pending, base_state = state
+        fire, counter = self.gate(counter, annotation)
+        if fire:
+            if self.observes:
+                base_state = self.base.pre(
+                    annotation, term, ctx, base_state, inner=inner
+                )
+            else:
+                base_state = self.base.pre(annotation, term, ctx, base_state)
+        return (counter, pending + (fire,), base_state)
+
+    def post(self, annotation, term, ctx, result, state, inner=None):
+        counter, pending, base_state = state
+        fire = pending[-1] if pending else False
+        pending = pending[:-1]
+        if fire:
+            if self.observes:
+                base_state = self.base.post(
+                    annotation, term, ctx, result, base_state, inner=inner
+                )
+            else:
+                base_state = self.base.post(
+                    annotation, term, ctx, result, base_state
+                )
+        return (counter, pending, base_state)
+
+    def report(self, state):
+        return self.base.report(state[2])
+
+    def base_state_of(self, state):
+        return state[2]
+
+
+def filtered(
+    base: MonitorSpec,
+    predicate: Callable[[object], bool],
+    *,
+    key: Optional[str] = None,
+) -> MonitorSpec:
+    """Only forward activations whose (recognized) annotation passes."""
+
+    def gate(counter, annotation):
+        return bool(predicate(annotation)), counter
+
+    return _WrappedMonitor(base, gate, key=key)
+
+
+def sampled(
+    base: MonitorSpec, every: int, *, key: Optional[str] = None
+) -> MonitorSpec:
+    """Forward every ``every``-th recognized activation (1-based).
+
+    Sampling is deterministic — the n-th activation of a deterministic
+    program is fixed — so the sampled monitor is still a legal
+    deterministic monitor.
+    """
+    if every < 1:
+        raise ValueError("sampling interval must be at least 1")
+
+    def gate(counter, annotation):
+        counter += 1
+        return counter % every == 0, counter
+
+    return _WrappedMonitor(base, gate, key=key)
+
+
+def bounded(
+    base: MonitorSpec, budget: int, *, key: Optional[str] = None
+) -> MonitorSpec:
+    """Forward only the first ``budget`` recognized activations."""
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+
+    def gate(counter, annotation):
+        if counter < budget:
+            return True, counter + 1
+        return False, counter
+
+    return _WrappedMonitor(base, gate, key=key)
+
+
+class _MappedReport(MonitorSpec):
+    def __init__(self, base: MonitorSpec, fn: Callable) -> None:
+        self.base = base
+        self.fn = fn
+        self.key = base.key
+        self.observes = base.observes
+
+    def recognize(self, annotation):
+        return self.base.recognize(annotation)
+
+    def initial_state(self):
+        return self.base.initial_state()
+
+    def pre(self, annotation, term, ctx, state, inner=None):
+        if self.observes:
+            return self.base.pre(annotation, term, ctx, state, inner=inner)
+        return self.base.pre(annotation, term, ctx, state)
+
+    def post(self, annotation, term, ctx, result, state, inner=None):
+        if self.observes:
+            return self.base.post(annotation, term, ctx, result, state, inner=inner)
+        return self.base.post(annotation, term, ctx, result, state)
+
+    def report(self, state):
+        return self.fn(self.base.report(state))
+
+
+def mapped_report(base: MonitorSpec, fn: Callable) -> MonitorSpec:
+    """Post-process the base monitor's report with ``fn``."""
+    return _MappedReport(base, fn)
+
+
+def renamed(base: MonitorSpec, key: str) -> MonitorSpec:
+    """The same monitor under a different stack key."""
+    clone = _MappedReport(base, lambda report: report)
+    clone.key = key
+    return clone

@@ -1,0 +1,205 @@
+"""Static validation of monitor specifications.
+
+The paper leans on Haskell's type system: "Haskell's static type system
+ensures that new specifications of monitors are well-defined (this can be
+easily verified by inspecting the type of the monitor)" (Section 9.2).
+Python has no such guarantee, so this module supplies the next best
+thing: a *linter* that exercises a monitor specification against a probe
+workload and checks the properties the framework depends on:
+
+* ``recognize`` is total over annotation values and never raises;
+* ``initial_state`` produces a fresh state per call (shared mutable
+  initial states are the classic way two runs of one monitor contaminate
+  each other);
+* ``pre``/``post`` accept the framework's calling convention and do not
+  *mutate* the state they are given (checked by snapshotting a repr
+  before and after — a heuristic, but it catches in-place dict/list
+  updates, by far the most common bug);
+* ``report`` works on both the initial and a post-run state.
+
+``validate_monitor`` returns a list of findings; ``assert_valid_monitor``
+raises :class:`repro.errors.MonitorError` on any finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import MonitorError
+from repro.languages.strict import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitoring.spec import MonitorSpec
+from repro.syntax.annotations import FnHeader, Label, Tagged
+from repro.syntax.parser import parse
+
+#: Annotation values every ``recognize`` must at least *tolerate*.
+PROBE_ANNOTATIONS = (
+    Label("probe"),
+    Label("other"),
+    FnHeader("probe", ("x",)),
+    FnHeader("probe", ()),
+    Tagged("sometool", Label("probe")),
+    Tagged("sometool", FnHeader("probe", ("x", "y"))),
+)
+
+#: A probe program carrying one annotation of each shape the toolbox uses.
+PROBE_PROGRAM = parse(
+    """
+    letrec probe = lambda x.
+        {probe(x)}: {probe}: {sometool: probe}:
+        (if x = 0 then {probe}: [2, 1] else probe (x - 1))
+    in probe 2
+    """
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation problem."""
+
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.message}"
+
+
+def _snapshot(value) -> str:
+    try:
+        return repr(value)
+    except Exception:
+        return f"<unreprable {type(value).__name__}>"
+
+
+def validate_monitor(monitor: MonitorSpec) -> List[Finding]:
+    """Lint ``monitor``; returns the (possibly empty) list of findings."""
+    findings: List[Finding] = []
+
+    # -- key ---------------------------------------------------------------
+    if not isinstance(getattr(monitor, "key", None), str) or not monitor.key:
+        findings.append(Finding("key", "monitor.key must be a non-empty string"))
+        return findings  # nothing else is checkable
+
+    # -- recognize totality --------------------------------------------------
+    for annotation in PROBE_ANNOTATIONS:
+        try:
+            monitor.recognize(annotation)
+        except Exception as exc:
+            findings.append(
+                Finding(
+                    "recognize",
+                    f"recognize raised {type(exc).__name__} on {annotation!r}; "
+                    "it must return None for annotations it does not claim",
+                )
+            )
+
+    # -- initial state freshness ----------------------------------------------
+    try:
+        first = monitor.initial_state()
+        second = monitor.initial_state()
+    except Exception as exc:
+        findings.append(
+            Finding("initial_state", f"initial_state raised {type(exc).__name__}: {exc}")
+        )
+        return findings
+    if isinstance(first, (dict, list, set)) and first is second:
+        findings.append(
+            Finding(
+                "initial_state",
+                "initial_state returns a shared mutable object; return a "
+                "fresh state per call",
+            )
+        )
+
+    # -- report on the empty state ----------------------------------------------
+    try:
+        monitor.report(monitor.initial_state())
+    except Exception as exc:
+        findings.append(
+            Finding(
+                "report",
+                f"report raised {type(exc).__name__} on the initial state: {exc}",
+            )
+        )
+
+    # -- run the probe and check purity -------------------------------------------
+    if monitor.observes:
+        # Observing monitors need their observed states present; validate
+        # only the parts that do not require a full cascade.
+        return findings
+
+    try:
+        result = run_monitored(
+            strict, PROBE_PROGRAM, monitor, check_disjointness=False
+        )
+    except Exception as exc:
+        findings.append(
+            Finding(
+                "run",
+                f"monitored probe run raised {type(exc).__name__}: {exc}; "
+                "pre/post must accept (annotation, term, ctx[, result], state) "
+                "and never raise",
+            )
+        )
+        return findings
+
+    # Direct purity probe: call pre/post on a state we hold and check the
+    # object we passed in did not change underneath us.
+    recognized = None
+    for annotation in PROBE_ANNOTATIONS:
+        try:
+            view = monitor.recognize(annotation)
+        except Exception:
+            continue
+        if view is not None:
+            recognized = view
+            break
+    if recognized is not None:
+        from repro.semantics.primitives import initial_environment
+        from repro.syntax.ast import Const
+
+        held = monitor.initial_state()
+        snapshot = _snapshot(held)
+        ctx = initial_environment().extend("x", 1)
+        try:
+            after_pre = monitor.pre(recognized, Const(0), ctx, held)
+            monitor.post(recognized, Const(0), ctx, 0, after_pre)
+        except Exception as exc:
+            findings.append(
+                Finding(
+                    "run",
+                    f"pre/post raised {type(exc).__name__} on a direct probe: {exc}",
+                )
+            )
+        if _snapshot(held) != snapshot:
+            findings.append(
+                Finding(
+                    "purity",
+                    "pre/post mutated the state object they were given; "
+                    "monitoring functions must return new states "
+                    "(MS -> MS, Section 4.3)",
+                )
+            )
+
+    try:
+        monitor.report(result.state_of(monitor))
+    except Exception as exc:
+        findings.append(
+            Finding(
+                "report",
+                f"report raised {type(exc).__name__} on a post-run state: {exc}",
+            )
+        )
+
+    return findings
+
+
+def assert_valid_monitor(monitor: MonitorSpec) -> None:
+    """Raise :class:`MonitorError` listing every validation finding."""
+    findings = validate_monitor(monitor)
+    if findings:
+        details = "\n  ".join(str(f) for f in findings)
+        raise MonitorError(
+            f"monitor {monitor.key!r} failed validation:\n  {details}"
+        )

@@ -1,0 +1,58 @@
+"""The monitor toolbox (Sections 8 and 9.2).
+
+Reproductions of every monitor specified in the paper:
+
+* :class:`repro.monitors.counters.PairCounterMonitor` — Figure 4's simple
+  profiler counting ``{A}``/``{B}`` evaluations.
+* :class:`repro.monitors.profiler.ProfilerMonitor` — Figure 6's function
+  call profiler.
+* :class:`repro.monitors.tracer.TracerMonitor` — Figure 7's fancy
+  indenting tracer.
+* :class:`repro.monitors.demon.UnsortedListDemon` — Figure 8's demon, plus
+  the generic :class:`repro.monitors.demon.PredicateDemon`.
+* :class:`repro.monitors.collecting.CollectingMonitor` — Figure 9's
+  collecting interpretation monitor.
+
+plus the toolbox extras the Haskell environment ships (Section 9.2):
+
+* :class:`repro.monitors.stepper.StepperMonitor` — an execution stepper.
+* :class:`repro.monitors.debugger.DebuggerMonitor` — a scriptable
+  dbx-style symbolic debugger.
+* :class:`repro.monitors.coverage.CoverageMonitor` — label coverage.
+* :class:`repro.monitors.watcher.WatchMonitor` /
+  :class:`repro.monitors.watcher.InvariantMonitor` — watchpoints and
+  invariant demons.
+"""
+
+from repro.monitors.callgraph import CallGraphMonitor
+from repro.monitors.collecting import CollectingMonitor
+from repro.monitors.counters import LabelCounterMonitor, PairCounterMonitor
+from repro.monitors.coverage import CoverageMonitor
+from repro.monitors.debugger import DebuggerMonitor
+from repro.monitors.demon import PredicateDemon, UnsortedListDemon
+from repro.monitors.history import HistoryMonitor
+from repro.monitors.profiler import ProfilerMonitor
+from repro.monitors.statistics import StatisticsMonitor
+from repro.monitors.stepper import StepperMonitor
+from repro.monitors.tracer import TracerMonitor
+from repro.monitors.unwind import UnwindMonitor
+from repro.monitors.watcher import InvariantMonitor, WatchMonitor
+
+__all__ = [
+    "CallGraphMonitor",
+    "CollectingMonitor",
+    "CoverageMonitor",
+    "DebuggerMonitor",
+    "HistoryMonitor",
+    "InvariantMonitor",
+    "LabelCounterMonitor",
+    "PairCounterMonitor",
+    "PredicateDemon",
+    "ProfilerMonitor",
+    "StatisticsMonitor",
+    "StepperMonitor",
+    "TracerMonitor",
+    "UnsortedListDemon",
+    "UnwindMonitor",
+    "WatchMonitor",
+]

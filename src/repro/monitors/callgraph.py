@@ -1,0 +1,140 @@
+"""A dynamic call-graph monitor (toolbox extra).
+
+Where the Figure 6 profiler counts *how often* each function runs, this
+monitor also records *who called whom*: each annotated activation pushes a
+frame, and an edge ``caller -> callee`` is accumulated per activation.
+The result is the weighted dynamic call graph — the data behind tools like
+``gprof``'s call-graph profile — obtained, like every other tool here,
+as a small pure state algebra over the same derivation.
+
+It also tracks *inclusive activation cost* in the only currency a monitor
+can observe deterministically: the number of monitored activations nested
+inside each function's activations.  (Wall-clock timing would make the
+monitor non-deterministic; the paper's framework targets deterministic
+sequential monitors.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import recognize_with_namespace
+from repro.syntax.annotations import Annotation, FnHeader, Label
+
+#: The label used for activations with no monitored caller.
+ROOT = "<root>"
+
+
+@dataclass(frozen=True)
+class CallGraphState:
+    """Immutable call-graph accumulator.
+
+    ``edges`` maps ``(caller, callee)`` to call counts; ``stack`` is the
+    current activation stack; ``inclusive`` counts, per function, how many
+    monitored activations occurred while at least one activation of that
+    function was live.
+    """
+
+    edges: Tuple[Tuple[Tuple[str, str], int], ...] = ()
+    stack: Tuple[str, ...] = ()
+    inclusive: Tuple[Tuple[str, int], ...] = ()
+
+    def _bump(self, table: tuple, key, amount: int = 1) -> tuple:
+        found = False
+        out = []
+        for existing_key, count in table:
+            if existing_key == key:
+                out.append((existing_key, count + amount))
+                found = True
+            else:
+                out.append((existing_key, count))
+        if not found:
+            out.append((key, amount))
+        return tuple(out)
+
+    def enter(self, callee: str) -> "CallGraphState":
+        caller = self.stack[-1] if self.stack else ROOT
+        inclusive = self.inclusive
+        # Every *live* function (deduplicated: recursion counts once) sees
+        # one more nested activation.
+        for live in set(self.stack) | {callee}:
+            inclusive = self._bump(inclusive, live)
+        return CallGraphState(
+            edges=self._bump(self.edges, (caller, callee)),
+            stack=self.stack + (callee,),
+            inclusive=inclusive,
+        )
+
+    def leave(self) -> "CallGraphState":
+        return CallGraphState(
+            edges=self.edges, stack=self.stack[:-1], inclusive=self.inclusive
+        )
+
+
+@dataclass
+class CallGraphReport:
+    """The rendered call graph."""
+
+    edges: Dict[Tuple[str, str], int]
+    calls: Dict[str, int]
+    inclusive: Dict[str, int]
+
+    def callees_of(self, name: str) -> Dict[str, int]:
+        return {
+            callee: count
+            for (caller, callee), count in self.edges.items()
+            if caller == name
+        }
+
+    def callers_of(self, name: str) -> Dict[str, int]:
+        return {
+            caller: count
+            for (caller, callee), count in self.edges.items()
+            if callee == name
+        }
+
+    def render(self) -> str:
+        lines = ["call graph (caller -> callee: calls):"]
+        for (caller, callee), count in sorted(self.edges.items()):
+            lines.append(f"  {caller} -> {callee}: {count}")
+        lines.append("inclusive activations:")
+        for name, count in sorted(self.inclusive.items()):
+            lines.append(f"  {name}: {count}")
+        return "\n".join(lines)
+
+
+class CallGraphMonitor(MonitorSpec):
+    """Build the weighted dynamic call graph from function annotations.
+
+    Recognizes both label and function-header annotations, so programs
+    annotated for the profiler or the tracer feed it without changes.
+    """
+
+    def __init__(
+        self, *, key: str = "callgraph", namespace: Optional[str] = None
+    ) -> None:
+        self.key = key
+        self.namespace = namespace
+
+    def recognize(self, annotation: Annotation):
+        return recognize_with_namespace(annotation, self.namespace, (Label, FnHeader))
+
+    def initial_state(self) -> CallGraphState:
+        return CallGraphState()
+
+    def pre(self, annotation, term, ctx, state: CallGraphState) -> CallGraphState:
+        return state.enter(annotation.name)
+
+    def post(self, annotation, term, ctx, result, state: CallGraphState) -> CallGraphState:
+        return state.leave()
+
+    def report(self, state: CallGraphState) -> CallGraphReport:
+        edges = dict(state.edges)
+        calls: Dict[str, int] = {}
+        for (_, callee), count in edges.items():
+            calls[callee] = calls.get(callee, 0) + count
+        return CallGraphReport(
+            edges=edges, calls=calls, inclusive=dict(state.inclusive)
+        )

@@ -1,0 +1,71 @@
+"""Figure 9: the collecting monitor.
+
+A collecting interpretation answers "what are all possible values to which
+an expression might evaluate during program execution?" [HY88].  The
+monitor's state is an *interpretations environment* ``MS = Ide -> {V}``;
+the post-monitoring function adds each observed value to the tagged
+expression's set::
+
+    M_post [[x]] [[e]] rho v sigma = sigma[x -> sigma(x) u {v}]
+
+For the annotated factorial of Section 8::
+
+    letrec fac = lambda n. if {test}:(n = 0) then 1
+                 else {n}: n * (fac (n - 1))
+    in fac 3
+
+the final state is ``{test -> {True, False}, n -> {1, 2, 3}}``.
+
+Values are deduplicated by structural equality (via
+:func:`repro.semantics.values.hashable_key`), and insertion order is kept
+so reports are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import recognize_with_namespace
+from repro.semantics.values import Value, hashable_key
+from repro.syntax.annotations import Annotation, Label
+
+#: ``Ide -> {V}`` with sets kept as insertion-ordered key->value maps.
+CollectingState = Dict[str, Dict[object, Value]]
+
+
+class CollectingMonitor(MonitorSpec):
+    """The Figure 9 collecting-interpretation monitor."""
+
+    def __init__(
+        self, *, key: str = "collect", namespace: Optional[str] = None
+    ) -> None:
+        self.key = key
+        self.namespace = namespace
+
+    def recognize(self, annotation: Annotation) -> Optional[Label]:
+        return recognize_with_namespace(annotation, self.namespace, Label)
+
+    def initial_state(self) -> CollectingState:
+        return {}
+
+    def post(
+        self, annotation: Label, term, ctx, result, state: CollectingState
+    ) -> CollectingState:
+        tag = annotation.name
+        dedup_key = hashable_key(result)
+        existing = state.get(tag)
+        if existing is not None and dedup_key in existing:
+            return state
+        updated = dict(state)
+        bucket = dict(existing) if existing else {}
+        bucket[dedup_key] = result
+        updated[tag] = bucket
+        return updated
+
+    def report(self, state: CollectingState) -> Dict[str, Tuple[Value, ...]]:
+        """``tag -> tuple of distinct observed values`` (first-seen order)."""
+        return {tag: tuple(bucket.values()) for tag, bucket in state.items()}
+
+    def values_of(self, state: CollectingState, tag: str) -> Tuple[Value, ...]:
+        return tuple(state.get(tag, {}).values())

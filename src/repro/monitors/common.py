@@ -1,0 +1,73 @@
+"""Shared helpers for the monitor toolbox.
+
+Every toolbox monitor follows the same recognition discipline so that
+stacks compose safely (Section 6's disjointness constraint):
+
+* constructed with ``namespace=None`` (the default), the monitor claims the
+  *bare* annotation class the paper uses for it (e.g. the profiler claims
+  bare :class:`~repro.syntax.annotations.Label`);
+* constructed with ``namespace="profile"``, it claims only
+  ``{profile: ...}`` :class:`~repro.syntax.annotations.Tagged` annotations,
+  leaving bare annotations to other monitors.
+
+``run_monitored`` rejects stacks in which one annotation is claimed twice,
+so colliding defaults fail fast with an instruction to namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.syntax.annotations import Annotation, Tagged
+
+
+def recognize_with_namespace(
+    annotation: Annotation,
+    namespace: Optional[str],
+    payload_type: "Type[Annotation] | tuple",
+) -> Optional[Annotation]:
+    """The standard ``recognize`` implementation.
+
+    Returns the payload the monitoring functions should see, or ``None``.
+    """
+    if namespace is None:
+        return annotation if isinstance(annotation, payload_type) else None
+    if isinstance(annotation, Tagged) and annotation.tool == namespace:
+        payload = annotation.payload
+        return payload if isinstance(payload, payload_type) else None
+    return None
+
+
+def context_lookup(ctx, name: str):
+    """Look up ``name`` in a semantic context.
+
+    The context is the paper's ``A*_i`` — for ``L_lambda`` an environment,
+    for ``L_imp`` a store, for ``L_exc`` the tuple ``(env, handler)``.
+    Monitors use this helper so one spec works across language modules:
+    tuple contexts are searched component-wise for the first lookup-capable
+    part.  Returns ``None`` when unbound — a monitor must never raise on a
+    lookup miss.
+    """
+    if isinstance(ctx, tuple):
+        for part in ctx:
+            if hasattr(part, "maybe_lookup") or hasattr(part, "lookup"):
+                return context_lookup(part, name)
+        return None
+    lookup = getattr(ctx, "maybe_lookup", None)
+    if lookup is not None:
+        return lookup(name)
+    try:
+        return ctx.lookup(name)
+    except Exception:
+        return None
+
+
+def context_names(ctx):
+    """Visible names in a semantic context (tuple contexts unwrapped)."""
+    if isinstance(ctx, tuple):
+        for part in ctx:
+            if hasattr(part, "names"):
+                return part.names()
+        return ()
+    names = getattr(ctx, "names", None)
+    return names() if names is not None else ()

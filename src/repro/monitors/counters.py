@@ -1,0 +1,97 @@
+"""Figure 4: the simple counting profiler.
+
+The paper's first complete monitor specification "performs the simple
+chore of counting the number of times an expression with either annotation
+'A' or 'B' is evaluated".  Its state algebra is a pair of counters with
+increment operations; the pre-monitoring function increments the
+appropriate counter and the post-monitoring function does nothing.
+
+Running it over the annotated factorial of Section 5::
+
+    letrec fac = lambda x. if (x = 0)
+                 then {A}: 1
+                 else {B}: (x * fac (x - 1))
+    in fac 5
+
+yields the monitor state ``(1, 5)``.
+
+:class:`LabelCounterMonitor` generalizes the pair to a counter per label.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import recognize_with_namespace
+from repro.syntax.annotations import Annotation, Label
+
+
+class PairCounterMonitor(MonitorSpec):
+    """Count evaluations of ``{A}``- and ``{B}``-annotated expressions.
+
+    State: ``(count_A, count_B)``; exactly the ``<n, m>`` pair of Figure 4.
+    """
+
+    def __init__(
+        self,
+        first: str = "A",
+        second: str = "B",
+        *,
+        key: str = "pair-counter",
+        namespace: Optional[str] = None,
+    ) -> None:
+        self.key = key
+        self.first = first
+        self.second = second
+        self.namespace = namespace
+
+    def recognize(self, annotation: Annotation) -> Optional[Label]:
+        payload = recognize_with_namespace(annotation, self.namespace, Label)
+        if payload is not None and payload.name in (self.first, self.second):
+            return payload
+        return None
+
+    def initial_state(self) -> Tuple[int, int]:
+        return (0, 0)
+
+    def pre(self, annotation: Label, term, ctx, state: Tuple[int, int]):
+        count_a, count_b = state
+        if annotation.name == self.first:
+            return (count_a + 1, count_b)
+        return (count_a, count_b + 1)
+
+
+class LabelCounterMonitor(MonitorSpec):
+    """Count evaluations of every labeled expression, one counter per label.
+
+    State: an immutable mapping ``label -> count``.  With no ``labels``
+    restriction it claims every bare label in the program.
+    """
+
+    def __init__(
+        self,
+        labels: Optional[frozenset] = None,
+        *,
+        key: str = "count",
+        namespace: Optional[str] = None,
+    ) -> None:
+        self.key = key
+        self.labels = frozenset(labels) if labels is not None else None
+        self.namespace = namespace
+
+    def recognize(self, annotation: Annotation) -> Optional[Label]:
+        payload = recognize_with_namespace(annotation, self.namespace, Label)
+        if payload is None:
+            return None
+        if self.labels is not None and payload.name not in self.labels:
+            return None
+        return payload
+
+    def initial_state(self) -> dict:
+        return {}
+
+    def pre(self, annotation: Label, term, ctx, state: dict) -> dict:
+        updated = dict(state)
+        updated[annotation.name] = updated.get(annotation.name, 0) + 1
+        return updated

@@ -1,0 +1,117 @@
+"""Figure 8: demons — event monitoring à la Magpie [DMS84].
+
+A *demon* triggers monitoring actions when a semantic event occurs.  The
+paper's recipe: (1) label the program points where the event might occur,
+(2) specify the trigger criteria over the semantic context the monitor is
+handed, (3) specify the action.  Those three steps are exactly a monitor
+specification.
+
+:class:`UnsortedListDemon` is Figure 8 verbatim: its state is a set of
+program-point names; after an annotated expression evaluates, if the
+result is an unsorted list the point's label joins the set.  For the
+``inclist`` pipeline of Section 8 the final state is ``{l1, l3}``.
+
+:class:`PredicateDemon` generalizes: any predicate over the result value
+(and optionally the semantic context) may trigger, and the action may
+record an arbitrary datum.  The paper claims demons "for *any* semantic
+event" — with pre/post hooks over terms, contexts and results, this class
+covers every event the monitoring semantics can witness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Optional
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import recognize_with_namespace
+from repro.semantics.values import NIL, Cons, Value
+from repro.syntax.annotations import Annotation, Label
+
+
+def is_sorted_list(value: Value) -> Optional[bool]:
+    """The paper's ``sorted?``, returning ``None`` for non-list values.
+
+    ``sorted? (x:xs) = (x <= y) & sorted? xs`` for ``xs = (y:ys)``;
+    ``sorted? Nil = True``.  Only comparable heads are considered; a list
+    of mixed or non-comparable elements counts as "not a list" for the
+    demon's purposes rather than raising.
+    """
+    if value is NIL:
+        return True
+    if not isinstance(value, Cons):
+        return None
+    previous = value.head
+    node = value.tail
+    while isinstance(node, Cons):
+        current = node.head
+        try:
+            in_order = previous <= current  # type: ignore[operator]
+        except TypeError:
+            return None
+        if not in_order:
+            return False
+        previous = current
+        node = node.tail
+    if node is not NIL:
+        return None
+    return True
+
+
+class UnsortedListDemon(MonitorSpec):
+    """Figure 8: record the program points where unsorted lists appear.
+
+    ``MS = {Ide}`` — a set of program-point labels;
+    ``M_post [[p]] [[e]] rho v sigma = sorted? v -> sigma, {p} u sigma``.
+    """
+
+    def __init__(self, *, key: str = "demon", namespace: Optional[str] = None) -> None:
+        self.key = key
+        self.namespace = namespace
+
+    def recognize(self, annotation: Annotation) -> Optional[Label]:
+        return recognize_with_namespace(annotation, self.namespace, Label)
+
+    def initial_state(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def post(self, annotation: Label, term, ctx, result, state: FrozenSet[str]):
+        if is_sorted_list(result) is False:
+            return state | {annotation.name}
+        return state
+
+    def report(self, state: FrozenSet[str]) -> FrozenSet[str]:
+        return state
+
+
+class PredicateDemon(MonitorSpec):
+    """A generic demon: trigger an action whenever a predicate fires.
+
+    ``predicate(annotation, term, ctx, result) -> bool`` decides the event;
+    ``action(annotation, term, ctx, result) -> datum`` produces what gets
+    recorded (defaults to the label name).  State is the tuple of recorded
+    data, in event order — a demon's event log.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable,
+        action: Optional[Callable] = None,
+        *,
+        key: str = "predicate-demon",
+        namespace: Optional[str] = None,
+    ) -> None:
+        self.key = key
+        self.namespace = namespace
+        self.predicate = predicate
+        self.action = action or (lambda annotation, term, ctx, result: annotation.name)
+
+    def recognize(self, annotation: Annotation) -> Optional[Label]:
+        return recognize_with_namespace(annotation, self.namespace, Label)
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def post(self, annotation: Label, term, ctx, result, state: tuple) -> tuple:
+        if self.predicate(annotation, term, ctx, result):
+            return state + (self.action(annotation, term, ctx, result),)
+        return state

@@ -1,0 +1,186 @@
+"""An execution-history monitor: a bounded event log with queries.
+
+Records every monitored event — entries and exits with values, nesting
+depth and a global sequence number — in a bounded ring (keeping the most
+recent ``capacity`` events).  This is the substrate a time-travel debugger
+replays: given the history, "what was the value of the 3rd activation of
+``f``?" is a pure query over the final monitor state rather than a rerun.
+
+Like all monitors here the state is a persistent value; the ring is a
+functional deque (two stacks), so appends are amortized O(1) without
+mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import recognize_with_namespace
+from repro.semantics.values import value_to_string
+from repro.syntax.annotations import Annotation, FnHeader, Label
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    sequence: int
+    kind: str  # "enter" | "exit"
+    label: str
+    depth: int
+    value: Optional[str] = None  # rendered result, exits only
+
+    def render(self) -> str:
+        arrow = "->" if self.kind == "enter" else "<-"
+        suffix = f" = {self.value}" if self.value is not None else ""
+        return f"#{self.sequence:04d} {'  ' * self.depth}{arrow} {self.label}{suffix}"
+
+
+@dataclass(frozen=True)
+class HistoryState:
+    """Bounded event history: a purely functional ring buffer."""
+
+    front: Tuple[HistoryEvent, ...] = ()
+    back: Tuple[HistoryEvent, ...] = ()  # reversed: newest first
+    size: int = 0
+    dropped: int = 0
+    next_sequence: int = 0
+    depth: int = 0
+    capacity: int = 1024
+
+    def push(self, event: HistoryEvent) -> "HistoryState":
+        front, back, size, dropped = self.front, self.back, self.size, self.dropped
+        back = (event,) + back
+        size += 1
+        if size > self.capacity:
+            if not front:
+                front = tuple(reversed(back))
+                back = ()
+            front = front[1:]
+            size -= 1
+            dropped += 1
+        return HistoryState(
+            front=front,
+            back=back,
+            size=size,
+            dropped=dropped,
+            next_sequence=self.next_sequence + 1,
+            depth=self.depth,
+            capacity=self.capacity,
+        )
+
+    def events(self) -> List[HistoryEvent]:
+        return list(self.front) + list(reversed(self.back))
+
+
+class HistoryMonitor(MonitorSpec):
+    """Record the (bounded) history of all monitored events."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        *,
+        key: str = "history",
+        namespace: Optional[str] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("history capacity must be positive")
+        self.key = key
+        self.namespace = namespace
+        self.capacity = capacity
+
+    def recognize(self, annotation: Annotation):
+        return recognize_with_namespace(annotation, self.namespace, (Label, FnHeader))
+
+    def initial_state(self) -> HistoryState:
+        return HistoryState(capacity=self.capacity)
+
+    def pre(self, annotation, term, ctx, state: HistoryState) -> HistoryState:
+        event = HistoryEvent(
+            sequence=state.next_sequence,
+            kind="enter",
+            label=annotation.name,
+            depth=state.depth,
+        )
+        pushed = state.push(event)
+        return HistoryState(
+            front=pushed.front,
+            back=pushed.back,
+            size=pushed.size,
+            dropped=pushed.dropped,
+            next_sequence=pushed.next_sequence,
+            depth=state.depth + 1,
+            capacity=state.capacity,
+        )
+
+    def post(self, annotation, term, ctx, result, state: HistoryState) -> HistoryState:
+        event = HistoryEvent(
+            sequence=state.next_sequence,
+            kind="exit",
+            label=annotation.name,
+            depth=state.depth - 1,
+            value=value_to_string(result),
+        )
+        pushed = state.push(event)
+        return HistoryState(
+            front=pushed.front,
+            back=pushed.back,
+            size=pushed.size,
+            dropped=pushed.dropped,
+            next_sequence=pushed.next_sequence,
+            depth=state.depth - 1,
+            capacity=state.capacity,
+        )
+
+    def report(self, state: HistoryState) -> "History":
+        return History(state.events(), dropped=state.dropped)
+
+
+class History:
+    """Query interface over a recorded history."""
+
+    def __init__(self, events: List[HistoryEvent], dropped: int = 0) -> None:
+        self.events = events
+        self.dropped = dropped
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, History)
+            and self.events == other.events
+            and self.dropped == other.dropped
+        )
+
+    def __repr__(self) -> str:
+        return f"<history {len(self.events)} events, {self.dropped} dropped>"
+
+    def filter(self, predicate: Callable[[HistoryEvent], bool]) -> List[HistoryEvent]:
+        return [event for event in self.events if predicate(event)]
+
+    def activations_of(self, label: str) -> List[HistoryEvent]:
+        return self.filter(lambda e: e.label == label and e.kind == "enter")
+
+    def returns_of(self, label: str) -> List[HistoryEvent]:
+        return self.filter(lambda e: e.label == label and e.kind == "exit")
+
+    def nth_return_value(self, label: str, n: int) -> Optional[str]:
+        """The value of the n-th (0-based) completed activation of ``label``."""
+        exits = self.returns_of(label)
+        if 0 <= n < len(exits):
+            return exits[n].value
+        return None
+
+    def at_sequence(self, sequence: int) -> Optional[HistoryEvent]:
+        for event in self.events:
+            if event.sequence == sequence:
+                return event
+        return None
+
+    def render(self, limit: Optional[int] = None) -> str:
+        shown = self.events if limit is None else self.events[-limit:]
+        lines = [event.render() for event in shown]
+        if self.dropped:
+            lines.insert(0, f"... {self.dropped} earlier events dropped ...")
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Interactive front ends for stream-driven monitors.
+
+"It is important to note that this framework can also support interactive
+monitors (e.g. symbolic debuggers, steppers) by providing an input as
+well as an output stream to and from the monitor" (Section 8, citing
+[Kis91]).  The :class:`~repro.monitors.debugger.DebuggerMonitor` consumes
+an input stream of commands and produces an output stream; this module
+supplies the plumbing that connects those streams to a console (or to any
+pair of callables), turning the pure monitor into a live tool.
+
+Everything here is thin: the monitor itself is unchanged, so an
+interactive session and a scripted test exercise identical code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.languages.strict import strict
+from repro.monitoring.derive import MonitoredResult, run_monitored
+from repro.monitors.debugger import DebuggerMonitor
+
+
+class IteratorSource:
+    """A command source backed by any iterator (file, generator, socket...)."""
+
+    def __init__(self, commands: Iterable[str]) -> None:
+        self._iterator: Iterator[str] = iter(commands)
+
+    def __call__(self) -> Optional[str]:
+        try:
+            return next(self._iterator)
+        except StopIteration:
+            return None
+
+
+class ConsoleSource:
+    """A command source reading from the console (``input``)."""
+
+    def __init__(self, prompt: str = "(mdb) ", input_fn: Callable[[str], str] = input):
+        self.prompt = prompt
+        self.input_fn = input_fn
+
+    def __call__(self) -> Optional[str]:
+        try:
+            return self.input_fn(self.prompt)
+        except EOFError:
+            return None
+
+
+def debug(
+    program,
+    *,
+    breakpoints: Optional[Sequence[str]] = None,
+    language=strict,
+    source: Optional[Callable[[], Optional[str]]] = None,
+    output: Callable[[str], None] = print,
+    script: Sequence[str] = (),
+) -> MonitoredResult:
+    """Run ``program`` under an interactive debugging session.
+
+    ``script`` commands run first; when they are exhausted, ``source`` is
+    consulted (default: the console).  ``output`` receives each transcript
+    line as it is produced.  Returns the full monitored result — including
+    the complete transcript — once the program finishes.
+    """
+    if source is None:
+        source = ConsoleSource()
+    monitor = DebuggerMonitor(
+        script, breakpoints=breakpoints, source=source, echo=output
+    )
+    return run_monitored(language, program, monitor)

@@ -1,0 +1,72 @@
+"""Figure 6: the function-call profiler.
+
+"The profiler counts the number of times that all named functions are
+called.  An environment domain is introduced that maps a function name to
+its corresponding counter value: ``CEnv = Ide -> N``."
+
+Usage follows the paper: annotate each function *body* with the function's
+name, so the annotation triggers whenever the body is evaluated::
+
+    letrec mul = lambda x. lambda y. {mul}:(x*y) in
+    letrec fac = lambda x. {fac}:if (x=0) then 1 else mul x (fac (x-1))
+    in fac 3
+
+The final counter environment is ``{fac: 4, mul: 3}``.
+
+The monitor state *is* the counter environment (the paper notes "it can
+also serve as the result of the profiler").  ``incCtr`` increments the
+counter for a name, initializing it to 1 on first use; only the
+pre-monitoring function does work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import recognize_with_namespace
+from repro.syntax.annotations import Annotation, Label
+
+CounterEnv = Dict[str, int]
+
+
+def inc_ctr(name: str, counters: CounterEnv) -> CounterEnv:
+    """``incCtr``: bump (or initialize) the counter for ``name``.
+
+    Pure: returns a fresh counter environment.
+    """
+    updated = dict(counters)
+    updated[name] = updated.get(name, 0) + 1
+    return updated
+
+
+def init_env() -> CounterEnv:
+    """``initEnv``: the empty counter environment."""
+    return {}
+
+
+class ProfilerMonitor(MonitorSpec):
+    """The Figure 6 profiler: ``MS = CEnv``."""
+
+    def __init__(
+        self, *, key: str = "profile", namespace: Optional[str] = None
+    ) -> None:
+        self.key = key
+        self.namespace = namespace
+
+    # MSyn: function names (identifiers).
+    def recognize(self, annotation: Annotation) -> Optional[Label]:
+        return recognize_with_namespace(annotation, self.namespace, Label)
+
+    # MAlg: the counter environment.
+    def initial_state(self) -> CounterEnv:
+        return init_env()
+
+    # MFun.
+    def pre(self, annotation: Label, term, ctx, state: CounterEnv) -> CounterEnv:
+        return inc_ctr(annotation.name, state)
+
+    # M_post [[f]] [[e]] rho v rho_c = rho_c  (identity) — inherited.
+
+    def report(self, state: CounterEnv) -> CounterEnv:
+        return dict(sorted(state.items()))

@@ -1,0 +1,99 @@
+"""A statistics monitor: numeric summaries of observed values.
+
+Where the collecting monitor (Figure 9) records the *set* of values an
+expression takes, this monitor keeps running numeric summaries — count,
+min, max, sum, sum of squares — per label, answering "what is the
+distribution of values at this point?" in O(1) state per label.  The
+mean/variance come out of the final state; everything stays pure and
+deterministic.
+
+Non-numeric observed values are counted but excluded from the numeric
+summary (their count is reported separately), so the monitor is total
+over any program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import recognize_with_namespace
+from repro.syntax.annotations import Annotation, Label
+
+
+@dataclass(frozen=True)
+class NumericSummary:
+    """Running summary of the numeric values seen at one label."""
+
+    count: int = 0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    total: float = 0.0
+    total_squares: float = 0.0
+    non_numeric: int = 0
+
+    def add(self, value) -> "NumericSummary":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return NumericSummary(
+                count=self.count,
+                minimum=self.minimum,
+                maximum=self.maximum,
+                total=self.total,
+                total_squares=self.total_squares,
+                non_numeric=self.non_numeric + 1,
+            )
+        return NumericSummary(
+            count=self.count + 1,
+            minimum=value if self.minimum is None else min(self.minimum, value),
+            maximum=value if self.maximum is None else max(self.maximum, value),
+            total=self.total + value,
+            total_squares=self.total_squares + value * value,
+            non_numeric=self.non_numeric,
+        )
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    @property
+    def variance(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        mean = self.total / self.count
+        return max(0.0, self.total_squares / self.count - mean * mean)
+
+    def render(self) -> str:
+        if self.count == 0:
+            return f"no numeric samples ({self.non_numeric} non-numeric)"
+        return (
+            f"n={self.count} min={self.minimum} max={self.maximum} "
+            f"mean={self.mean:.3g}"
+        )
+
+
+class StatisticsMonitor(MonitorSpec):
+    """Numeric value statistics per label annotation."""
+
+    def __init__(
+        self, *, key: str = "stats", namespace: Optional[str] = None
+    ) -> None:
+        self.key = key
+        self.namespace = namespace
+
+    def recognize(self, annotation: Annotation):
+        return recognize_with_namespace(annotation, self.namespace, Label)
+
+    def initial_state(self) -> Dict[str, NumericSummary]:
+        return {}
+
+    def post(self, annotation, term, ctx, result, state):
+        summary = state.get(annotation.name, NumericSummary())
+        updated = dict(state)
+        updated[annotation.name] = summary.add(result)
+        return updated
+
+    def report(self, state) -> Dict[str, NumericSummary]:
+        return dict(sorted(state.items()))

@@ -1,0 +1,105 @@
+"""A stepper monitor (one of the Section 9.2 toolbox tools).
+
+The stepper records the execution as an ordered event log: an ``enter``
+event when an annotated expression starts evaluating and an ``exit`` event
+carrying the produced value when it finishes.  Nesting depth is tracked,
+so the log doubles as a call-tree: it is what an interactive stepper UI
+would replay one keypress at a time (the interactive wiring — an input
+stream selecting how far to advance — is what :mod:`repro.monitors.debugger`
+adds on top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import recognize_with_namespace
+from repro.semantics.values import value_to_string
+from repro.syntax.annotations import Annotation, FnHeader, Label
+from repro.syntax.pretty import pretty
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One stepper event.
+
+    ``kind`` is ``"enter"`` or ``"exit"``; ``depth`` the nesting level at
+    the event; ``label`` the annotation's name; ``source`` the annotated
+    expression's surface syntax; ``value`` the result (exits only).
+    """
+
+    kind: str
+    depth: int
+    label: str
+    source: str
+    value: Optional[str] = None
+
+    def render(self) -> str:
+        head = "  " * self.depth + ("-> " if self.kind == "enter" else "<- ")
+        if self.kind == "enter":
+            return f"{head}{self.label}: {self.source}"
+        return f"{head}{self.label} = {self.value}"
+
+
+#: State: (events so far, current depth).
+StepperState = Tuple[Tuple[StepEvent, ...], int]
+
+
+class StepperMonitor(MonitorSpec):
+    """Record enter/exit events for every annotated expression."""
+
+    def __init__(
+        self,
+        *,
+        key: str = "step",
+        namespace: Optional[str] = None,
+        max_source_width: int = 40,
+    ) -> None:
+        self.key = key
+        self.namespace = namespace
+        self.max_source_width = max_source_width
+
+    def recognize(self, annotation: Annotation):
+        return recognize_with_namespace(annotation, self.namespace, (Label, FnHeader))
+
+    def initial_state(self) -> StepperState:
+        return ((), 0)
+
+    def _source_of(self, term) -> str:
+        try:
+            text = pretty(term)
+        except Exception:
+            text = repr(term)
+        if len(text) > self.max_source_width:
+            text = text[: self.max_source_width - 3] + "..."
+        return text
+
+    def pre(self, annotation, term, ctx, state: StepperState) -> StepperState:
+        events, depth = state
+        event = StepEvent(
+            kind="enter",
+            depth=depth,
+            label=annotation.name,
+            source=self._source_of(term),
+        )
+        return (events + (event,), depth + 1)
+
+    def post(self, annotation, term, ctx, result, state: StepperState) -> StepperState:
+        events, depth = state
+        event = StepEvent(
+            kind="exit",
+            depth=depth - 1,
+            label=annotation.name,
+            source=self._source_of(term),
+            value=value_to_string(result),
+        )
+        return (events + (event,), depth - 1)
+
+    def report(self, state: StepperState) -> str:
+        events, _ = state
+        return "\n".join(event.render() for event in events)
+
+    def events(self, state: StepperState) -> Tuple[StepEvent, ...]:
+        return state[0]

@@ -1,0 +1,99 @@
+"""An unwind monitor: seeing exceptional control flow (toolbox extra).
+
+Under :mod:`repro.languages.exceptions`, a ``raise`` discards the pending
+continuation — including any ``updPost`` hooks composed into it — so an
+aborted annotated activation produces an *enter* with no matching *exit*.
+This monitor turns that structural fact into a tool: it tracks the
+activation stack through enters/exits and reports
+
+* which activations were aborted (entered, never exited), and
+* at which live stack each abort cut in,
+
+i.e. the information a post-mortem "where was the exception thrown
+through?" query needs.  On languages without exceptions its report is
+empty — a cheap invariant the soundness suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import recognize_with_namespace
+from repro.syntax.annotations import Annotation, FnHeader, Label
+
+#: (activation stack of label names, abort log)
+#: Each abort entry records the activations skipped by one unwind.
+UnwindState = Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, ...], ...]]
+
+
+@dataclass(frozen=True)
+class UnwindReport:
+    """Aborted activations, in the order the aborts were detected."""
+
+    aborted: Tuple[Tuple[str, ...], ...]
+    unmatched_at_end: Tuple[str, ...]
+
+    @property
+    def total_aborted_activations(self) -> int:
+        return sum(len(group) for group in self.aborted) + len(self.unmatched_at_end)
+
+    def render(self) -> str:
+        if not self.aborted and not self.unmatched_at_end:
+            return "no aborted activations"
+        lines = []
+        for index, group in enumerate(self.aborted):
+            lines.append(f"unwind #{index + 1} cut through: {' > '.join(group)}")
+        if self.unmatched_at_end:
+            lines.append(
+                "still unmatched at program end: "
+                + " > ".join(self.unmatched_at_end)
+            )
+        return "\n".join(lines)
+
+
+class UnwindMonitor(MonitorSpec):
+    """Detect annotated activations abandoned by non-local control flow.
+
+    Mechanism: ``pre`` pushes ``(label, sequence)``; ``post`` *should* pop
+    the frame it matches.  When an exception discarded intermediate
+    ``post`` hooks, the next ``post`` that does run finds younger frames
+    above its own — those frames were aborted.
+    """
+
+    def __init__(self, *, key: str = "unwind", namespace: Optional[str] = None) -> None:
+        self.key = key
+        self.namespace = namespace
+
+    def recognize(self, annotation: Annotation):
+        return recognize_with_namespace(annotation, self.namespace, (Label, FnHeader))
+
+    def initial_state(self) -> UnwindState:
+        return ((), ())
+
+    def pre(self, annotation, term, ctx, state: UnwindState) -> UnwindState:
+        stack, aborts = state
+        depth = len(stack)
+        return (stack + ((annotation.name, depth),), aborts)
+
+    def post(self, annotation, term, ctx, result, state: UnwindState) -> UnwindState:
+        stack, aborts = state
+        # Find the youngest frame carrying our label: everything above it
+        # was abandoned by an unwind.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] == annotation.name:
+                skipped = tuple(name for name, _ in stack[index + 1 :])
+                if skipped:
+                    aborts = aborts + (skipped,)
+                return (stack[:index], aborts)
+        # No matching frame: our own enter was consumed by an earlier pop
+        # (possible when sibling activations share a label); record it.
+        return (stack, aborts + ((annotation.name,),))
+
+    def report(self, state: UnwindState) -> UnwindReport:
+        stack, aborts = state
+        return UnwindReport(
+            aborted=aborts,
+            unmatched_at_end=tuple(name for name, _ in stack),
+        )

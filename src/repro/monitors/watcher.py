@@ -1,0 +1,124 @@
+"""Watchpoints and invariant demons (toolbox extras).
+
+:class:`WatchMonitor` — a Magpie-style watchpoint: at every annotated
+point, observe a set of variables in the semantic context and log each
+*change* to their values.  On ``L_imp`` this monitors assignment events; on
+the functional languages it watches bindings as scopes are entered.
+
+:class:`InvariantMonitor` — a demon asserting a predicate over the
+context/result at each annotated point, logging violations (never raising:
+a monitor cannot abort the program).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import context_lookup, recognize_with_namespace
+from repro.semantics.values import value_to_string
+from repro.syntax.annotations import Annotation, Label
+
+#: (log of (label, variable, rendered value), last-seen rendered values)
+WatchState = Tuple[Tuple[Tuple[str, str, str], ...], Dict[str, str]]
+
+
+class WatchMonitor(MonitorSpec):
+    """Log changes to watched variables at annotated points."""
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        *,
+        key: str = "watch",
+        namespace: Optional[str] = None,
+        on: Sequence[str] = ("pre",),
+    ) -> None:
+        self.key = key
+        self.namespace = namespace
+        self.variables = tuple(variables)
+        #: When to sample: "pre", "post", or both.  For ``L_imp``
+        #: assignment watchpoints use ``on=("post",)`` — the post hook sees
+        #: the updated store.
+        self.on = tuple(on)
+
+    def recognize(self, annotation: Annotation) -> Optional[Label]:
+        return recognize_with_namespace(annotation, self.namespace, Label)
+
+    def initial_state(self) -> WatchState:
+        return ((), {})
+
+    def _observe(self, annotation: Label, ctx, state: WatchState) -> WatchState:
+        log, last_seen = state
+        updates = {}
+        for name in self.variables:
+            value = context_lookup(ctx, name)
+            if value is None:
+                continue
+            rendered = value_to_string(value)
+            if last_seen.get(name) != rendered:
+                updates[name] = rendered
+        if not updates:
+            return state
+        new_last = dict(last_seen)
+        new_log = log
+        for name, rendered in updates.items():
+            new_last[name] = rendered
+            new_log = new_log + ((annotation.name, name, rendered),)
+        return (new_log, new_last)
+
+    def pre(self, annotation: Label, term, ctx, state: WatchState) -> WatchState:
+        if "pre" not in self.on:
+            return state
+        return self._observe(annotation, ctx, state)
+
+    def post(self, annotation: Label, term, ctx, result, state: WatchState) -> WatchState:
+        if "post" not in self.on:
+            return state
+        # For commands the interesting context is the updated store —
+        # the intermediate result; fall back to ctx for expressions.
+        target = result if hasattr(result, "lookup") else ctx
+        return self._observe(annotation, target, state)
+
+    def report(self, state: WatchState) -> Tuple[Tuple[str, str, str], ...]:
+        return state[0]
+
+
+class InvariantMonitor(MonitorSpec):
+    """Check an invariant at every annotated point; log violations.
+
+    ``invariant(annotation, term, ctx, result)`` is evaluated after each
+    annotated expression (``result=None`` for the pre-check when
+    ``check_pre`` is set).
+    """
+
+    def __init__(
+        self,
+        invariant: Callable,
+        *,
+        key: str = "invariant",
+        namespace: Optional[str] = None,
+        check_pre: bool = False,
+    ) -> None:
+        self.key = key
+        self.namespace = namespace
+        self.invariant = invariant
+        self.check_pre = check_pre
+
+    def recognize(self, annotation: Annotation) -> Optional[Label]:
+        return recognize_with_namespace(annotation, self.namespace, Label)
+
+    def initial_state(self) -> Tuple[str, ...]:
+        return ()
+
+    def pre(self, annotation: Label, term, ctx, state):
+        if self.check_pre and not self.invariant(annotation, term, ctx, None):
+            return state + (f"{annotation.name}: violated on entry",)
+        return state
+
+    def post(self, annotation: Label, term, ctx, result, state):
+        if not self.invariant(annotation, term, ctx, result):
+            return state + (
+                f"{annotation.name}: violated with result {value_to_string(result)}",
+            )
+        return state

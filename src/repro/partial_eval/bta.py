@@ -1,0 +1,331 @@
+"""Binding-time analysis (the offline companion to the online specializer).
+
+A binding-time analysis (BTA) classifies each program point as *static*
+(computable at specialization time) or *dynamic* (must remain in the
+residual program), given a division of the program's inputs.  The paper's
+discussion of monitor optimization rests exactly on this distinction:
+"a monitor semantics possesses both static and dynamic computations ...
+the degree of optimization obtained by partial evaluation will depend on
+how much static computation is defined by the monitor" (Section 9.1) —
+e.g. the tracer's environment lookup is static but its stream operations
+are dynamic.
+
+The analysis is a classic monotone fixpoint over the two-point lattice
+``S < D``:
+
+* constants are static; annotated expressions are dynamic by fiat (the
+  monitor must run);
+* a primitive application is static iff all its arguments are;
+* a conditional is dynamic if its condition is (both branches then appear
+  in the residual code);
+* ``letrec``-bound functions are analyzed monovariantly: each parameter's
+  binding time is the join over all saturated call sites, and a function
+  that *escapes* (is passed around rather than called by name) is fully
+  dynamic.
+
+Being monovariant, the BTA is more conservative than the polyvariant
+online specializer — everything it calls static the specializer folds,
+but not vice versa.  The property tests check exactly that containment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.semantics.primitives import PRIMITIVE_TABLE
+from repro.syntax.ast import (
+    Annotated,
+    App,
+    Const,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Var,
+)
+
+STATIC = "S"
+DYNAMIC = "D"
+
+
+def join(*times: str) -> str:
+    return DYNAMIC if DYNAMIC in times else STATIC
+
+
+@dataclass
+class BTAResult:
+    """Binding times for a program under a given input division.
+
+    ``of(node)`` gives each subexpression's binding time; ``variables``
+    maps binder occurrences (by their unique analysis name) to binding
+    times; ``escaped_functions`` lists letrec functions the monovariant
+    analysis gave up on.
+    """
+
+    program: Expr
+    node_times: Dict[int, str]
+    variables: Dict[str, str]
+    escaped_functions: Set[str] = field(default_factory=set)
+
+    def of(self, node: Expr) -> str:
+        return self.node_times[id(node)]
+
+    def is_static(self, node: Expr) -> bool:
+        return self.of(node) == STATIC
+
+    def static_fraction(self) -> float:
+        if not self.node_times:
+            return 1.0
+        static = sum(1 for t in self.node_times.values() if t == STATIC)
+        return static / len(self.node_times)
+
+
+class _Analyzer:
+    def __init__(self, dynamic_inputs: Set[str]) -> None:
+        self.dynamic_inputs = dynamic_inputs
+        self._counter = itertools.count()
+        #: unique binder name -> current binding time (grows monotonically)
+        self.var_times: Dict[str, str] = {}
+        #: unique letrec-function name -> (unique param name, body)
+        self.functions: Dict[str, Tuple[str, Expr]] = {}
+        #: functions that escape (used other than in call position)
+        self.escaped: Set[str] = set()
+        self.changed = False
+        self.node_times: Dict[int, str] = {}
+
+    # -- environment of unique names ------------------------------------------------
+
+    def _fresh(self, name: str) -> str:
+        return f"{name}#{next(self._counter)}"
+
+    def _raise_var(self, unique: str, time: str) -> None:
+        current = self.var_times.get(unique, STATIC)
+        new = join(current, time)
+        if new != current:
+            self.var_times[unique] = new
+            self.changed = True
+        elif unique not in self.var_times:
+            self.var_times[unique] = new
+
+    def _mark_escaped(self, unique: str) -> None:
+        if unique in self.functions and unique not in self.escaped:
+            self.escaped.add(unique)
+            self.changed = True
+
+    # -- one monotone pass ------------------------------------------------------------
+
+    def analyze(self, expr: Expr, env: Dict[str, str]) -> str:
+        time = self._analyze(expr, env)
+        self.node_times[id(expr)] = time
+        return time
+
+    def _analyze(self, expr: Expr, env: Dict[str, str]) -> str:
+        node_type = type(expr)
+
+        if node_type is Const:
+            return STATIC
+
+        if node_type is Var:
+            name = expr.name
+            unique = env.get(name)
+            if unique is None:
+                if name == "nil" or name in PRIMITIVE_TABLE:
+                    return STATIC
+                return DYNAMIC  # dynamic input (free variable)
+            if unique in self.functions:
+                # A letrec function referenced as a *value* (this case is
+                # bypassed for call heads, see _analyze_app): it escapes
+                # the monovariant analysis.
+                self._mark_escaped(unique)
+                return DYNAMIC if unique in self.escaped else STATIC
+            return self.var_times.get(unique, STATIC)
+
+        if node_type is Annotated:
+            self.analyze(expr.body, env)
+            return DYNAMIC  # monitors must run at run time
+
+        if node_type is Lam:
+            # A bare lambda value is static (a known closure); its body is
+            # analyzed with a dynamic parameter as the conservative
+            # monovariant approximation.
+            inner = dict(env)
+            param_unique = self._fresh(expr.param)
+            inner[expr.param] = param_unique
+            self._raise_var(param_unique, DYNAMIC)
+            self.analyze(expr.body, inner)
+            return STATIC
+
+        if node_type is If:
+            cond_time = self.analyze(expr.cond, env)
+            then_time = self.analyze(expr.then_branch, env)
+            else_time = self.analyze(expr.else_branch, env)
+            return join(cond_time, then_time, else_time)
+
+        if node_type is Let:
+            bound_time = self.analyze(expr.bound, env)
+            inner = dict(env)
+            unique = self._let_unique(expr)
+            inner[expr.name] = unique
+            self._raise_var(unique, bound_time)
+            return self.analyze(expr.body, inner)
+
+        if node_type is Letrec:
+            inner = dict(env)
+            uniques = {}
+            for name, bound in expr.bindings:
+                unique = self._binding_unique(expr, name)
+                uniques[name] = unique
+                inner[name] = unique
+            for name, bound in expr.bindings:
+                lam = bound
+                while isinstance(lam, Annotated):
+                    lam = lam.body
+                assert isinstance(lam, Lam)
+                unique = uniques[name]
+                param_unique = self._param_unique(expr, name, lam.param)
+                if unique not in self.functions:
+                    self.functions[unique] = (param_unique, lam.body)
+                fn_env = dict(inner)
+                fn_env[lam.param] = param_unique
+                if unique in self.escaped:
+                    self._raise_var(param_unique, DYNAMIC)
+                self.analyze(lam.body, fn_env)
+            return self.analyze(expr.body, inner)
+
+        if node_type is App:
+            return self._analyze_app(expr, env)
+
+        raise TypeError(f"unknown expression node: {node_type.__name__}")
+
+    # Stable unique names per binder occurrence (id-keyed, memoized so the
+    # fixpoint iteration reuses them).
+
+    def _let_unique(self, node: Let) -> str:
+        return self._memo_unique(("let", id(node)), node.name)
+
+    def _binding_unique(self, node: Letrec, name: str) -> str:
+        return self._memo_unique(("rec", id(node), name), name)
+
+    def _param_unique(self, node: Letrec, fn_name: str, param: str) -> str:
+        return self._memo_unique(("param", id(node), fn_name), param)
+
+    def _memo_unique(self, key: object, name: str) -> str:
+        memo = getattr(self, "_unique_memo_dict", None)
+        if memo is None:
+            memo = {}
+            self._unique_memo_dict = memo
+        if key not in memo:
+            memo[key] = self._fresh(name)
+        return memo[key]
+
+    def _analyze_app(self, expr: App, env: Dict[str, str]) -> str:
+        # Unwind the application spine.
+        spine: List[Expr] = []
+        head: Expr = expr
+        while type(head) is App:
+            spine.append(head.arg)
+            head = head.fn
+        spine.reverse()
+
+        arg_times = [self.analyze(arg, env) for arg in spine]
+
+        # The head of a call is analyzed specially: a letrec function used
+        # as a call head does NOT escape (that is the one blessed use).
+        head_is_known_function = (
+            type(head) is Var
+            and env.get(head.name) is not None
+            and env[head.name] in self.functions
+        )
+        if head_is_known_function:
+            head_time = STATIC if env[head.name] not in self.escaped else DYNAMIC
+            self.node_times[id(head)] = head_time
+        else:
+            head_time = self.analyze(head, env)
+
+        if type(head) is Var:
+            name = head.name
+            unique = env.get(name)
+            if unique is None and name in PRIMITIVE_TABLE:
+                arity = PRIMITIVE_TABLE[name][0]
+                if len(spine) <= arity:
+                    # Saturated: foldable iff all arguments are static.
+                    # Partial: a static primitive value carrying its args.
+                    return join(*arg_times)
+                # Over-application (a primitive returning a "function"):
+                # a runtime error; dynamic so it stays in residual code.
+                return DYNAMIC
+            if unique is not None and unique in self.functions:
+                param_unique, body = self.functions[unique]
+                if unique in self.escaped:
+                    return DYNAMIC
+                # Join the first argument into the parameter; deeper
+                # curried parameters are handled by the nested lambdas'
+                # conservative dynamic parameters.
+                self._raise_var(param_unique, arg_times[0])
+                body_time = self.node_times.get(id(body), STATIC)
+                if len(spine) > 1:
+                    return DYNAMIC if join(*arg_times) == DYNAMIC else body_time
+                return body_time
+
+        # Unknown operator: conservatively dynamic; any letrec function
+        # flowing here escapes (its parameters become dynamic).
+        del head_time
+        self._note_escapes(head, env)
+        return DYNAMIC
+
+    def _note_escapes(self, head: Expr, env: Dict[str, str]) -> None:
+        if type(head) is Var:
+            unique = env.get(head.name)
+            if unique is not None:
+                self._mark_escaped(unique)
+
+
+def analyze_binding_times(
+    program: Expr,
+    static_inputs: Optional[Set[str]] = None,
+    *,
+    max_iterations: int = 50,
+) -> BTAResult:
+    """Run the BTA to fixpoint.
+
+    ``static_inputs`` names the free variables assumed known at
+    specialization time; all other free variables are dynamic inputs.
+    """
+    static_inputs = set(static_inputs or ())
+    from repro.syntax.transform import free_variables
+
+    dynamic_inputs = {
+        name
+        for name in free_variables(program)
+        if name not in static_inputs
+        and name != "nil"
+        and name not in PRIMITIVE_TABLE
+    }
+
+    analyzer = _Analyzer(dynamic_inputs)
+    for _ in range(max_iterations):
+        analyzer.changed = False
+        analyzer.node_times = {}
+        env: Dict[str, str] = {}
+        for name in static_inputs:
+            unique = analyzer._memo_unique(("input", name), name)
+            env[name] = unique
+            analyzer._raise_var(unique, STATIC)
+        for name in dynamic_inputs:
+            unique = analyzer._memo_unique(("input", name), name)
+            env[name] = unique
+            analyzer._raise_var(unique, DYNAMIC)
+        analyzer.analyze(program, env)
+        if not analyzer.changed:
+            break
+
+    escaped_names = {unique.split("#", 1)[0] for unique in analyzer.escaped}
+    return BTAResult(
+        program=program,
+        node_times=analyzer.node_times,
+        variables=dict(analyzer.var_times),
+        escaped_functions=escaped_names,
+    )

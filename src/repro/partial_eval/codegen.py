@@ -1,0 +1,487 @@
+"""Residual code generation: print the instrumented program as Python.
+
+The second conventional approach the paper compares against is *monitoring
+by program instrumentation* — and its punchline is that partial evaluation
+produces the same artifact "uniformly ... rather than by using ad hoc code
+instrumentation" (Section 9.1).  This module makes that artifact concrete:
+it specializes the monitored interpreter with respect to a source program
+and **emits the residual program as Python source** you can read, diff and
+exec — the analogue of the residual Scheme that Schism produced for the
+paper's benchmarks.
+
+The generated code is in direct style, A-normal form: every intermediate
+value gets a fresh single-assignment temporary, which keeps the
+interpreter's exact evaluation order (argument before operator, monitor
+hooks in evaluation sequence) while letting the host run at native Python
+speed — this is the specialization level whose measured speedups
+reproduce the paper's "85% faster than the monitored interpreter" claim.
+
+Monitoring actions appear in the residual code as explicit ``_rt.pre(site,
+{...})`` / ``_rt.post(site, value)`` calls — literally "extra code to
+perform the monitoring actions ... 'embedded' into the program"
+(Abstract).  The runtime threads monitor states through a cell; since
+evaluation is sequential and deterministic, this is observationally
+identical to the pure state-passing of the semantics, and the test suite
+checks answer *and* final-state agreement with the interpreter for every
+toolbox monitor.
+
+Residual programs recurse on the host stack; :meth:`GeneratedProgram.run`
+raises the recursion limit for the duration of a run (the trampolined
+paths remain the tool for unboundedly deep programs).
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import EvalError, NotAFunctionError
+from repro.monitoring.compose import MonitorLike, flatten_monitors, validate_observations
+from repro.monitoring.derive import check_disjoint
+from repro.monitoring.spec import MonitorSpec
+from repro.monitoring.state import MonitorStateVector
+from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
+from repro.semantics.primitives import PRIMITIVE_TABLE
+from repro.semantics.values import NIL, PrimFun, value_to_string
+from repro.syntax.ast import (
+    Annotated,
+    App,
+    Const,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Var,
+)
+
+_IDENT_SAFE = {
+    "'": "_q",
+    "!": "_b",
+    "?": "_p",
+    "-": "_d",
+}
+
+#: Python-level names for the primitives (direct, saturated call sites).
+_PRIM_PY_NAMES = {
+    name: f"_p{index}" for index, name in enumerate(sorted(PRIMITIVE_TABLE))
+}
+
+
+def _mangle(name: str) -> str:
+    safe = "".join(_IDENT_SAFE.get(ch, ch) for ch in name)
+    return f"v_{safe}"
+
+
+class _DictContext:
+    """The semantic context residual hooks hand to monitors.
+
+    Holds the local variables visible at the instrumentation site, by
+    source name.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Dict[str, object]) -> None:
+        self._bindings = bindings
+
+    def maybe_lookup(self, name: str):
+        return self._bindings.get(name)
+
+    def lookup(self, name: str):
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise EvalError(f"unbound identifier at residual site: {name!r}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._bindings)
+
+
+class _Site:
+    """One instrumented program point in the residual code."""
+
+    __slots__ = ("monitor", "annotation", "term")
+
+    def __init__(self, monitor: MonitorSpec, annotation, term: Expr) -> None:
+        self.monitor = monitor
+        self.annotation = annotation
+        self.term = term
+
+
+class ResidualRuntime:
+    """The runtime the generated module links against.
+
+    Carries the primitive implementations, the apply/truth helpers, the
+    site table, and the mutable monitor-state cell the residual hooks
+    update.  One runtime instance per run.
+    """
+
+    #: The empty list value, read by generated code.
+    nil = NIL
+
+    def __init__(self, sites: Sequence[_Site], monitors: Sequence[MonitorSpec]) -> None:
+        self.sites = list(sites)
+        self.monitors = list(monitors)
+        self.prims = _PRIM_INSTANCES
+        self.states: Dict[str, object] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self.states = {m.key: m.initial_state() for m in self.monitors}
+
+    # -- helpers referenced from generated code --------------------------------
+
+    @staticmethod
+    def apply(fn, arg):
+        if isinstance(fn, PrimFun):
+            return fn.apply(arg)
+        if callable(fn):
+            return fn(arg)
+        raise NotAFunctionError(
+            f"attempt to apply non-function value {value_to_string(fn)!r}"
+        )
+
+    @staticmethod
+    def truth(value) -> bool:
+        if value is True:
+            return True
+        if value is False:
+            return False
+        raise EvalError(
+            f"condition evaluated to non-boolean {value_to_string(value)!r}"
+        )
+
+    def pre(self, site_id: int, local_vars: Dict[str, object]) -> None:
+        site = self.sites[site_id]
+        monitor = site.monitor
+        ctx = _DictContext(local_vars)
+        if monitor.observes:
+            inner = {k: self.states[k] for k in monitor.observes}
+            new_state = monitor.pre(
+                site.annotation, site.term, ctx, self.states[monitor.key], inner=inner
+            )
+        else:
+            new_state = monitor.pre(
+                site.annotation, site.term, ctx, self.states[monitor.key]
+            )
+        self.states[monitor.key] = new_state
+
+    def post(self, site_id: int, local_vars: Dict[str, object], value):
+        site = self.sites[site_id]
+        monitor = site.monitor
+        ctx = _DictContext(local_vars)
+        if monitor.observes:
+            inner = {k: self.states[k] for k in monitor.observes}
+            new_state = monitor.post(
+                site.annotation,
+                site.term,
+                ctx,
+                value,
+                self.states[monitor.key],
+                inner=inner,
+            )
+        else:
+            new_state = monitor.post(
+                site.annotation, site.term, ctx, value, self.states[monitor.key]
+            )
+        self.states[monitor.key] = new_state
+        return value
+
+
+class _Emitter:
+    """Accumulates indented source lines."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    @contextmanager
+    def block(self):
+        self.indent += 1
+        try:
+            yield
+        finally:
+            self.indent -= 1
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _Generator:
+    def __init__(self, monitors: Sequence[MonitorSpec]) -> None:
+        self.monitors = list(monitors)
+        self.sites: List[_Site] = []
+        self.counter = itertools.count()
+        self.emitter = _Emitter()
+
+    def fresh(self, base: str = "t") -> str:
+        return f"_{base}{next(self.counter)}"
+
+    # -- expression generation ---------------------------------------------------
+    #
+    # gen(expr, scope) emits statements computing expr and returns a Python
+    # *atom* (a name or literal) holding its value.  ``scope`` maps source
+    # names to generated Python names.
+
+    def gen(self, expr: Expr, scope: Dict[str, str]) -> str:
+        node_type = type(expr)
+
+        if node_type is Const:
+            return repr(expr.value)
+
+        if node_type is Var:
+            name = expr.name
+            if name in scope:
+                return scope[name]
+            if name == "nil":
+                return "_nil"
+            if name in PRIMITIVE_TABLE:
+                return f"_prim_{_PRIM_PY_NAMES[name][2:]}"
+            raise EvalError(f"unbound identifier: {name!r}")
+
+        if node_type is Lam:
+            fn_name = self.fresh("fn")
+            param_py = _mangle(expr.param) + f"_{next(self.counter)}"
+            self.emitter.emit(f"def {fn_name}({param_py}):")
+            inner = dict(scope)
+            inner[expr.param] = param_py
+            with self.emitter.block():
+                result = self.gen(expr.body, inner)
+                self.emitter.emit(f"return {result}")
+            return fn_name
+
+        if node_type is If:
+            cond_atom = self.gen(expr.cond, scope)
+            out = self.fresh()
+            self.emitter.emit(f"if _truth({cond_atom}):")
+            with self.emitter.block():
+                then_atom = self.gen(expr.then_branch, scope)
+                self.emitter.emit(f"{out} = {then_atom}")
+            self.emitter.emit("else:")
+            with self.emitter.block():
+                else_atom = self.gen(expr.else_branch, scope)
+                self.emitter.emit(f"{out} = {else_atom}")
+            return out
+
+        if node_type is App:
+            return self._gen_app(expr, scope)
+
+        if node_type is Let:
+            bound_atom = self.gen(expr.bound, scope)
+            let_py = _mangle(expr.name) + f"_{next(self.counter)}"
+            self.emitter.emit(f"{let_py} = {bound_atom}")
+            inner = dict(scope)
+            inner[expr.name] = let_py
+            return self.gen(expr.body, inner)
+
+        if node_type is Letrec:
+            inner = dict(scope)
+            py_names = {}
+            for name, _ in expr.bindings:
+                py = _mangle(name) + f"_{next(self.counter)}"
+                py_names[name] = py
+                inner[name] = py
+            for name, bound in expr.bindings:
+                lam = bound
+                while isinstance(lam, Annotated):
+                    lam = lam.body
+                assert isinstance(lam, Lam)
+                param_py = _mangle(lam.param) + f"_{next(self.counter)}"
+                self.emitter.emit(f"def {py_names[name]}({param_py}):")
+                fn_scope = dict(inner)
+                fn_scope[lam.param] = param_py
+                with self.emitter.block():
+                    result = self.gen(lam.body, fn_scope)
+                    self.emitter.emit(f"return {result}")
+            return self.gen(expr.body, inner)
+
+        if node_type is Annotated:
+            return self._gen_annotated(expr, scope)
+
+        raise TypeError(f"unknown expression node: {node_type.__name__}")
+
+    def _static_primitive(self, expr: Expr, scope: Dict[str, str]) -> Optional[str]:
+        """The primitive name ``expr`` statically denotes, if unshadowed."""
+        if type(expr) is Var and expr.name not in scope and expr.name in PRIMITIVE_TABLE:
+            return expr.name
+        return None
+
+    def _gen_app(self, expr: App, scope: Dict[str, str]) -> str:
+        # Saturated primitive applications become direct calls.
+        unary = self._static_primitive(expr.fn, scope)
+        if unary is not None and PRIMITIVE_TABLE[unary][0] == 1:
+            arg_atom = self.gen(expr.arg, scope)
+            out = self.fresh()
+            self.emitter.emit(f"{out} = {_PRIM_PY_NAMES[unary]}({arg_atom})")
+            return out
+
+        if type(expr.fn) is App:
+            binary = self._static_primitive(expr.fn.fn, scope)
+            if binary is not None and PRIMITIVE_TABLE[binary][0] == 2:
+                # Figure 2 order: outer argument (right operand) first.
+                right_atom = self.gen(expr.arg, scope)
+                left_atom = self.gen(expr.fn.arg, scope)
+                out = self.fresh()
+                self.emitter.emit(
+                    f"{out} = {_PRIM_PY_NAMES[binary]}({left_atom}, {right_atom})"
+                )
+                return out
+
+        # General application: argument before operator, as in Figure 2.
+        arg_atom = self.gen(expr.arg, scope)
+        fn_atom = self.gen(expr.fn, scope)
+        out = self.fresh()
+        self.emitter.emit(f"{out} = _apply({fn_atom}, {arg_atom})")
+        return out
+
+    def _gen_annotated(self, expr: Annotated, scope: Dict[str, str]) -> str:
+        for monitor in reversed(self.monitors):
+            annotation = monitor.recognize(expr.annotation)
+            if annotation is not None:
+                site_id = len(self.sites)
+                self.sites.append(_Site(monitor, annotation, expr.body))
+                locals_literal = (
+                    "{" + ", ".join(f"{src!r}: {py}" for src, py in scope.items()) + "}"
+                )
+                self.emitter.emit(f"_pre({site_id}, {locals_literal})")
+                body_atom = self.gen(expr.body, scope)
+                out = self.fresh()
+                self.emitter.emit(
+                    f"{out} = _post({site_id}, {locals_literal}, {body_atom})"
+                )
+                return out
+        # Unrecognized annotation: erased at specialization time.
+        return self.gen(expr.body, scope)
+
+    # -- whole program ------------------------------------------------------------
+
+    def generate_module(self, program: Expr) -> str:
+        emitter = self.emitter
+        emitter.emit('"""Residual instrumented program (generated).')
+        emitter.emit("")
+        emitter.emit("Produced by repro.partial_eval.codegen: the monitored")
+        emitter.emit("interpreter specialized with respect to the source program.")
+        emitter.emit('"""')
+        emitter.emit("")
+        emitter.emit("def _program(_rt):")
+        with emitter.block():
+            emitter.emit("_apply = _rt.apply")
+            emitter.emit("_truth = _rt.truth")
+            emitter.emit("_pre = _rt.pre")
+            emitter.emit("_post = _rt.post")
+            emitter.emit("_nil = _rt.nil")
+            used = sorted(self._primitives_used(program))
+            for name in used:
+                emitter.emit(f"{_PRIM_PY_NAMES[name]} = _rt.prims[{name!r}].fn")
+                emitter.emit(f"_prim_{_PRIM_PY_NAMES[name][2:]} = _rt.prims[{name!r}]")
+            result = self.gen(program, {})
+            emitter.emit(f"return {result}")
+        return emitter.source()
+
+    @staticmethod
+    def _primitives_used(program: Expr) -> set:
+        used = set()
+        bound: set = set()
+
+        def walk(expr: Expr, shadowed: frozenset) -> None:
+            node_type = type(expr)
+            if node_type is Var:
+                if expr.name not in shadowed and expr.name in PRIMITIVE_TABLE:
+                    used.add(expr.name)
+                return
+            if node_type is Lam:
+                walk(expr.body, shadowed | {expr.param})
+                return
+            if node_type is Let:
+                walk(expr.bound, shadowed)
+                walk(expr.body, shadowed | {expr.name})
+                return
+            if node_type is Letrec:
+                names = frozenset(name for name, _ in expr.bindings)
+                for _, bound_expr in expr.bindings:
+                    walk(bound_expr, shadowed | names)
+                walk(expr.body, shadowed | names)
+                return
+            for child in expr.children():
+                walk(child, shadowed)
+
+        walk(program, frozenset(bound))
+        return used
+
+
+class GeneratedProgram:
+    """A residual instrumented program: source + executable form."""
+
+    def __init__(
+        self,
+        source: str,
+        entry: Callable,
+        sites: Sequence[_Site],
+        monitors: Tuple[MonitorSpec, ...],
+    ) -> None:
+        self.source = source
+        self._entry = entry
+        self._sites = list(sites)
+        self.monitors = monitors
+
+    def run(
+        self,
+        *,
+        answers: AnswerAlgebra = STANDARD_ANSWERS,
+        recursion_limit: int = 100_000,
+    ):
+        """Execute, returning ``(answer, MonitorStateVector)``."""
+        runtime = ResidualRuntime(self._sites, self.monitors)
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, recursion_limit))
+        try:
+            value = self._entry(runtime)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        states = MonitorStateVector(dict(runtime.states))
+        return answers.phi(value), states
+
+    def evaluate(self, **kwargs):
+        answer, _ = self.run(**kwargs)
+        return answer
+
+    def report(self, monitor: "MonitorSpec | str"):
+        _, states = self.run()
+        key = monitor if isinstance(monitor, str) else monitor.key
+        spec = next(m for m in self.monitors if m.key == key)
+        return spec.report(states.get(key))
+
+    @property
+    def site_count(self) -> int:
+        return len(self._sites)
+
+
+#: Shared primitive instances for residual runtimes.
+_PRIM_INSTANCES = {
+    name: PrimFun(name, arity, fn) for name, (arity, fn) in PRIMITIVE_TABLE.items()
+}
+
+
+def generate_program(
+    program: Expr,
+    monitors: MonitorLike = (),
+    *,
+    check_disjointness: bool = True,
+) -> GeneratedProgram:
+    """Specialize and emit ``program`` as residual Python source."""
+    monitor_list = flatten_monitors(monitors)
+    validate_observations(monitor_list)
+    if check_disjointness:
+        check_disjoint(monitor_list, program)
+    generator = _Generator(monitor_list)
+    source = generator.generate_module(program)
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<residual>", "exec"), namespace)  # noqa: S102
+    entry = namespace["_program"]
+    return GeneratedProgram(source, entry, generator.sites, tuple(monitor_list))

@@ -1,0 +1,341 @@
+"""Residual Python generation for ``L_imp`` programs.
+
+Level-2 specialization is not an ``L_lambda`` privilege: the paper's
+claim is that the monitored *interpreter* — any of them — specializes
+against a source program into an instrumented program.  This module does
+it for the imperative language: commands compile to Python statements
+(``while`` to ``while``, assignment to assignment), expressions to ANF
+statements exactly like :mod:`repro.partial_eval.codegen`, and annotated
+commands/expressions to explicit ``_pre``/``_post`` hook calls.
+
+The residual program threads the store as Python local variables (one per
+``L_imp`` variable, statically known — variable *search* is specialized
+away).  Monitors still receive a store-like context so the same specs
+run unchanged; ``post`` hooks of commands receive a snapshot Store, the
+paper's "intermediate result" for the command category.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Set
+
+from repro.errors import EvalError
+from repro.languages.imperative import (
+    AnnotatedCmd,
+    Assign,
+    Cmd,
+    Emit,
+    IfC,
+    Local,
+    Seq,
+    Skip,
+    Store,
+    While,
+)
+from repro.monitoring.compose import MonitorLike, flatten_monitors, validate_observations
+from repro.monitoring.derive import check_disjoint
+from repro.monitoring.spec import MonitorSpec
+from repro.monitoring.state import MonitorStateVector
+from repro.partial_eval.codegen import ResidualRuntime, _Site, _PRIM_PY_NAMES
+from repro.semantics.primitives import PRIMITIVE_TABLE
+from repro.syntax.ast import Annotated, App, Const, Expr, If, Var
+
+
+def _mangle(name: str) -> str:
+    safe = "".join({"'": "_q", "!": "_b", "?": "_p", "-": "_d"}.get(c, c) for c in name)
+    return f"s_{safe}"
+
+
+class _ImpGenerator:
+    def __init__(self, monitors: Sequence[MonitorSpec]) -> None:
+        self.monitors = list(monitors)
+        self.sites: List[_Site] = []
+        self.counter = itertools.count()
+        self.lines: List[str] = []
+        self.indent = 1
+        #: every L_imp variable assigned anywhere (static store shape)
+        self.variables: Set[str] = set()
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def fresh(self) -> str:
+        return f"_t{next(self.counter)}"
+
+    # -- expressions (ANF) -----------------------------------------------------
+
+    def gen_expr(self, expr: Expr, scope: Dict[str, str]) -> str:
+        node_type = type(expr)
+        if node_type is Const:
+            return repr(expr.value)
+        if node_type is Var:
+            name = expr.name
+            if name in scope:
+                return scope[name]
+            if name == "nil":
+                return "_nil"
+            if name in PRIMITIVE_TABLE:
+                return f"_prim_{_PRIM_PY_NAMES[name][2:]}"
+            raise EvalError(f"unbound L_imp variable: {name!r}")
+        if node_type is If:
+            cond = self.gen_expr(expr.cond, scope)
+            out = self.fresh()
+            self.emit(f"if _truth({cond}):")
+            self.indent += 1
+            self.emit(f"{out} = {self.gen_expr(expr.then_branch, scope)}")
+            self.indent -= 1
+            self.emit("else:")
+            self.indent += 1
+            self.emit(f"{out} = {self.gen_expr(expr.else_branch, scope)}")
+            self.indent -= 1
+            return out
+        if node_type is App:
+            return self._gen_app(expr, scope)
+        if node_type is Annotated:
+            return self._gen_annotated_expr(expr, scope)
+        raise EvalError(f"term not part of L_imp: {node_type.__name__}")
+
+    def _gen_app(self, expr: App, scope: Dict[str, str]) -> str:
+        if type(expr.fn) is App and type(expr.fn.fn) is Var:
+            name = expr.fn.fn.name
+            if name not in scope and name in PRIMITIVE_TABLE and PRIMITIVE_TABLE[name][0] == 2:
+                right = self.gen_expr(expr.arg, scope)
+                left = self.gen_expr(expr.fn.arg, scope)
+                out = self.fresh()
+                self.emit(f"{out} = {_PRIM_PY_NAMES[name]}({left}, {right})")
+                return out
+        if type(expr.fn) is Var:
+            name = expr.fn.name
+            if name not in scope and name in PRIMITIVE_TABLE and PRIMITIVE_TABLE[name][0] == 1:
+                arg = self.gen_expr(expr.arg, scope)
+                out = self.fresh()
+                self.emit(f"{out} = {_PRIM_PY_NAMES[name]}({arg})")
+                return out
+        raise EvalError(
+            "L_imp expressions may only apply primitives (compile time check)"
+        )
+
+    def _locals_literal(self, scope: Dict[str, str]) -> str:
+        return "{" + ", ".join(f"{src!r}: {py}" for src, py in scope.items()) + "}"
+
+    def _gen_annotated_expr(self, expr: Annotated, scope: Dict[str, str]) -> str:
+        for monitor in reversed(self.monitors):
+            view = monitor.recognize(expr.annotation)
+            if view is not None:
+                site = len(self.sites)
+                self.sites.append(_Site(monitor, view, expr.body))
+                literal = self._locals_literal(scope)
+                self.emit(f"_pre({site}, {literal})")
+                atom = self.gen_expr(expr.body, scope)
+                out = self.fresh()
+                self.emit(f"{out} = _post({site}, {literal}, {atom})")
+                return out
+        return self.gen_expr(expr.body, scope)
+
+    # -- commands -----------------------------------------------------------------
+
+    def gen_cmd(self, command: Cmd, scope: Dict[str, str]) -> Dict[str, str]:
+        node_type = type(command)
+
+        if node_type is Skip:
+            self.emit("pass")
+            return scope
+
+        if node_type is Assign:
+            value = self.gen_expr(command.expr, scope)
+            py = scope.get(command.name)
+            if py is None:
+                py = _mangle(command.name)
+                scope = dict(scope)
+                scope[command.name] = py
+                self.variables.add(command.name)
+            self.emit(f"{py} = {value}")
+            return scope
+
+        if node_type is Seq:
+            scope = self.gen_cmd(command.first, scope)
+            return self.gen_cmd(command.second, scope)
+
+        if node_type is IfC:
+            cond = self.gen_expr(command.cond, scope)
+            # Variables first assigned inside a branch must exist after it;
+            # pre-declare both branches' new variables as unbound markers.
+            scope = self._predeclare(command.then_branch, command.else_branch, scope)
+            self.emit(f"if _truth({cond}):")
+            self.indent += 1
+            self.gen_cmd(command.then_branch, scope)
+            self.indent -= 1
+            self.emit("else:")
+            self.indent += 1
+            self.gen_cmd(command.else_branch, scope)
+            self.indent -= 1
+            return scope
+
+        if node_type is While:
+            scope = self._predeclare(command.body, Skip(), scope)
+            cond_out = self.fresh()
+            # while with re-evaluated condition: evaluate once before, and
+            # again at the end of each iteration.
+            cond_atom = self.gen_expr(command.cond, scope)
+            self.emit(f"{cond_out} = {cond_atom}")
+            self.emit(f"while _truth({cond_out}):")
+            self.indent += 1
+            self.gen_cmd(command.body, scope)
+            cond_atom2 = self.gen_expr(command.cond, scope)
+            self.emit(f"{cond_out} = {cond_atom2}")
+            self.indent -= 1
+            return scope
+
+        if node_type is Local:
+            init = self.gen_expr(command.init, scope)
+            # Assignments inside the block to *other* variables persist
+            # (only the local name is scoped), so pre-declare them.
+            outer_assigned = _assigned_variables(command.body) - {command.name}
+            scope = dict(scope)
+            for name in sorted(outer_assigned):
+                if name not in scope:
+                    py_outer = _mangle(name)
+                    scope[name] = py_outer
+                    self.variables.add(name)
+                    self.emit(f"{py_outer} = _unbound")
+            py = _mangle(command.name) + f"_{next(self.counter)}"
+            inner = dict(scope)
+            inner[command.name] = py
+            self.emit(f"{py} = {init}")
+            self.gen_cmd(command.body, inner)
+            return scope
+
+        if node_type is Emit:
+            value = self.gen_expr(command.expr, scope)
+            self.emit(f"_output.append({value})")
+            return scope
+
+        if node_type is AnnotatedCmd:
+            for monitor in reversed(self.monitors):
+                view = monitor.recognize(command.annotation)
+                if view is not None:
+                    site = len(self.sites)
+                    self.sites.append(_Site(monitor, view, command.body))
+                    literal = self._locals_literal(scope)
+                    self.emit(f"_pre({site}, {literal})")
+                    new_scope = self.gen_cmd(command.body, scope)
+                    # A command's intermediate result is the updated store.
+                    self.emit(
+                        f"_post({site}, {self._locals_literal(new_scope)}, "
+                        f"_snapshot({self._locals_literal(new_scope)}))"
+                    )
+                    return new_scope
+            return self.gen_cmd(command.body, scope)
+
+        raise EvalError(f"unknown L_imp command: {node_type.__name__}")
+
+    def _predeclare(self, *branches_and_scope) -> Dict[str, str]:
+        *branches, scope = branches_and_scope
+        scope = dict(scope)
+        for branch in branches:
+            for name in _assigned_variables(branch):
+                if name not in scope:
+                    py = _mangle(name)
+                    scope[name] = py
+                    self.variables.add(name)
+                    self.emit(f"{py} = _unbound")
+        return scope
+
+
+def _assigned_variables(command: Cmd) -> Set[str]:
+    names: Set[str] = set()
+    for node in command.walk():
+        if isinstance(node, Assign):
+            names.add(node.name)
+    return names
+
+
+class _Unbound:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unbound>"
+
+
+_UNBOUND = _Unbound()
+
+
+class ImpResidualRuntime(ResidualRuntime):
+    """The L_imp residual runtime: adds the store snapshot helper."""
+
+    unbound = _UNBOUND
+
+    @staticmethod
+    def snapshot(bindings: Dict[str, object]) -> Store:
+        return Store({k: v for k, v in bindings.items() if v is not _UNBOUND})
+
+
+class GeneratedImpProgram:
+    def __init__(self, source: str, entry, sites, monitors) -> None:
+        self.source = source
+        self._entry = entry
+        self._sites = list(sites)
+        self.monitors = tuple(monitors)
+
+    def run(self):
+        """Execute; returns ``((bindings, output), MonitorStateVector)``."""
+        runtime = ImpResidualRuntime(self._sites, self.monitors)
+        bindings, output = self._entry(runtime)
+        states = MonitorStateVector(dict(runtime.states))
+        clean = {k: v for k, v in bindings.items() if v is not _UNBOUND}
+        return (clean, tuple(output)), states
+
+    def evaluate(self):
+        answer, _ = self.run()
+        return answer
+
+    def report(self, monitor):
+        _, states = self.run()
+        key = monitor if isinstance(monitor, str) else monitor.key
+        spec = next(m for m in self.monitors if m.key == key)
+        return spec.report(states.get(key))
+
+
+def generate_imp_program(
+    program: Cmd,
+    monitors: MonitorLike = (),
+    *,
+    check_disjointness: bool = True,
+) -> GeneratedImpProgram:
+    """Specialize the (monitored) ``L_imp`` interpreter to ``program``."""
+    monitor_list = flatten_monitors(monitors)
+    validate_observations(monitor_list)
+    if check_disjointness:
+        check_disjoint(monitor_list, program)
+
+    generator = _ImpGenerator(monitor_list)
+    generator.lines.append("def _program(_rt):")
+    generator.emit("_truth = _rt.truth")
+    generator.emit("_pre = _rt.pre")
+    generator.emit("_post = _rt.post")
+    generator.emit("_nil = _rt.nil")
+    generator.emit("_snapshot = _rt.snapshot")
+    generator.emit("_unbound = _rt.unbound")
+    generator.emit("_output = []")
+    used = sorted(_primitives_used(program))
+    for name in used:
+        generator.emit(f"{_PRIM_PY_NAMES[name]} = _rt.prims[{name!r}].fn")
+        generator.emit(f"_prim_{_PRIM_PY_NAMES[name][2:]} = _rt.prims[{name!r}]")
+
+    final_scope = generator.gen_cmd(program, {})
+    bindings = ", ".join(f"{src!r}: {py}" for src, py in final_scope.items())
+    generator.emit(f"return ({{{bindings}}}, _output)")
+
+    source = "\n".join(generator.lines) + "\n"
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<imp-residual>", "exec"), namespace)  # noqa: S102
+    return GeneratedImpProgram(
+        source, namespace["_program"], generator.sites, monitor_list
+    )
+
+
+def _primitives_used(command: Cmd) -> Set[str]:
+    used: Set[str] = set()
+    for node in command.walk():
+        if isinstance(node, Var) and node.name in PRIMITIVE_TABLE:
+            used.add(node.name)
+    return used

@@ -1,0 +1,92 @@
+"""Lexical addressing: compile-time environment shapes.
+
+Environment *search* is a purely static computation — it depends only on
+the program text — so partial evaluation removes it.  The compiler
+replaces every variable reference by a ``(depth, index)`` coordinate into
+a chain of runtime frames, computed here.
+
+A :class:`Scope` models the compile-time environment: a stack of frames,
+each a tuple of names (a lambda/let frame has one name; a letrec frame has
+one per binding).  Unresolved names fall through to the *global* frame
+(primitives and ``nil``), addressed by name at compile time and fetched
+once into the compiled code's constant pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class LocalAddress:
+    """A bound variable at ``depth`` frames out, slot ``index``."""
+
+    depth: int
+    index: int
+
+
+@dataclass(frozen=True)
+class GlobalAddress:
+    """A name resolved in the initial (primitive) environment."""
+
+    name: str
+
+
+Address = "LocalAddress | GlobalAddress"
+
+
+class Scope:
+    """A compile-time stack of binding frames."""
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames: Tuple[Tuple[str, ...], ...] = ()) -> None:
+        self.frames = frames
+
+    def push(self, names: Tuple[str, ...]) -> "Scope":
+        return Scope((names,) + self.frames)
+
+    def resolve(self, name: str) -> Address:
+        for depth, frame in enumerate(self.frames):
+            for index, bound in enumerate(frame):
+                if bound == name:
+                    return LocalAddress(depth, index)
+        return GlobalAddress(name)
+
+    def names_in_scope(self) -> Tuple[str, ...]:
+        """Innermost-first, deduplicated — what an annotated site can see."""
+        seen: list = []
+        seen_set: set = set()
+        for frame in self.frames:
+            for bound in frame:
+                if bound not in seen_set:
+                    seen.append(bound)
+                    seen_set.add(bound)
+        return tuple(seen)
+
+    def address_map(self) -> Tuple[Tuple[str, "LocalAddress"], ...]:
+        """Every visible local name with its address (for monitor contexts)."""
+        result = []
+        seen: set = set()
+        for depth, frame in enumerate(self.frames):
+            for index, bound in enumerate(frame):
+                if bound not in seen:
+                    seen.add(bound)
+                    result.append((bound, LocalAddress(depth, index)))
+        return tuple(result)
+
+    def __repr__(self) -> str:
+        return f"Scope({self.frames!r})"
+
+
+def fetch(runtime_env, address: LocalAddress):
+    """Follow ``depth`` parent links and read slot ``index``.
+
+    Runtime environments are linked frames ``(slots, parent)`` where
+    ``slots`` is a list (letrec frames are written once, at tie time).
+    """
+    frame = runtime_env
+    for _ in range(address.depth):
+        frame = frame[1]
+    return frame[0][address.index]

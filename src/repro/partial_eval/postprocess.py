@@ -1,0 +1,194 @@
+"""Residual-program post-processing: a conservative simplifier.
+
+Partial evaluators (including :mod:`repro.partial_eval.online`) emit
+administrative clutter — lets binding atoms, branches decided by
+constants, unused recursive definitions.  This pass cleans residual
+programs with rewrites that are *meaning-preserving under call-by-value
+with errors and nontermination*:
+
+* constant folding of saturated primitive applications whose folding
+  cannot raise (a fold that would raise is left in place);
+* ``if`` folding when the condition is a boolean constant;
+* inlining of lets binding *atoms* (variables/constants) — duplication-
+  and effect-safe;
+* dead-let elimination when the bound expression is a *value form*
+  (constant, variable, lambda, partial primitive application) — dropping
+  anything else could drop divergence or an error;
+* dropping ``letrec`` bindings unreachable from the body (closure
+  construction has no effects);
+* annotated expressions are left exactly where they are: monitoring
+  actions must fire at the same points, in the same order.
+
+Each rewrite is local and the whole pass iterates to a fixpoint (with a
+bound).  The property suite checks answer preservation on random
+programs, and — run after the specializer — state preservation for
+monitored programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.errors import EvalError, PrimitiveError
+from repro.semantics.primitives import PRIMITIVE_TABLE, make_primitive
+from repro.syntax.ast import (
+    Annotated,
+    App,
+    Const,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Var,
+)
+from repro.syntax.transform import free_variables, map_children, substitute
+
+
+def _is_value_form(expr: Expr) -> bool:
+    """Expressions whose evaluation is total and effect-free.
+
+    Variables are *not* value forms here: evaluating an unbound variable
+    raises, so a dead let binding one cannot be dropped in general.
+    """
+    if isinstance(expr, (Const, Lam)):
+        return True
+    if isinstance(expr, Var) and expr.name in PRIMITIVE_TABLE:
+        return True
+    if isinstance(expr, Var) and expr.name == "nil":
+        return True
+    # Partial applications of primitives to value forms are values too.
+    spine = []
+    node = expr
+    while isinstance(node, App):
+        spine.append(node.arg)
+        node = node.fn
+    if isinstance(node, Var) and node.name in PRIMITIVE_TABLE:
+        arity = PRIMITIVE_TABLE[node.name][0]
+        if len(spine) < arity and all(_is_value_form(arg) for arg in spine):
+            return True
+    return False
+
+
+def _try_fold(expr: App) -> Optional[Expr]:
+    """Fold a saturated primitive application of constants, if it cannot raise."""
+    spine = []
+    node: Expr = expr
+    while isinstance(node, App):
+        spine.append(node.arg)
+        node = node.fn
+    spine.reverse()
+    if not (isinstance(node, Var) and node.name in PRIMITIVE_TABLE):
+        return None
+    arity = PRIMITIVE_TABLE[node.name][0]
+    if len(spine) != arity:
+        return None
+    values = []
+    for arg in spine:
+        if isinstance(arg, Const):
+            values.append(arg.value)
+        elif isinstance(arg, Var) and arg.name == "nil":
+            from repro.semantics.values import NIL
+
+            values.append(NIL)
+        else:
+            return None
+    prim = make_primitive(node.name)
+    try:
+        result = prim.fn(*values)
+    except (PrimitiveError, EvalError):
+        return None  # would raise at run time: keep the application
+    if isinstance(result, (bool, int, float, str)):
+        return Const(result)
+    return None  # structured results (lists) stay as constructors
+
+
+def _rewrite(expr: Expr) -> Expr:
+    """One bottom-up simplification pass."""
+    expr = map_children(expr, _rewrite)
+    node_type = type(expr)
+
+    if node_type is App:
+        folded = _try_fold(expr)
+        if folded is not None:
+            return folded
+        # Administrative beta: (lambda x. body) atom  ->  body[x := atom].
+        # A variable argument is only substituted when actually used —
+        # otherwise the beta could drop an unbound-variable error.
+        if isinstance(expr.fn, Lam):
+            if type(expr.arg) is Const or (
+                type(expr.arg) is Var
+                and expr.fn.param in free_variables(expr.fn.body)
+            ):
+                return _rewrite(substitute(expr.fn.body, {expr.fn.param: expr.arg}))
+        return expr
+
+    if node_type is If:
+        if isinstance(expr.cond, Const) and expr.cond.value is True:
+            return expr.then_branch
+        if isinstance(expr.cond, Const) and expr.cond.value is False:
+            return expr.else_branch
+        return expr
+
+    if node_type is Let:
+        if type(expr.bound) is Const or (
+            type(expr.bound) is Var and expr.name in free_variables(expr.body)
+        ):
+            return _rewrite(substitute(expr.body, {expr.name: expr.bound}))
+        if expr.name not in free_variables(expr.body) and _is_value_form(expr.bound):
+            return expr.body
+        return expr
+
+    if node_type is Letrec:
+        live = _live_bindings(expr)
+        if len(live) < len(expr.bindings):
+            kept = tuple(
+                (name, bound) for name, bound in expr.bindings if name in live
+            )
+            if not kept:
+                return expr.body
+            return Letrec(kept, expr.body)
+        return expr
+
+    return expr
+
+
+def _live_bindings(expr: Letrec) -> Set[str]:
+    """Bindings reachable from the body through binding bodies."""
+    uses: Dict[str, Set[str]] = {}
+    names = {name for name, _ in expr.bindings}
+    for name, bound in expr.bindings:
+        uses[name] = set(free_variables(bound)) & names
+    live = set(free_variables(expr.body)) & names
+    frontier = list(live)
+    while frontier:
+        current = frontier.pop()
+        for needed in uses.get(current, ()):
+            if needed not in live:
+                live.add(needed)
+                frontier.append(needed)
+    return live
+
+
+def simplify(expr: Expr, *, max_passes: int = 8) -> Expr:
+    """Simplify ``expr`` to a fixpoint (bounded by ``max_passes``)."""
+    current = expr
+    for _ in range(max_passes):
+        rewritten = _rewrite(current)
+        if rewritten == current:
+            return rewritten
+        current = rewritten
+    return current
+
+
+def specialize_and_simplify(program: Expr, static=None, **kwargs):
+    """Convenience: online PE followed by the simplifier.
+
+    Returns the :class:`~repro.partial_eval.online.SpecializationResult`
+    with its ``residual`` replaced by the simplified program.
+    """
+    from repro.partial_eval.online import specialize
+
+    result = specialize(program, static, **kwargs)
+    result.residual = simplify(result.residual)
+    return result

@@ -1,0 +1,99 @@
+"""Answer algebras (Definitions 3.2, 3.3 and 4.1).
+
+A continuation semantics is *parameterized with respect to its final
+answer*: the initial continuation applies an operation ``phi`` of an answer
+algebra to the final denotable value.  Swapping the algebra changes what a
+program "means" without touching the valuation equations.
+
+Three algebras from the paper are provided:
+
+* :data:`STANDARD_ANSWERS` — ``Ans_std``: the identity, yielding the final
+  value itself (the paper projects to ``Bas``; we keep the value so function
+  results remain first-class, and offer :data:`BASIC_ANSWERS` for the strict
+  projection).
+* :func:`string_answers` — ``Ans_str``: maps results to strings
+  (``"The result is: ..."``), the paper's Section 3.1 example.
+* :func:`monitoring_answers` — ``Ans_mon`` (Definition 4.1): lifts any
+  algebra through the answer transformer
+  ``theta alpha = lambda sigma. (alpha, sigma)`` so answers become
+  ``MS -> (Ans x MS)``.  The machine threads the monitor state explicitly,
+  so there ``theta`` shows up as the pairing performed by the initial
+  continuation; the literal closure form is exercised by
+  :mod:`repro.semantics.denotational`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.errors import EvalError
+from repro.semantics.values import Value, is_function, value_to_string
+
+
+@dataclass(frozen=True)
+class AnswerAlgebra:
+    """An answer algebra ``[Ans; {phi}]`` for ``L_lambda``.
+
+    ``L_lambda``'s final answer is produced solely by the initial
+    continuation, so a single operation ``phi : V -> Ans`` suffices
+    (Section 3.1).
+    """
+
+    name: str
+    phi: Callable[[Value], object]
+
+    def __repr__(self) -> str:
+        return f"AnswerAlgebra({self.name})"
+
+
+def _identity(value: Value) -> Value:
+    return value
+
+
+def _project_basic(value: Value) -> Value:
+    if is_function(value):
+        raise EvalError("program result is a function, not a basic value")
+    return value
+
+
+#: ``Ans_std`` with ``Ans = V``: answers are final values unchanged.
+STANDARD_ANSWERS = AnswerAlgebra("standard", _identity)
+
+#: ``Ans_std`` as literally written in the paper: ``phi v = v | Bas``.
+BASIC_ANSWERS = AnswerAlgebra("basic", _project_basic)
+
+
+def string_answers(prefix: str = "The result is: ") -> AnswerAlgebra:
+    """``Ans_str``: map the final answer to a character string."""
+
+    def phi(value: Value) -> str:
+        return prefix + value_to_string(value)
+
+    return AnswerAlgebra("string", phi)
+
+
+def theta(alpha) -> Callable[[object], Tuple[object, object]]:
+    """The answer transformer of Definition 4.1: ``theta a = \\sigma. (a, sigma)``."""
+
+    def lifted(sigma):
+        return (alpha, sigma)
+
+    return lifted
+
+
+def theta_inverse(lifted, sigma=None):
+    """``theta^{-1} a_bar = (a_bar sigma) |_1`` for an arbitrary ``sigma``."""
+    return lifted(sigma)[0]
+
+
+def monitoring_answers(base: AnswerAlgebra) -> AnswerAlgebra:
+    """``Ans_mon``: the base algebra with every operation post-composed with theta.
+
+    The resulting ``phi_bar v`` is a function ``MS -> (Ans x MS)``.
+    """
+
+    def phi_bar(value: Value):
+        return theta(base.phi(value))
+
+    return AnswerAlgebra(f"monitoring({base.name})", phi_bar)

@@ -1,0 +1,112 @@
+"""Environments: ``Env = Ide -> V`` (Figure 2).
+
+Environments are persistent chained frames: :meth:`Environment.extend`
+returns a new environment sharing all existing frames, so closures can hold
+their defining environment without copying.  ``letrec`` ties the recursive
+knot exactly as in Figure 2 (``rho' = rho[f -> (lambda v. E[e1] rho'[x -> v])``)
+by creating the new frame first and installing the closures into it; the
+frame is never mutated after :func:`extend_recursive` returns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import UnboundIdentifierError
+from repro.semantics import values as values_mod
+from repro.syntax.ast import Annotated, Expr, Lam, strip_annotations_shallow
+
+
+class Environment:
+    """A persistent identifier-to-value mapping."""
+
+    __slots__ = ("frame", "parent")
+
+    def __init__(self, frame: Dict[str, object], parent: Optional["Environment"]) -> None:
+        self.frame = frame
+        self.parent = parent
+
+    # Lookup ----------------------------------------------------------------
+
+    def lookup(self, name: str):
+        env: Optional[Environment] = self
+        while env is not None:
+            frame = env.frame
+            if name in frame:
+                return frame[name]
+            env = env.parent
+        raise UnboundIdentifierError(name)
+
+    def maybe_lookup(self, name: str):
+        """Like :meth:`lookup` but returns ``None`` when unbound."""
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.frame:
+                return env.frame[name]
+            env = env.parent
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return any(name in env.frame for env in self._chain())
+
+    # Extension -------------------------------------------------------------
+
+    def extend(self, name: str, value) -> "Environment":
+        """``rho[x -> v]``: a new environment with one extra binding."""
+        return Environment({name: value}, self)
+
+    def extend_many(self, bindings: Dict[str, object]) -> "Environment":
+        return Environment(dict(bindings), self)
+
+    def extend_recursive(
+        self, bindings: Tuple[Tuple[str, Expr], ...]
+    ) -> "Environment":
+        """Build ``rho'`` for ``letrec``: closures see the extended environment.
+
+        Each bound expression must be a lambda (possibly under annotation
+        layers, which — per Figure 2's letrec equation, which builds the
+        ``Fun`` value directly rather than recursing through the valuation
+        function — are not observable and are stripped here).
+        """
+        frame: Dict[str, object] = {}
+        env = Environment(frame, self)
+        for name, bound in bindings:
+            lam = strip_annotations_shallow(bound)
+            assert isinstance(lam, Lam), "Letrec guarantees lambda bindings"
+            frame[name] = values_mod.Closure(lam.param, lam.body, env, name=name)
+        return env
+
+    # Introspection (used by monitors and the pretty debugger) ---------------
+
+    def _chain(self) -> Iterator["Environment"]:
+        env: Optional[Environment] = self
+        while env is not None:
+            yield env
+            env = env.parent
+
+    def names(self) -> Tuple[str, ...]:
+        """All bound names, innermost first, without duplicates."""
+        seen = []
+        seen_set = set()
+        for env in self._chain():
+            for name in env.frame:
+                if name not in seen_set:
+                    seen.append(name)
+                    seen_set.add(name)
+        return tuple(seen)
+
+    def depth(self) -> int:
+        return sum(1 for _ in self._chain())
+
+    def __repr__(self) -> str:
+        return f"<env {len(self.names())} bindings>"
+
+
+def empty_environment() -> Environment:
+    return Environment({}, None)
+
+
+# Re-export used by extend_recursive's annotation stripping; kept here to
+# document that only *shallow* annotation layers around the lambda itself
+# are invisible — annotations inside the function body are fully monitored.
+__all__ = ["Environment", "empty_environment", "Annotated"]

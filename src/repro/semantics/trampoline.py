@@ -1,0 +1,72 @@
+"""Trampoline steps: tail calls for continuation-passing style in Python.
+
+A continuation semantics only ever makes *tail* calls ("values are only
+passed forward", Section 7 / Reynolds' serious functions).  Python has no
+tail-call elimination, so the machine represents every tail call as a
+:class:`Bounce` object consumed by :func:`trampoline`.  The driver's loop is
+the only Python stack frame alive during evaluation, which is how programs
+recurse hundreds of thousands of levels deep without touching
+``sys.setrecursionlimit``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.errors import StepLimitExceeded
+
+
+class Step:
+    """Either a :class:`Bounce` (a pending tail call) or a :class:`Done`."""
+
+    __slots__ = ()
+
+
+class Bounce(Step):
+    """A suspended tail call ``fn(*args)``."""
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., Step], args: Tuple) -> None:
+        self.fn = fn
+        self.args = args
+
+    def __repr__(self) -> str:
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"Bounce({name}, {len(self.args)} args)"
+
+
+class Done(Step):
+    """A finished computation carrying the final payload."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload) -> None:
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Done({self.payload!r})"
+
+
+def trampoline(step: Step, max_steps: Optional[int] = None):
+    """Run ``step`` to completion and return the :class:`Done` payload.
+
+    ``max_steps`` bounds the number of bounces, allowing the test suite to
+    execute possibly-divergent programs; exceeding it raises
+    :class:`repro.errors.StepLimitExceeded`.
+    """
+    if max_steps is None:
+        while isinstance(step, Bounce):
+            step = step.fn(*step.args)
+    else:
+        remaining = max_steps
+        while isinstance(step, Bounce):
+            if remaining <= 0:
+                raise StepLimitExceeded(max_steps)
+            remaining -= 1
+            step = step.fn(*step.args)
+    if isinstance(step, Done):
+        return step.payload
+    raise TypeError(
+        f"machine step returned {type(step).__name__}; expected Bounce or Done"
+    )

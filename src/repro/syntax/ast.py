@@ -1,0 +1,295 @@
+"""Abstract syntax for ``L_lambda``.
+
+This module defines the paper's abstract syntax (Figure 2)::
+
+    e ::= k                                   constant
+        | x                                   identifier
+        | lambda x . e                        abstraction
+        | if e1 then e2 else e3               conditional
+        | e1 e2                               application
+        | letrec f = lambda x . e1 in e2      recursive binding
+        | {mu}: e                             monitor annotation (Section 4.1)
+
+plus two conservative conveniences used throughout the examples:
+
+* ``Let`` — non-recursive ``let x = e1 in e2``.  It is definable as
+  ``(lambda x. e2) e1`` and the parser can desugar it, but keeping the node
+  makes pretty-printed residual programs (from the partial evaluator) far
+  more readable.
+* ``Letrec`` with *multiple* simultaneous bindings.  The paper's form is the
+  single-binding special case.
+
+Annotation nodes realize the paper's "syntactic functional" enhancement
+(Section 4.1): the annotated grammar is the base grammar extended with
+``{mu}: e``.  The annotation payload is kept as an opaque
+:class:`repro.syntax.annotations.Annotation` value so that each monitor
+specification owns its own annotation syntax (``MSyn`` of Definition 5.1);
+cascaded monitors simply recognize disjoint annotation classes.
+
+All nodes are immutable; structural equality ignores source locations so
+that parsed and hand-built trees compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+from repro.errors import NO_LOCATION, SourceLocation
+
+#: Literal constants the object language supports.  Python's ``int``,
+#: ``bool``, ``str`` and ``float`` stand in for the paper's ``Bas`` domain;
+#: ``None`` encodes the empty list literal ``[]`` before desugaring.
+ConstValue = Union[int, bool, str, float]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of all ``L_lambda`` expressions."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Immediate subexpressions, left to right, in evaluation-relevant order."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and every descendant in pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    @property
+    def location(self) -> SourceLocation:
+        return getattr(self, "_location", NO_LOCATION)
+
+    def at(self, location: SourceLocation) -> "Expr":
+        """Return the same node carrying ``location`` (used by the parser)."""
+        object.__setattr__(self, "_location", location)
+        return self
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant ``k``."""
+
+    value: ConstValue
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """An identifier reference ``x``."""
+
+    name: str
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Lam(Expr):
+    """A lambda abstraction ``lambda x . body``."""
+
+    param: str
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return f"Lam({self.param!r}, {self.body!r})"
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    """A conditional ``if cond then then_branch else else_branch``."""
+
+    cond: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then_branch, self.else_branch)
+
+    def __repr__(self) -> str:
+        return f"If({self.cond!r}, {self.then_branch!r}, {self.else_branch!r})"
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """A function application ``fn arg``.
+
+    Following Figure 2, the standard semantics evaluates the *argument*
+    before the *operator*; the monitoring derivation inherits that order.
+    """
+
+    fn: Expr
+    arg: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.fn, self.arg)
+
+    def __repr__(self) -> str:
+        return f"App({self.fn!r}, {self.arg!r})"
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    """A non-recursive binding ``let x = bound in body`` (sugar)."""
+
+    name: str
+    bound: Expr
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.bound, self.body)
+
+    def __repr__(self) -> str:
+        return f"Let({self.name!r}, {self.bound!r}, {self.body!r})"
+
+
+@dataclass(frozen=True)
+class Letrec(Expr):
+    """Mutually recursive function bindings ``letrec f = lambda x. e ... in body``.
+
+    Every bound expression must be a :class:`Lam` (possibly wrapped in
+    :class:`Annotated` layers); this is the paper's syntactic restriction
+    and it guarantees that tying the recursive knot never forces a value.
+    """
+
+    bindings: Tuple[Tuple[str, Expr], ...]
+    body: Expr
+
+    def __post_init__(self) -> None:
+        for name, bound in self.bindings:
+            if not isinstance(strip_annotations_shallow(bound), Lam):
+                raise ValueError(
+                    f"letrec binding {name!r} must bind a lambda abstraction, "
+                    f"got {type(bound).__name__}"
+                )
+
+    def children(self) -> Tuple[Expr, ...]:
+        return tuple(bound for _, bound in self.bindings) + (self.body,)
+
+    def __repr__(self) -> str:
+        return f"Letrec({self.bindings!r}, {self.body!r})"
+
+
+@dataclass(frozen=True)
+class Annotated(Expr):
+    """An annotated expression ``{annotation}: body`` (Section 4.1).
+
+    ``annotation`` is any value implementing the
+    :class:`repro.syntax.annotations.Annotation` protocol.  The standard
+    semantics is *oblivious* to annotations (Definition 7.1): it evaluates
+    ``body`` directly.  A derived monitoring semantics intercepts exactly
+    those annotations its monitor specification recognizes.
+    """
+
+    annotation: object
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return f"Annotated({self.annotation!r}, {self.body!r})"
+
+
+def strip_annotations_shallow(expr: Expr) -> Expr:
+    """Peel annotation layers off the root of ``expr``."""
+    while isinstance(expr, Annotated):
+        expr = expr.body
+    return expr
+
+
+def strip_annotations(expr: Expr) -> Expr:
+    """Return ``expr`` with every annotation removed.
+
+    This realizes the erasure implicit in Definition 7.1: if ``e_bar`` is
+    ``e`` augmented with annotations, then ``strip_annotations(e_bar) == e``.
+    """
+    if isinstance(expr, Annotated):
+        return strip_annotations(expr.body)
+    if isinstance(expr, Const) or isinstance(expr, Var):
+        return expr
+    if isinstance(expr, Lam):
+        return Lam(expr.param, strip_annotations(expr.body))
+    if isinstance(expr, If):
+        return If(
+            strip_annotations(expr.cond),
+            strip_annotations(expr.then_branch),
+            strip_annotations(expr.else_branch),
+        )
+    if isinstance(expr, App):
+        return App(strip_annotations(expr.fn), strip_annotations(expr.arg))
+    if isinstance(expr, Let):
+        return Let(expr.name, strip_annotations(expr.bound), strip_annotations(expr.body))
+    if isinstance(expr, Letrec):
+        bindings = tuple(
+            (name, strip_annotations(bound)) for name, bound in expr.bindings
+        )
+        return Letrec(bindings, strip_annotations(expr.body))
+    raise TypeError(f"unknown expression node: {type(expr).__name__}")
+
+
+def annotations_in(term) -> Tuple[object, ...]:
+    """All annotation payloads appearing anywhere in ``term``, pre-order.
+
+    Works for any syntax tree exposing ``walk()`` and marking annotated
+    nodes with an ``annotation`` attribute — ``L_lambda`` expressions and
+    ``L_imp`` commands alike.
+    """
+    return tuple(
+        node.annotation
+        for node in term.walk()
+        if getattr(node, "annotation", None) is not None
+    )
+
+
+def node_count(expr: Expr) -> int:
+    """Number of AST nodes in ``expr`` (annotations included)."""
+    return sum(1 for _ in expr.walk())
+
+
+# Convenience constructors -------------------------------------------------
+
+
+def app(fn: Expr, *args: Expr) -> Expr:
+    """Curried application of ``fn`` to one or more arguments."""
+    if not args:
+        raise ValueError("app requires at least one argument")
+    result = fn
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def lam(params: "str | Tuple[str, ...] | list", body: Expr) -> Expr:
+    """Curried abstraction over one or more parameters."""
+    if isinstance(params, str):
+        params = (params,)
+    if not params:
+        raise ValueError("lam requires at least one parameter")
+    result = body
+    for param in reversed(params):
+        result = Lam(param, result)
+    return result
+
+
+def let(name: str, bound: Expr, body: Expr) -> Let:
+    return Let(name, bound, body)
+
+
+def letrec1(name: str, bound: Expr, body: Expr) -> Letrec:
+    """The paper's single-binding ``letrec f = lambda x. e1 in e2``."""
+    return Letrec(((name, bound),), body)

@@ -1,0 +1,278 @@
+"""Lexer for the ``L_lambda`` surface syntax.
+
+The concrete syntax follows the paper's examples as closely as ASCII
+allows::
+
+    letrec mul = lambda x. lambda y. {mul(x, y)}:(x*y) in
+    letrec fac = lambda x. {fac(x)}:if (x=0) then 1 else mul x (fac (x-1))
+    in fac 3
+
+Notable points:
+
+* Monitor annotations ``{ ... }:`` are lexed as a single :data:`ANNOT`
+  token holding the raw text between the braces; the parser hands that text
+  to :func:`repro.syntax.annotations.parse_annotation_text`.
+* ``--`` and ``#`` start line comments.
+* ``::`` is the infix list constructor (the paper writes ``:``, which would
+  be ambiguous with the annotation separator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import LexError, SourceLocation
+
+# Token kinds ---------------------------------------------------------------
+
+INT = "INT"
+FLOAT = "FLOAT"
+STRING = "STRING"
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+OP = "OP"
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+LBRACKET = "LBRACKET"
+RBRACKET = "RBRACKET"
+COMMA = "COMMA"
+DOT = "DOT"
+SEMI = "SEMI"
+ANNOT = "ANNOT"  # the raw text between { and }
+COLON = "COLON"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "lambda",
+        "if",
+        "then",
+        "else",
+        "let",
+        "letrec",
+        "in",
+        "and",
+        "true",
+        "false",
+    }
+)
+
+#: Multi-character operators must be listed before their prefixes.
+OPERATORS = (
+    "::",
+    "++",
+    "/=",
+    "<=",
+    ">=",
+    "->",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789'!?")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    location: SourceLocation
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r} @ {self.location})"
+
+
+class Lexer:
+    """A straightforward single-pass lexer producing a token list."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # Internal helpers ------------------------------------------------------
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.pos)
+
+    def _peek(self, ahead: int = 0) -> Optional[str]:
+        index = self.pos + ahead
+        if index < len(self.source):
+            return self.source[index]
+        return None
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch is None:
+                return
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "#" or (ch == "-" and self._peek(1) == "-"):
+                while self._peek() not in (None, "\n"):
+                    self._advance()
+                continue
+            return
+
+    # Token scanners --------------------------------------------------------
+
+    def _scan_number(self) -> Token:
+        start = self._location()
+        text = []
+        while self._peek() is not None and self._peek().isdigit():
+            text.append(self._advance())
+        if self._peek() == "." and (self._peek(1) or "").isdigit():
+            text.append(self._advance())
+            while self._peek() is not None and self._peek().isdigit():
+                text.append(self._advance())
+            return Token(FLOAT, "".join(text), start)
+        return Token(INT, "".join(text), start)
+
+    def _scan_identifier(self) -> Token:
+        start = self._location()
+        text = []
+        while self._peek() is not None and self._peek() in _IDENT_CONT:
+            text.append(self._advance())
+        word = "".join(text)
+        kind = KEYWORD if word in KEYWORDS else IDENT
+        return Token(kind, word, start)
+
+    def _scan_string(self) -> Token:
+        start = self._location()
+        self._advance()  # opening quote
+        text = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch == "\n":
+                raise LexError("unterminated string literal", start)
+            if ch == '"':
+                self._advance()
+                return Token(STRING, "".join(text), start)
+            if ch == "\\":
+                self._advance()
+                escape = self._peek()
+                if escape is None:
+                    raise LexError("unterminated escape sequence", start)
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if escape not in mapping:
+                    raise LexError(f"unknown escape: \\{escape}", self._location())
+                text.append(mapping[escape])
+                self._advance()
+                continue
+            text.append(self._advance())
+
+    def _scan_annotation(self) -> Token:
+        start = self._location()
+        self._advance()  # opening brace
+        text = []
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise LexError("unterminated annotation (missing '}')", start)
+            if ch == "}":
+                self._advance()
+                return Token(ANNOT, "".join(text), start)
+            if ch == "{":
+                raise LexError("nested '{' inside annotation", self._location())
+            text.append(self._advance())
+
+    # Public API ------------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            ch = self._peek()
+            start = self._location()
+            if ch is None:
+                yield Token(EOF, "", start)
+                return
+            if ch.isdigit():
+                yield self._scan_number()
+                continue
+            if ch in _IDENT_START:
+                yield self._scan_identifier()
+                continue
+            if ch == '"':
+                yield self._scan_string()
+                continue
+            if ch == "{":
+                yield self._scan_annotation()
+                continue
+            if ch == "(":
+                self._advance()
+                yield Token(LPAREN, "(", start)
+                continue
+            if ch == ")":
+                self._advance()
+                yield Token(RPAREN, ")", start)
+                continue
+            if ch == "[":
+                self._advance()
+                yield Token(LBRACKET, "[", start)
+                continue
+            if ch == "]":
+                self._advance()
+                yield Token(RBRACKET, "]", start)
+                continue
+            if ch == ",":
+                self._advance()
+                yield Token(COMMA, ",", start)
+                continue
+            if ch == ";":
+                self._advance()
+                yield Token(SEMI, ";", start)
+                continue
+            if ch == ".":
+                self._advance()
+                yield Token(DOT, ".", start)
+                continue
+            # '::' and ':=' must win over ':'
+            if ch == ":" and self._peek(1) == ":":
+                self._advance(2)
+                yield Token(OP, "::", start)
+                continue
+            if ch == ":" and self._peek(1) == "=":
+                self._advance(2)
+                yield Token(OP, ":=", start)
+                continue
+            if ch == ":":
+                self._advance()
+                yield Token(COLON, ":", start)
+                continue
+            for op in OPERATORS:
+                if self.source.startswith(op, self.pos):
+                    self._advance(len(op))
+                    yield Token(OP, op, start)
+                    break
+            else:
+                raise LexError(f"unexpected character {ch!r}", start)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` completely (including the trailing EOF token)."""
+    return list(Lexer(source).tokens())

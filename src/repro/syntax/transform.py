@@ -1,0 +1,250 @@
+"""Generic syntax-tree transformations.
+
+These utilities serve the whole system: the partial evaluator needs free
+variables, capture-avoiding substitution and fresh names; the auto-annotator
+(Section 4.1's "suitably engineered programming environment") needs a
+generic bottom-up rebuild; tests use size/alpha-equivalence helpers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, FrozenSet, Iterable, Tuple
+
+from repro.syntax.ast import (
+    Annotated,
+    App,
+    Const,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Var,
+)
+
+Rebuilder = Callable[[Expr], Expr]
+
+
+def map_children(expr: Expr, fn: Rebuilder) -> Expr:
+    """Rebuild ``expr`` with ``fn`` applied to each immediate child.
+
+    Nodes are only reallocated when a child actually changed, so identity
+    transforms are cheap and preserve object identity for untouched subtrees.
+    """
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Lam):
+        body = fn(expr.body)
+        return expr if body is expr.body else Lam(expr.param, body)
+    if isinstance(expr, If):
+        cond, then_b, else_b = fn(expr.cond), fn(expr.then_branch), fn(expr.else_branch)
+        if cond is expr.cond and then_b is expr.then_branch and else_b is expr.else_branch:
+            return expr
+        return If(cond, then_b, else_b)
+    if isinstance(expr, App):
+        fn_e, arg = fn(expr.fn), fn(expr.arg)
+        return expr if fn_e is expr.fn and arg is expr.arg else App(fn_e, arg)
+    if isinstance(expr, Let):
+        bound, body = fn(expr.bound), fn(expr.body)
+        if bound is expr.bound and body is expr.body:
+            return expr
+        return Let(expr.name, bound, body)
+    if isinstance(expr, Letrec):
+        bindings = tuple((name, fn(bound)) for name, bound in expr.bindings)
+        body = fn(expr.body)
+        unchanged = body is expr.body and all(
+            new is old for (_, new), (_, old) in zip(bindings, expr.bindings)
+        )
+        return expr if unchanged else Letrec(bindings, body)
+    if isinstance(expr, Annotated):
+        body = fn(expr.body)
+        return expr if body is expr.body else Annotated(expr.annotation, body)
+    raise TypeError(f"unknown expression node: {type(expr).__name__}")
+
+
+def transform_bottom_up(expr: Expr, fn: Rebuilder) -> Expr:
+    """Apply ``fn`` to every node, children first."""
+    rebuilt = map_children(expr, lambda child: transform_bottom_up(child, fn))
+    return fn(rebuilt)
+
+
+def free_variables(expr: Expr) -> FrozenSet[str]:
+    """The free identifiers of ``expr`` (annotations are transparent)."""
+    if isinstance(expr, Const):
+        return frozenset()
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    if isinstance(expr, Lam):
+        return free_variables(expr.body) - {expr.param}
+    if isinstance(expr, If):
+        return (
+            free_variables(expr.cond)
+            | free_variables(expr.then_branch)
+            | free_variables(expr.else_branch)
+        )
+    if isinstance(expr, App):
+        return free_variables(expr.fn) | free_variables(expr.arg)
+    if isinstance(expr, Let):
+        return free_variables(expr.bound) | (free_variables(expr.body) - {expr.name})
+    if isinstance(expr, Letrec):
+        bound_names = {name for name, _ in expr.bindings}
+        free = free_variables(expr.body)
+        for _, bound in expr.bindings:
+            free |= free_variables(bound)
+        return frozenset(free - bound_names)
+    if isinstance(expr, Annotated):
+        return free_variables(expr.body)
+    raise TypeError(f"unknown expression node: {type(expr).__name__}")
+
+
+def bound_variables(expr: Expr) -> FrozenSet[str]:
+    """Every identifier bound anywhere inside ``expr``."""
+    names = set()
+    for node in expr.walk():
+        if isinstance(node, Lam):
+            names.add(node.param)
+        elif isinstance(node, Let):
+            names.add(node.name)
+        elif isinstance(node, Letrec):
+            names.update(name for name, _ in node.bindings)
+    return frozenset(names)
+
+
+def fresh_name(base: str, taken: Iterable[str]) -> str:
+    """A name not in ``taken``, derived from ``base``."""
+    taken = set(taken)
+    if base not in taken:
+        return base
+    for suffix in itertools.count(1):
+        candidate = f"{base}_{suffix}"
+        if candidate not in taken:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def substitute(expr: Expr, replacements: Dict[str, Expr]) -> Expr:
+    """Capture-avoiding simultaneous substitution.
+
+    Binders whose bound name collides with a free variable of a replacement
+    are alpha-renamed on the fly.
+    """
+    if not replacements:
+        return expr
+
+    replacement_free = frozenset().union(
+        *(free_variables(e) for e in replacements.values())
+    )
+
+    def go(node: Expr, subst: Dict[str, Expr]) -> Expr:
+        if not subst:
+            return node
+        if isinstance(node, Var):
+            return subst.get(node.name, node)
+        if isinstance(node, Const):
+            return node
+        if isinstance(node, Lam):
+            return _go_binder(node, (node.param,), subst)
+        if isinstance(node, Let):
+            bound = go(node.bound, subst)
+            renamed = _go_binder(Lam(node.name, node.body), (node.name,), subst)
+            assert isinstance(renamed, Lam)
+            return Let(renamed.param, bound, renamed.body)
+        if isinstance(node, Letrec):
+            names = tuple(name for name, _ in node.bindings)
+            inner = {k: v for k, v in subst.items() if k not in names}
+            renaming: Dict[str, Expr] = {}
+            new_names = list(names)
+            relevant_free = frozenset().union(
+                frozenset(), *(free_variables(e) for e in inner.values())
+            )
+            taken = set(relevant_free) | set(names)
+            for i, name in enumerate(names):
+                if name in relevant_free:
+                    new = fresh_name(name, taken)
+                    taken.add(new)
+                    renaming[name] = Var(new)
+                    new_names[i] = new
+            def rename_then(e: Expr) -> Expr:
+                return go(go(e, renaming) if renaming else e, inner)
+            bindings = tuple(
+                (new_names[i], rename_then(bound))
+                for i, (_, bound) in enumerate(node.bindings)
+            )
+            return Letrec(bindings, rename_then(node.body))
+        if isinstance(node, Annotated):
+            return Annotated(node.annotation, go(node.body, subst))
+        return map_children(node, lambda child: go(child, subst))
+
+    def _go_binder(node: Lam, names: Tuple[str, ...], subst: Dict[str, Expr]) -> Expr:
+        param = node.param
+        inner = {k: v for k, v in subst.items() if k != param}
+        if not inner:
+            return node
+        if param in replacement_free:
+            new_param = fresh_name(
+                param, replacement_free | free_variables(node.body) | set(inner)
+            )
+            body = go(node.body, {param: Var(new_param)})
+            return Lam(new_param, go(body, inner))
+        return Lam(param, go(node.body, inner))
+
+    return go(expr, dict(replacements))
+
+
+def alpha_equivalent(left: Expr, right: Expr) -> bool:
+    """Structural equality up to consistent renaming of bound variables.
+
+    Annotations must match exactly; they are part of the (annotated) syntax.
+    """
+
+    def go(a: Expr, b: Expr, env_a: Dict[str, int], env_b: Dict[str, int], depth: int) -> bool:
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, Const):
+            return a.value == b.value and type(a.value) is type(b.value)
+        if isinstance(a, Var):
+            da, db = env_a.get(a.name), env_b.get(b.name)
+            if da is None and db is None:
+                return a.name == b.name
+            return da == db
+        if isinstance(a, Lam):
+            ea, eb = dict(env_a), dict(env_b)
+            ea[a.param] = eb[b.param] = depth
+            return go(a.body, b.body, ea, eb, depth + 1)
+        if isinstance(a, If):
+            return (
+                go(a.cond, b.cond, env_a, env_b, depth)
+                and go(a.then_branch, b.then_branch, env_a, env_b, depth)
+                and go(a.else_branch, b.else_branch, env_a, env_b, depth)
+            )
+        if isinstance(a, App):
+            return go(a.fn, b.fn, env_a, env_b, depth) and go(
+                a.arg, b.arg, env_a, env_b, depth
+            )
+        if isinstance(a, Let):
+            if not go(a.bound, b.bound, env_a, env_b, depth):
+                return False
+            ea, eb = dict(env_a), dict(env_b)
+            ea[a.name] = eb[b.name] = depth
+            return go(a.body, b.body, ea, eb, depth + 1)
+        if isinstance(a, Letrec):
+            if len(a.bindings) != len(b.bindings):
+                return False
+            ea, eb = dict(env_a), dict(env_b)
+            for i, ((name_a, _), (name_b, _)) in enumerate(
+                zip(a.bindings, b.bindings)
+            ):
+                ea[name_a] = eb[name_b] = depth + i
+            depth += len(a.bindings)
+            for (_, bound_a), (_, bound_b) in zip(a.bindings, b.bindings):
+                if not go(bound_a, bound_b, ea, eb, depth):
+                    return False
+            return go(a.body, b.body, ea, eb, depth)
+        if isinstance(a, Annotated):
+            return a.annotation == b.annotation and go(
+                a.body, b.body, env_a, env_b, depth
+            )
+        raise TypeError(f"unknown expression node: {type(a).__name__}")
+
+    return go(left, right, {}, {}, 0)

@@ -1,0 +1,121 @@
+"""Public test helpers for monitor and language authors.
+
+Downstream users writing their own monitor specifications (or language
+modules) need the same assertions this repository's suite uses: that the
+monitor is sound, that it validates, and that every execution path —
+tree interpreter, compiled program, residual Python — agrees on answers
+*and* monitor states.  This module packages those checks behind a small
+API so a user's test can be one line:
+
+    from repro.testing import assert_monitor_well_behaved
+    assert_monitor_well_behaved(MyMonitor(), my_annotated_program)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.languages.strict import strict
+from repro.monitoring.compose import MonitorLike, flatten_monitors
+from repro.monitoring.derive import run_monitored
+from repro.monitoring.soundness import assert_sound
+from repro.monitoring.validate import assert_valid_monitor
+from repro.partial_eval.codegen import generate_program
+from repro.partial_eval.compile import compile_program
+from repro.syntax.ast import Expr
+from repro.syntax.parser import parse
+
+
+class ParityError(ReproError):
+    """Two execution paths disagreed on an answer or a monitor state."""
+
+
+def _as_program(program) -> Expr:
+    return parse(program) if isinstance(program, str) else program
+
+
+def assert_implementation_parity(
+    program,
+    monitors: MonitorLike = (),
+    *,
+    language=strict,
+    max_steps: Optional[int] = None,
+) -> None:
+    """Check interpreter / compiled / residual agreement on ``program``.
+
+    The compiled paths exist for the strict language only; for other
+    language modules this reduces to a monitored-run smoke check.
+    """
+    program = _as_program(program)
+    monitor_list = flatten_monitors(monitors)
+
+    interp = run_monitored(
+        language, program, list(monitor_list), max_steps=max_steps
+    ) if monitor_list else None
+    interp_answer = (
+        interp.answer if interp is not None else language.evaluate(program, max_steps=max_steps)
+    )
+
+    if language is not strict:
+        return
+
+    compiled = compile_program(program, list(monitor_list))
+    compiled_answer, compiled_states = compiled.run(max_steps=max_steps)
+    generated = generate_program(program, list(monitor_list))
+    generated_answer, generated_states = generated.run()
+
+    if compiled_answer != interp_answer:
+        raise ParityError(
+            f"compiled program answered {compiled_answer!r}, "
+            f"interpreter {interp_answer!r}"
+        )
+    if generated_answer != interp_answer:
+        raise ParityError(
+            f"residual program answered {generated_answer!r}, "
+            f"interpreter {interp_answer!r}"
+        )
+    for monitor in monitor_list:
+        # Compare through the monitor's own report — the canonical,
+        # comparable rendering of its state (raw states may hold
+        # identity-compared structures such as output streams).
+        expected = monitor.report(interp.state_of(monitor.key))
+        for path_name, states in (
+            ("compiled", compiled_states),
+            ("residual", generated_states),
+        ):
+            actual = monitor.report(states.get(monitor.key))
+            if actual != expected:
+                raise ParityError(
+                    f"{path_name} program's final report for monitor "
+                    f"{monitor.key!r} is {actual!r}; interpreter produced "
+                    f"{expected!r}"
+                )
+
+
+def assert_monitor_well_behaved(
+    monitor,
+    program,
+    *,
+    language=strict,
+    max_steps: Optional[int] = None,
+) -> None:
+    """The full battery for one monitor over one annotated program:
+
+    1. the specification lints clean (:mod:`repro.monitoring.validate`);
+    2. monitoring does not change the program's answer (Theorem 7.7);
+    3. every execution path agrees on the final monitor state.
+    """
+    program = _as_program(program)
+    assert_valid_monitor(monitor)
+    assert_sound(language, program, monitor, max_steps=max_steps)
+    assert_implementation_parity(
+        program, monitor, language=language, max_steps=max_steps
+    )
+
+
+def run_and_report(program, tools: Sequence, *, language=strict):
+    """Shorthand used in docs: run, return ``(answer, {key: report})``."""
+    program = _as_program(program)
+    result = run_monitored(language, program, list(tools))
+    return result.answer, result.reports()

@@ -1,0 +1,37 @@
+"""The programming environment (Section 9.2).
+
+"The implementation provides a generic programming environment which
+allows automatic integration of monitoring tools with several language
+modules ... the user simply types::
+
+    evaluate (profile & debug & strict) prog
+
+where & is a composition operator defined for monitors."
+
+This package reproduces that surface:
+
+* :mod:`repro.toolbox.registry` — the toolbox of predefined monitors and
+  the :func:`~repro.toolbox.registry.evaluate` entry point;
+* :mod:`repro.toolbox.compose_op` — the ``&`` operator, extended to attach
+  a language module at the end of a monitor stack;
+* :mod:`repro.toolbox.autoannotate` — the "suitably engineered programming
+  environment" of Section 4.1 that adds annotations on the user's behalf
+  ("a user may invoke a command to trace calls to the function f, and the
+  system would then virtually ... add the appropriate annotation");
+* :mod:`repro.toolbox.session` — persistent sessions holding definitions,
+  with tools requested by name.
+"""
+
+from repro.toolbox.autoannotate import annotate_function_bodies
+from repro.toolbox.compose_op import Toolchain
+from repro.toolbox.registry import TOOLBOX, evaluate, make_tool
+from repro.toolbox.session import Session
+
+__all__ = [
+    "Session",
+    "TOOLBOX",
+    "Toolchain",
+    "annotate_function_bodies",
+    "evaluate",
+    "make_tool",
+]

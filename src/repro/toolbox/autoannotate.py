@@ -1,0 +1,141 @@
+"""Automatic annotation — the environment side of Section 4.1.
+
+"We imagine that in practice the annotations would not be added explicitly
+by the user, but rather would be supplied by a suitably engineered
+programming environment.  For example, a user may invoke a command to
+trace calls to the function f, and the system would then virtually (or
+perhaps literally) add the appropriate annotation to the definition of f.
+The examples in Section 8 were in fact generated in this way."
+
+These transforms literally add the annotations:
+
+* :func:`annotate_function_bodies` — wrap each ``letrec``-bound function's
+  body with a label (profiler-style, Figure 6) or a function header
+  (tracer-style, Figure 7);
+* :func:`annotate_matching` — wrap arbitrary subexpressions selected by a
+  predicate (demons, collecting monitors).
+
+Annotations can be placed in a ``namespace`` so that several auto-annotated
+tools compose with disjoint syntaxes (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.syntax.annotations import Annotation, FnHeader, Label, Tagged
+from repro.syntax.ast import Annotated, Expr, Lam, Letrec
+from repro.syntax.transform import map_children
+
+
+def _wrap(annotation: Annotation, namespace: Optional[str]) -> Annotation:
+    return Tagged(namespace, annotation) if namespace else annotation
+
+
+def _curried_params(lam: Lam) -> Tuple[Tuple[str, ...], Expr]:
+    """Unwind ``lambda x. lambda y. body`` to ``(('x','y'), body)``."""
+    params = [lam.param]
+    body = lam.body
+    while isinstance(body, Lam):
+        params.append(body.param)
+        body = body.body
+    return tuple(params), body
+
+
+def _rewrap(params: Sequence[str], body: Expr) -> Expr:
+    for param in reversed(params):
+        body = Lam(param, body)
+    return body
+
+
+def annotate_function_bodies(
+    program: Expr,
+    names: Optional[Sequence[str]] = None,
+    *,
+    style: str = "label",
+    namespace: Optional[str] = None,
+) -> Expr:
+    """Annotate letrec-bound function bodies for profiling or tracing.
+
+    ``style="label"`` adds ``{f}:`` (Figure 6's profiler convention);
+    ``style="header"`` adds ``{f(x1, ..., xn)}:`` inside the innermost
+    lambda of a curried chain (Figure 7's tracer convention, so every
+    parameter is in scope when the annotation fires).
+
+    ``names=None`` annotates every named function; otherwise only those
+    listed.  Already-annotated bodies are not annotated twice with the
+    same annotation.
+    """
+    if style not in ("label", "header"):
+        raise ValueError(f"unknown annotation style: {style!r}")
+    wanted = set(names) if names is not None else None
+
+    def rewrite(expr: Expr) -> Expr:
+        rebuilt = map_children(expr, rewrite)
+        if not isinstance(rebuilt, Letrec):
+            return rebuilt
+        new_bindings = []
+        for fname, bound in rebuilt.bindings:
+            if (wanted is None or fname in wanted) and isinstance(bound, Lam):
+                params, body = _curried_params(bound)
+                if style == "label":
+                    annotation = _wrap(Label(fname), namespace)
+                else:
+                    annotation = _wrap(FnHeader(fname, params), namespace)
+                if not _already_annotated(body, annotation):
+                    body = Annotated(annotation, body)
+                new_bindings.append((fname, _rewrap(params, body)))
+            else:
+                new_bindings.append((fname, bound))
+        return Letrec(tuple(new_bindings), rebuilt.body)
+
+    return rewrite(program)
+
+
+def _already_annotated(body: Expr, annotation: Annotation) -> bool:
+    node = body
+    while isinstance(node, Annotated):
+        if node.annotation == annotation:
+            return True
+        node = node.body
+    return False
+
+
+def annotate_matching(
+    program: Expr,
+    predicate: Callable[[Expr], Optional[str]],
+    *,
+    namespace: Optional[str] = None,
+) -> Expr:
+    """Wrap every subexpression for which ``predicate`` returns a label name.
+
+    The predicate sees each (already-rewritten) node bottom-up and returns
+    the label to attach, or ``None``.  Used to auto-place demon and
+    collecting-monitor annotations.
+    """
+
+    def rewrite(expr: Expr) -> Expr:
+        rebuilt = map_children(expr, rewrite)
+        name = predicate(rebuilt)
+        if name is None:
+            return rebuilt
+        return Annotated(_wrap(Label(name), namespace), rebuilt)
+
+    return rewrite(program)
+
+
+def trace_functions(
+    program: Expr, *names: str, namespace: Optional[str] = None
+) -> Expr:
+    """The paper's example command: "trace calls to the function f"."""
+    return annotate_function_bodies(
+        program, names or None, style="header", namespace=namespace
+    )
+
+
+def profile_functions(
+    program: Expr, *names: str, namespace: Optional[str] = None
+) -> Expr:
+    return annotate_function_bodies(
+        program, names or None, style="label", namespace=namespace
+    )

@@ -1,0 +1,57 @@
+"""The ``&`` composition operator, including language attachment.
+
+``profiler & tracer`` composes monitors (a
+:class:`~repro.monitoring.compose.MonitorStack`); ``stack & strict``
+attaches a language module, producing a :class:`Toolchain` that
+:func:`repro.toolbox.registry.evaluate` can run directly — the exact shape
+of the paper's ``evaluate (profile & debug & strict) prog``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.languages.base import BaseLanguage
+from repro.monitoring.compose import MonitorStack, flatten_monitors
+from repro.monitoring.spec import MonitorSpec
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    """A monitor stack paired with the language module to run under."""
+
+    monitors: Tuple[MonitorSpec, ...]
+    language: BaseLanguage
+
+    def __repr__(self) -> str:
+        inner = " & ".join(m.key for m in self.monitors)
+        return f"<toolchain {inner} & {self.language.name}>"
+
+
+def attach_language(stack, language: BaseLanguage) -> Toolchain:
+    return Toolchain(tuple(flatten_monitors(stack)), language)
+
+
+def _stack_and(self, other):
+    """``&`` on monitor stacks, language-aware."""
+    if isinstance(other, BaseLanguage):
+        return attach_language(self, other)
+    from repro.monitoring.compose import compose
+
+    return compose(self, other)
+
+
+def _spec_and(self, other):
+    if isinstance(other, BaseLanguage):
+        return attach_language(self, other)
+    from repro.monitoring.compose import compose
+
+    return compose(self, other)
+
+
+# Extend the core classes' ``&``: the monitoring package stays independent
+# of language modules, so the language-aware behavior is grafted on here,
+# where both sides are known.
+MonitorStack.__and__ = _stack_and  # type: ignore[assignment]
+MonitorSpec.__and__ = _spec_and  # type: ignore[assignment]

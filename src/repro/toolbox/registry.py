@@ -1,0 +1,159 @@
+"""The toolbox registry and the ``evaluate`` entry point.
+
+"Currently the environment has a toolbox of predefined monitor
+specifications which includes: an interactive debugger à la dbx, a
+stepper, a tracer, a profiler, a collecting monitor and other specific
+monitors" (Section 9.2).  :data:`TOOLBOX` is that toolbox; tools are
+requested by name (each constructed in its own namespace so any
+combination composes with disjoint annotation syntaxes) or passed as
+ready-made :class:`~repro.monitoring.spec.MonitorSpec` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+from repro.errors import MonitorError
+from repro.languages.base import BaseLanguage
+from repro.languages.strict import strict
+from repro.monitoring.compose import MonitorStack, flatten_monitors
+from repro.monitoring.derive import MonitoredResult, run_monitored
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors import (
+    CallGraphMonitor,
+    CollectingMonitor,
+    CoverageMonitor,
+    HistoryMonitor,
+    LabelCounterMonitor,
+    ProfilerMonitor,
+    StepperMonitor,
+    TracerMonitor,
+    UnsortedListDemon,
+)
+from repro.syntax.ast import Expr
+from repro.syntax.parser import parse
+from repro.toolbox.compose_op import Toolchain
+
+#: Factories for the predefined tools.  Each takes a ``namespace`` so that
+#: several tools can be composed safely.
+TOOLBOX: Dict[str, Callable[..., MonitorSpec]] = {
+    "profile": lambda namespace=None: ProfilerMonitor(namespace=namespace),
+    "trace": lambda namespace=None: TracerMonitor(namespace=namespace),
+    "collect": lambda namespace=None: CollectingMonitor(namespace=namespace),
+    "demon": lambda namespace=None: UnsortedListDemon(namespace=namespace),
+    "step": lambda namespace=None: StepperMonitor(namespace=namespace),
+    "coverage": lambda namespace=None: CoverageMonitor(namespace=namespace),
+    "count": lambda namespace=None: LabelCounterMonitor(namespace=namespace),
+    "callgraph": lambda namespace=None: CallGraphMonitor(namespace=namespace),
+    "history": lambda namespace=None: HistoryMonitor(namespace=namespace),
+    "stats": lambda namespace=None: _statistics(namespace),
+}
+
+
+def _statistics(namespace):
+    from repro.monitors.statistics import StatisticsMonitor
+
+    return StatisticsMonitor(namespace=namespace)
+
+
+def make_tool(name: str, *, namespace: Optional[str] = None) -> MonitorSpec:
+    """Instantiate a toolbox monitor by name."""
+    try:
+        factory = TOOLBOX[name]
+    except KeyError:
+        known = ", ".join(sorted(TOOLBOX))
+        raise MonitorError(f"unknown tool {name!r}; toolbox has: {known}") from None
+    return factory(namespace=namespace)
+
+
+ToolsLike = Union[
+    str, MonitorSpec, MonitorStack, Toolchain, Sequence[Union[str, MonitorSpec]]
+]
+
+
+def _resolve_tools(tools: ToolsLike) -> Tuple[Tuple[MonitorSpec, ...], Optional[BaseLanguage]]:
+    if isinstance(tools, Toolchain):
+        return tools.monitors, tools.language
+    if isinstance(tools, str):
+        names = [part.strip() for part in tools.split("&") if part.strip()]
+        language: Optional[BaseLanguage] = None
+        monitors = []
+        from repro.languages import (
+            exceptions_language,
+            imperative,
+            lazy,
+            lazy_data,
+            strict as strict_lang,
+        )
+
+        languages = {
+            "strict": strict_lang,
+            "lazy": lazy,
+            "lazy-data": lazy_data,
+            "imperative": imperative,
+            "exceptions": exceptions_language,
+        }
+        for name in names:
+            if name in languages:
+                language = languages[name]
+            else:
+                monitors.append(make_tool(name))
+        return tuple(monitors), language
+    if isinstance(tools, (MonitorSpec, MonitorStack)):
+        return tuple(flatten_monitors(tools)), None
+    monitors = []
+    language = None
+    for item in tools:
+        if isinstance(item, BaseLanguage):
+            language = item
+        elif isinstance(item, str):
+            monitors.append(make_tool(item))
+        else:
+            monitors.extend(flatten_monitors(item))
+    return tuple(monitors), language
+
+
+@dataclass
+class EvaluationResult:
+    """What ``evaluate`` hands back: the answer plus every tool's report."""
+
+    answer: object
+    monitored: Optional[MonitoredResult]
+
+    @property
+    def reports(self) -> Dict[str, object]:
+        if self.monitored is None:
+            return {}
+        return self.monitored.reports()
+
+    def report(self, key: Optional[str] = None):
+        if self.monitored is None:
+            raise MonitorError("no monitors were attached to this evaluation")
+        return self.monitored.report(key)
+
+
+def evaluate(
+    tools: ToolsLike,
+    program: Union[str, Expr],
+    *,
+    language: Optional[BaseLanguage] = None,
+    max_steps: Optional[int] = None,
+) -> EvaluationResult:
+    """The Section 9.2 entry point: ``evaluate(profile & trace & strict, prog)``.
+
+    ``tools`` may be a toolchain built with ``&``, a monitor stack, a
+    single spec, a list mixing specs and tool names, or a string such as
+    ``"profile & trace & strict"``.  ``program`` may be surface syntax or
+    an already-parsed expression.
+    """
+    monitors, chain_language = _resolve_tools(tools)
+    run_language = language or chain_language or strict
+    expr = parse(program) if isinstance(program, str) else program
+
+    if not monitors:
+        answer = run_language.evaluate(expr, max_steps=max_steps)
+        return EvaluationResult(answer=answer, monitored=None)
+
+    result = run_monitored(run_language, expr, list(monitors), max_steps=max_steps)
+    return EvaluationResult(answer=result.answer, monitored=result)

@@ -1,0 +1,156 @@
+"""Shared fixtures and program corpus for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.languages import imperative, lazy, strict
+from repro.syntax.parser import parse
+
+# ----------------------------------------------------------------- the corpus
+# (name, source, expected standard answer) — used by semantics, soundness,
+# compiler and partial-evaluation tests alike.
+
+FAC_SRC = "letrec fac = lambda x. if x = 0 then 1 else x * fac (x - 1) in fac {n}"
+FIB_SRC = "letrec fib = lambda n. if n < 2 then n else fib (n - 1) + fib (n - 2) in fib {n}"
+
+CORPUS = [
+    ("const", "42", 42),
+    ("negative", "-7", -7),
+    ("bool", "true", True),
+    ("string", '"hello"', "hello"),
+    ("arith", "1 + 2 * 3", 7),
+    ("arith_paren", "(1 + 2) * 3", 9),
+    ("comparison", "3 < 5", True),
+    ("if_true", "if 1 = 1 then 10 else 20", 10),
+    ("if_false", "if 1 = 2 then 10 else 20", 20),
+    ("lambda_app", "(lambda x. x + 1) 41", 42),
+    ("curried", "(lambda x. lambda y. x - y) 10 4", 6),
+    ("let", "let x = 5 in x * x", 25),
+    ("let_shadow", "let x = 1 in let x = 2 in x", 2),
+    ("closure_capture", "let x = 10 in (lambda y. x + y) 5", 15),
+    ("fac5", FAC_SRC.format(n=5), 120),
+    ("fac0", FAC_SRC.format(n=0), 1),
+    ("fib10", FIB_SRC.format(n=10), 55),
+    (
+        "mutual",
+        "letrec even = lambda n. if n = 0 then true else odd (n - 1) "
+        "and odd = lambda n. if n = 0 then false else even (n - 1) "
+        "in even 10",
+        True,
+    ),
+    (
+        "list_sum",
+        "letrec sum = lambda l. if l = [] then 0 else (hd l) + sum (tl l) "
+        "in sum [1, 2, 3, 4]",
+        10,
+    ),
+    (
+        "list_build",
+        "letrec upto = lambda n. if n = 0 then [] else n :: upto (n - 1) "
+        "in length (upto 7)",
+        7,
+    ),
+    (
+        "higher_order",
+        "letrec map = lambda f. lambda l. "
+        "if l = [] then [] else (f (hd l)) :: (map f (tl l)) "
+        "in hd (map (lambda x. x * x) [9, 2])",
+        81,
+    ),
+    ("string_append", '"foo" ++ "bar"', "foobar"),
+    ("annotated_transparent", "{p}: (1 + 2) * {q}: 3", 9),
+    (
+        "ackermann",
+        "letrec ack = lambda m. lambda n. "
+        "if m = 0 then n + 1 "
+        "else if n = 0 then ack (m - 1) 1 "
+        "else ack (m - 1) (ack m (n - 1)) "
+        "in ack 2 3",
+        9,
+    ),
+]
+
+CORPUS_IDS = [name for name, _, _ in CORPUS]
+
+
+@pytest.fixture(params=CORPUS, ids=CORPUS_IDS)
+def corpus_case(request):
+    name, source, expected = request.param
+    return parse(source), expected
+
+
+@pytest.fixture
+def strict_lang():
+    return strict
+
+
+@pytest.fixture
+def lazy_lang():
+    return lazy
+
+
+@pytest.fixture
+def imperative_lang():
+    return imperative
+
+
+# Paper programs (Section 8), shared by several monitor tests.
+
+
+@pytest.fixture
+def paper_profiler_program():
+    return parse(
+        """
+        letrec mul = lambda x. lambda y. {mul}:(x*y) in
+        letrec fac = lambda x. {fac}:if (x=0) then 1 else mul x (fac (x-1))
+        in fac 3
+        """
+    )
+
+
+@pytest.fixture
+def paper_tracer_program():
+    return parse(
+        """
+        letrec mul = lambda x. lambda y. {mul(x, y)}:(x*y) in
+        letrec fac = lambda x. {fac(x)}:if (x=0) then 1 else mul x (fac (x-1))
+        in fac 3
+        """
+    )
+
+
+@pytest.fixture
+def paper_demon_program():
+    return parse(
+        """
+        letrec inclist = lambda l. lambda acc.
+            if (l = []) then acc else inclist (tl l) (((hd l) + 1) :: acc) in
+        let l1 = {l1}:(inclist [1, 10, 100] []) in
+        let l2 = {l2}:(inclist l1 []) in
+        let l3 = {l3}:(inclist l2 [])
+        in l3
+        """
+    )
+
+
+@pytest.fixture
+def paper_collecting_program():
+    return parse(
+        """
+        letrec fac = lambda n. if {test}:(n = 0) then 1 else {n}: n * (fac (n - 1))
+        in fac 3
+        """
+    )
+
+
+@pytest.fixture
+def paper_counter_program():
+    return parse(
+        """
+        letrec fac = lambda x. if (x = 0)
+                     then {A}: 1
+                     else {B}: (x * fac (x - 1))
+        in fac 5
+        """
+    )

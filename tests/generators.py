@@ -1,0 +1,180 @@
+"""Hypothesis strategies generating random ``L_lambda`` programs.
+
+The generator produces *closed, terminating* programs: integer/boolean
+arithmetic, let/lambda binding, bounded structural recursion over a
+decreasing counter, list construction, and annotations sprinkled at
+arbitrary points.  Termination comes by construction (recursive calls only
+on ``n - 1`` guarded by ``n = 0`` / ``n < k`` tests), so property tests
+can evaluate every generated program without step limits.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.syntax.annotations import FnHeader, Label
+from repro.syntax.ast import (
+    Annotated,
+    App,
+    Const,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Var,
+    app,
+)
+
+_LABELS = ["p0", "p1", "p2", "p3", "p4"]
+
+
+def _binop(op: str, left: Expr, right: Expr) -> Expr:
+    return App(App(Var(op), left), right)
+
+
+@st.composite
+def int_expr(draw, env: tuple, depth: int) -> Expr:
+    """An integer-valued expression over integer variables ``env``."""
+    if depth <= 0:
+        choices = [st.integers(-20, 20).map(Const)]
+        if env:
+            choices.append(st.sampled_from(env).map(Var))
+        return draw(st.one_of(choices))
+
+    kind = draw(
+        st.sampled_from(
+            ["leaf", "add", "sub", "mul", "if", "let", "apply", "annot", "minmax"]
+        )
+    )
+    if kind == "leaf":
+        return draw(int_expr(env, 0))
+    if kind in ("add", "sub", "mul"):
+        op = {"add": "+", "sub": "-", "mul": "*"}[kind]
+        return _binop(
+            op, draw(int_expr(env, depth - 1)), draw(int_expr(env, depth - 1))
+        )
+    if kind == "minmax":
+        op = draw(st.sampled_from(["min", "max"]))
+        return app(
+            Var(op), draw(int_expr(env, depth - 1)), draw(int_expr(env, depth - 1))
+        )
+    if kind == "if":
+        cond = draw(bool_expr(env, depth - 1))
+        return If(cond, draw(int_expr(env, depth - 1)), draw(int_expr(env, depth - 1)))
+    if kind == "let":
+        name = draw(st.sampled_from(["a", "b", "c"]))
+        bound = draw(int_expr(env, depth - 1))
+        return Let(name, bound, draw(int_expr(env + (name,), depth - 1)))
+    if kind == "apply":
+        name = draw(st.sampled_from(["a", "b", "c"]))
+        body = draw(int_expr(env + (name,), depth - 1))
+        argument = draw(int_expr(env, depth - 1))
+        return App(Lam(name, body), argument)
+    if kind == "annot":
+        label = draw(st.sampled_from(_LABELS))
+        return Annotated(Label(label), draw(int_expr(env, depth - 1)))
+    raise AssertionError(kind)
+
+
+@st.composite
+def bool_expr(draw, env: tuple, depth: int) -> Expr:
+    if depth <= 0:
+        return Const(draw(st.booleans()))
+    kind = draw(st.sampled_from(["leaf", "cmp", "not", "annot"]))
+    if kind == "leaf":
+        return Const(draw(st.booleans()))
+    if kind == "cmp":
+        op = draw(st.sampled_from(["=", "<", "<=", ">", ">=", "/="]))
+        return _binop(
+            op, draw(int_expr(env, depth - 1)), draw(int_expr(env, depth - 1))
+        )
+    if kind == "not":
+        return App(Var("not"), draw(bool_expr(env, depth - 1)))
+    if kind == "annot":
+        label = draw(st.sampled_from(_LABELS))
+        return Annotated(Label(label), draw(bool_expr(env, depth - 1)))
+    raise AssertionError(kind)
+
+
+@st.composite
+def recursive_program(draw) -> Expr:
+    """A program with a structurally terminating recursive function.
+
+    ``letrec f = lambda n. if n <= 0 then <base> else <step involving
+    f (n - 1)> in f <k>`` with random base/step bodies, possibly
+    annotated (including a function-header annotation for tracers).
+    """
+    base = draw(int_expr(("n",), 2))
+    step_fn = draw(
+        st.sampled_from(
+            [
+                lambda rec: _binop("+", Var("n"), rec),
+                lambda rec: _binop("-", rec, Const(1)),
+                lambda rec: _binop("+", rec, rec),
+                lambda rec: _binop("*", Const(2), rec),
+                lambda rec: rec,
+            ]
+        )
+    )
+    recursive_call = App(Var("f"), _binop("-", Var("n"), Const(1)))
+    step = step_fn(recursive_call)
+    body: Expr = If(_binop("<=", Var("n"), Const(0)), base, step)
+    if draw(st.booleans()):
+        body = Annotated(FnHeader("f", ("n",)), body)
+    if draw(st.booleans()):
+        body = Annotated(Label(draw(st.sampled_from(_LABELS))), body)
+    argument = Const(draw(st.integers(0, 8)))
+    return Letrec((("f", Lam("n", body)),), App(Var("f"), argument))
+
+
+@st.composite
+def closed_program(draw) -> Expr:
+    """A closed, terminating program suitable for soundness properties."""
+    kind = draw(st.sampled_from(["int", "bool", "rec"]))
+    if kind == "int":
+        return draw(int_expr((), 3))
+    if kind == "bool":
+        return draw(bool_expr((), 3))
+    return draw(recursive_program())
+
+
+@st.composite
+def exc_program(draw) -> Expr:
+    """A closed, terminating ``L_exc`` program with raises and handlers.
+
+    Shape: ``try <body> catch e. <handler>`` where the body is an integer
+    expression possibly aborted by embedded raises, and handlers may
+    re-raise into an enclosing try.  Always terminates: the underlying
+    expressions come from the terminating generators above.
+    """
+    from repro.languages.exceptions import Raise, TryCatch
+
+    def with_raises(expr: Expr, depth: int) -> Expr:
+        if depth <= 0:
+            return expr
+        choice = draw(st.sampled_from(["keep", "raise", "guard"]))
+        if choice == "raise":
+            return _binop("+", expr, Raise(draw(int_expr((), 1))))
+        if choice == "guard":
+            # `e` is only in scope inside handlers, never in try bodies.
+            inner = with_raises(draw(int_expr((), 1)), depth - 1)
+            handler = draw(
+                st.sampled_from(
+                    [
+                        Var("e"),
+                        _binop("+", Var("e"), Const(1)),
+                        Raise(_binop("*", Var("e"), Const(2))),
+                    ]
+                )
+            )
+            return TryCatch(_binop("+", expr, inner), "e", handler)
+        return expr
+
+    body = with_raises(draw(int_expr((), 2)), draw(st.integers(1, 3)))
+    top_handler = draw(
+        st.sampled_from([Var("e"), _binop("-", Var("e"), Const(7)), Const(0)])
+    )
+    if draw(st.booleans()):
+        body = Annotated(Label(draw(st.sampled_from(_LABELS))), body)
+    return TryCatch(body, "e", top_handler)

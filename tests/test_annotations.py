@@ -1,0 +1,93 @@
+"""Tests for annotation values and their surface syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.syntax.annotations import (
+    FnHeader,
+    Label,
+    Tagged,
+    header,
+    label,
+    parse_annotation_text,
+    tagged,
+    untag,
+)
+
+
+class TestParsing:
+    def test_label(self):
+        assert parse_annotation_text("fac") == Label("fac")
+
+    def test_label_strips_whitespace(self):
+        assert parse_annotation_text("  fac  ") == Label("fac")
+
+    def test_header_single_param(self):
+        assert parse_annotation_text("fac(x)") == FnHeader("fac", ("x",))
+
+    def test_header_multi_param(self):
+        assert parse_annotation_text("mul(x, y)") == FnHeader("mul", ("x", "y"))
+
+    def test_header_no_params(self):
+        assert parse_annotation_text("main()") == FnHeader("main", ())
+
+    def test_tagged_label(self):
+        assert parse_annotation_text("profile: fac") == Tagged("profile", Label("fac"))
+
+    def test_tagged_header(self):
+        assert parse_annotation_text("trace: mul(x, y)") == Tagged(
+            "trace", FnHeader("mul", ("x", "y"))
+        )
+
+    def test_nested_tags(self):
+        parsed = parse_annotation_text("a: b: c")
+        assert parsed == Tagged("a", Tagged("b", Label("c")))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_annotation_text("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_annotation_text("1 + 2")
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(ParseError):
+            parse_annotation_text("f(1)")
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "text", ["fac", "mul(x, y)", "trace: f(a)", "profile: p0"]
+    )
+    def test_render_roundtrip(self, text):
+        annotation = parse_annotation_text(text)
+        assert parse_annotation_text(annotation.render()) == annotation
+
+
+class TestHelpers:
+    def test_constructors(self):
+        assert label("x") == Label("x")
+        assert header("f", "a", "b") == FnHeader("f", ("a", "b"))
+        assert tagged("t", "f(a)") == Tagged("t", FnHeader("f", ("a",)))
+
+    def test_untag_matching(self):
+        annotation = Tagged("profile", Label("fac"))
+        assert untag(annotation, "profile") == Label("fac")
+
+    def test_untag_wrong_tool(self):
+        annotation = Tagged("profile", Label("fac"))
+        assert untag(annotation, "trace") is None
+
+    def test_untag_bare_with_tool(self):
+        assert untag(Label("fac"), "profile") is None
+
+    def test_untag_bare_without_tool(self):
+        assert untag(Label("fac"), None) == Label("fac")
+
+    def test_untag_tagged_without_tool(self):
+        assert untag(Tagged("t", Label("x")), None) is None
+
+    def test_annotations_hashable_and_equal(self):
+        assert {Label("a"), Label("a")} == {Label("a")}
+        assert FnHeader("f", ("x",)) != FnHeader("f", ("y",))

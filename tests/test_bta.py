@@ -1,0 +1,124 @@
+"""Tests for the binding-time analysis."""
+
+from repro.partial_eval.bta import DYNAMIC, STATIC, analyze_binding_times, join
+from repro.syntax.ast import Annotated, App, Const, If, Var
+from repro.syntax.parser import parse
+
+
+def bta(source, static=None):
+    return analyze_binding_times(parse(source), static_inputs=static)
+
+
+class TestLattice:
+    def test_join(self):
+        assert join(STATIC, STATIC) == STATIC
+        assert join(STATIC, DYNAMIC) == DYNAMIC
+        assert join(DYNAMIC, DYNAMIC) == DYNAMIC
+        assert join() == STATIC
+
+
+class TestBasics:
+    def test_constant_static(self):
+        result = bta("42")
+        assert result.of(result.program) == STATIC
+
+    def test_free_variable_dynamic(self):
+        result = bta("x")
+        assert result.of(result.program) == DYNAMIC
+
+    def test_declared_static_input(self):
+        result = bta("x", static={"x"})
+        assert result.of(result.program) == STATIC
+
+    def test_primitive_application(self):
+        result = bta("1 + 2")
+        assert result.of(result.program) == STATIC
+
+    def test_mixed_application_dynamic(self):
+        result = bta("1 + x")
+        assert result.of(result.program) == DYNAMIC
+
+    def test_annotation_dynamic(self):
+        result = bta("{p}: 1")
+        assert result.of(result.program) == DYNAMIC
+
+    def test_static_conditional(self):
+        result = bta("if 1 < 2 then 3 else 4")
+        assert result.of(result.program) == STATIC
+
+    def test_dynamic_condition_infects(self):
+        result = bta("if x < 2 then 3 else 4")
+        assert result.of(result.program) == DYNAMIC
+
+
+class TestBindings:
+    def test_let_propagates(self):
+        result = bta("let a = x in a + 1")
+        assert result.of(result.program) == DYNAMIC
+
+    def test_let_static(self):
+        result = bta("let a = 1 in a + 1")
+        assert result.of(result.program) == STATIC
+
+    def test_recursive_function_static_call(self):
+        result = bta(
+            "letrec f = lambda n. if n = 0 then 0 else f (n - 1) in f 3"
+        )
+        assert result.of(result.program) == STATIC
+
+    def test_recursive_function_dynamic_call(self):
+        result = bta(
+            "letrec f = lambda n. if n = 0 then 0 else f (n - 1) in f y"
+        )
+        assert result.of(result.program) == DYNAMIC
+
+    def test_escaping_function(self):
+        result = bta(
+            "letrec f = lambda n. n "
+            "and apply = lambda g. g 1 "
+            "in apply f"
+        )
+        assert "f" in result.escaped_functions
+
+
+class TestConservativeness:
+    """Everything BTA calls static, the online specializer folds."""
+
+    def test_containment_on_pow(self):
+        from repro.partial_eval.online import specialize
+        from repro.syntax.ast import Const as C
+
+        source = (
+            "letrec pow = lambda n. lambda x. "
+            "if n = 0 then 1 else x * (pow (n - 1) x) in pow 3 x"
+        )
+        result = bta(source)
+        if result.of(result.program) == STATIC:
+            residual = specialize(parse(source)).residual
+            assert isinstance(residual, C)
+
+    def test_static_program_folds(self):
+        from repro.partial_eval.online import specialize
+        from repro.syntax.ast import Const as C
+
+        for source in ("1 + 2", "if true then 1 else 2", "min 3 9 * 2"):
+            result = bta(source)
+            assert result.of(result.program) == STATIC
+            assert isinstance(specialize(parse(source)).residual, C)
+
+
+class TestStaticFraction:
+    def test_all_static(self):
+        assert bta("1 + 2").static_fraction() == 1.0
+
+    def test_partially_dynamic(self):
+        fraction = bta("x + (1 + 2)").static_fraction()
+        assert 0 < fraction < 1
+
+    def test_the_papers_point(self):
+        # "the tracer ... has static environment lookup but dynamic stream
+        # operations": annotated sites are dynamic, the arithmetic around
+        # them can still be static.
+        result = bta("{site}: 1 + (2 * 3)")
+        assert result.static_fraction() < 1.0
+        assert result.of(result.program) == DYNAMIC

@@ -1,0 +1,115 @@
+"""Tests for the call-graph and history monitors."""
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import CallGraphMonitor, HistoryMonitor
+from repro.monitors.callgraph import ROOT
+from repro.syntax.parser import parse
+
+PROGRAM = parse(
+    """
+    letrec mul = lambda x. lambda y. {mul}:(x*y) in
+    letrec fac = lambda x. {fac}:if (x=0) then 1 else mul x (fac (x-1))
+    in fac 3
+    """
+)
+
+
+class TestCallGraph:
+    def test_edges(self):
+        result = run_monitored(strict, PROGRAM, CallGraphMonitor())
+        report = result.report()
+        assert report.edges[(ROOT, "fac")] == 1
+        assert report.edges[("fac", "fac")] == 3
+        assert report.edges[("fac", "mul")] == 3
+
+    def test_call_counts_match_profiler(self):
+        result = run_monitored(strict, PROGRAM, CallGraphMonitor())
+        report = result.report()
+        assert report.calls == {"fac": 4, "mul": 3}
+
+    def test_callees_and_callers(self):
+        result = run_monitored(strict, PROGRAM, CallGraphMonitor())
+        report = result.report()
+        assert report.callees_of("fac") == {"fac": 3, "mul": 3}
+        assert report.callers_of("mul") == {"fac": 3}
+
+    def test_inclusive_counts(self):
+        result = run_monitored(strict, PROGRAM, CallGraphMonitor())
+        report = result.report()
+        # Every monitored activation (7 total) happens inside fac.
+        assert report.inclusive["fac"] == 7
+        # mul activations nest nothing else.
+        assert report.inclusive["mul"] == 3
+
+    def test_stack_unwinds(self):
+        result = run_monitored(strict, PROGRAM, CallGraphMonitor())
+        monitor = result.monitors[0]
+        assert result.state_of(monitor).stack == ()
+
+    def test_render(self):
+        result = run_monitored(strict, PROGRAM, CallGraphMonitor())
+        text = result.report().render()
+        assert "fac -> mul: 3" in text
+        assert "inclusive activations:" in text
+
+
+class TestHistory:
+    def test_event_count(self):
+        result = run_monitored(strict, PROGRAM, HistoryMonitor())
+        history = result.report()
+        assert len(history) == 14  # 7 enters + 7 exits
+        assert history.dropped == 0
+
+    def test_sequence_numbers_monotone(self):
+        result = run_monitored(strict, PROGRAM, HistoryMonitor())
+        history = result.report()
+        sequences = [e.sequence for e in history.events]
+        assert sequences == sorted(sequences)
+        assert sequences == list(range(14))
+
+    def test_activations_and_returns(self):
+        result = run_monitored(strict, PROGRAM, HistoryMonitor())
+        history = result.report()
+        assert len(history.activations_of("fac")) == 4
+        assert len(history.returns_of("mul")) == 3
+
+    def test_nth_return_value(self):
+        result = run_monitored(strict, PROGRAM, HistoryMonitor())
+        history = result.report()
+        # mul returns 1, 2, 6 in completion order.
+        assert history.nth_return_value("mul", 0) == "1"
+        assert history.nth_return_value("mul", 2) == "6"
+        assert history.nth_return_value("mul", 9) is None
+        # The last fac return is the program answer.
+        assert history.nth_return_value("fac", 3) == "6"
+
+    def test_at_sequence(self):
+        result = run_monitored(strict, PROGRAM, HistoryMonitor())
+        history = result.report()
+        event = history.at_sequence(0)
+        assert event.kind == "enter"
+        assert event.label == "fac"
+        assert history.at_sequence(9999) is None
+
+    def test_bounded_capacity_drops_oldest(self):
+        program = parse(
+            "letrec f = lambda n. if n = 0 then 0 else {tick}: f (n - 1) in f 50"
+        )
+        result = run_monitored(strict, program, HistoryMonitor(capacity=10))
+        history = result.report()
+        assert len(history) == 10
+        assert history.dropped == 90  # 100 events total, kept 10
+        # Kept events are the most recent ones.
+        assert history.events[-1].sequence == 99
+
+    def test_render(self):
+        result = run_monitored(strict, PROGRAM, HistoryMonitor())
+        text = result.report().render(limit=3)
+        assert "<- fac = 6" in text
+
+    def test_capacity_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            HistoryMonitor(capacity=0)

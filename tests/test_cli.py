@@ -1,0 +1,209 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+FAC = "letrec fac = lambda x. {fac}: if x = 0 then 1 else x * fac (x - 1) in fac 4"
+PLAIN_FAC = "letrec fac = lambda x. if x = 0 then 1 else x * fac (x - 1) in fac 4"
+
+
+@pytest.fixture
+def fac_file(tmp_path):
+    path = tmp_path / "fac.lam"
+    path.write_text(PLAIN_FAC)
+    return str(path)
+
+
+class TestRun:
+    def test_inline_expression(self, capsys):
+        assert main(["run", "-e", "6 * 7"]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_program_file(self, capsys, fac_file):
+        assert main(["run", fac_file]) == 0
+        assert capsys.readouterr().out.strip() == "24"
+
+    def test_with_tools(self, capsys):
+        assert main(["run", "-e", FAC, "--tools", "profile"]) == 0
+        out = capsys.readouterr().out
+        assert "24" in out
+        assert "'fac': 5" in out
+
+    def test_lazy_language(self, capsys):
+        assert main(["run", "-e", "let d = hd [] in 1", "--language", "lazy"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_exceptions_language(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "-e",
+                    "try raise 41 catch e. e + 1",
+                    "--language",
+                    "exceptions",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_lazy_data_language(self, capsys):
+        source = (
+            "letrec nats = lambda n. n :: nats (n + 1) in hd (tl (nats 5))"
+        )
+        assert main(["run", "-e", source, "--language", "lazy-data"]) == 0
+        assert capsys.readouterr().out.strip() == "6"
+
+    def test_imperative_language(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "-e",
+                    "x := 2; emit x * 3",
+                    "--language",
+                    "imperative",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "x = 2" in out
+        assert "output: 6" in out
+
+    def test_missing_program(self, capsys):
+        assert main(["run"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/prog.lam"]) == 1
+
+    def test_eval_error_reported(self, capsys):
+        assert main(["run", "-e", "hd []"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_max_steps(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "-e",
+                    "letrec loop = lambda x. loop x in loop 1",
+                    "--max-steps",
+                    "1000",
+                ]
+            )
+            == 1
+        )
+
+
+class TestTraceAndProfile:
+    def test_profile_auto_annotates(self, capsys, fac_file):
+        assert main(["profile", fac_file]) == 0
+        out = capsys.readouterr().out
+        assert "'fac': 5" in out
+
+    def test_trace_auto_annotates(self, capsys, fac_file):
+        assert main(["trace", fac_file]) == 0
+        out = capsys.readouterr().out
+        assert "[FAC receives (4)]" in out
+
+    def test_functions_filter(self, capsys):
+        source = (
+            "letrec f = lambda x. x and g = lambda y. f y in g 1"
+        )
+        assert main(["profile", "-e", source, "--functions", "f"]) == 0
+        out = capsys.readouterr().out
+        assert "'f': 1" in out
+        assert "'g'" not in out
+
+
+class TestSpecialize:
+    def test_residual_printed(self, capsys):
+        source = (
+            "letrec pow = lambda n. lambda x. "
+            "if n = 0 then 1 else x * (pow (n - 1) x) in pow 3 x"
+        )
+        assert main(["specialize", "-e", source]) == 0
+        assert capsys.readouterr().out.strip() == "x * (x * (x * 1))"
+
+    def test_static_binding(self, capsys):
+        assert main(["specialize", "-e", "x + y", "--static", "x=40"]) == 0
+        assert capsys.readouterr().out.strip() == "40 + y"
+
+    def test_bad_static(self, capsys):
+        assert main(["specialize", "-e", "x", "--static", "oops"]) == 1
+
+    def test_stats_flag(self, capsys):
+        assert main(["specialize", "-e", "1 + 2", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "3"
+        assert "folded" in captured.err
+
+
+class TestEmit:
+    def test_python_source(self, capsys):
+        assert main(["emit", "-e", FAC, "--tools", "profile"]) == 0
+        out = capsys.readouterr().out
+        assert "def _program(_rt):" in out
+        assert "_pre(" in out
+
+    def test_emitted_source_is_valid_python(self, capsys):
+        assert main(["emit", "-e", PLAIN_FAC]) == 0
+        compile(capsys.readouterr().out, "<emitted>", "exec")
+
+
+class TestSession:
+    def test_load_and_evaluate(self, capsys, tmp_path):
+        from repro.toolbox.session import Session
+
+        session = Session()
+        session.define("fac", "lambda x. if x = 0 then 1 else x * fac (x - 1)")
+        path = tmp_path / "s.repro"
+        session.save(path)
+
+        assert main(["session", str(path), "--eval", "fac 5"]) == 0
+        assert capsys.readouterr().out.strip() == "120"
+
+    def test_session_with_tools(self, capsys, tmp_path):
+        from repro.toolbox.session import Session
+
+        session = Session()
+        session.define("fac", "lambda x. if x = 0 then 1 else x * fac (x - 1)")
+        path = tmp_path / "s.repro"
+        session.save(path)
+
+        assert main(["session", str(path), "--eval", "fac 3", "--tools", "profile"]) == 0
+        out = capsys.readouterr().out
+        assert "'fac': 4" in out
+
+    def test_bad_session_file(self, capsys, tmp_path):
+        path = tmp_path / "bad.repro"
+        path.write_text("garbage")
+        assert main(["session", str(path), "--eval", "1"]) == 1
+
+
+class TestDebug:
+    def test_scripted_session(self, capsys):
+        assert (
+            main(
+                [
+                    "debug",
+                    "-e",
+                    FAC,
+                    "--break",
+                    "fac",
+                    "--command",
+                    "print x",
+                    "--command",
+                    "quit",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stopped at fac" in out
+        assert "x = 4" in out
+        assert "=> 24" in out

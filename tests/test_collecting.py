@@ -1,0 +1,66 @@
+"""Figure 9: the collecting monitor."""
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import CollectingMonitor
+from repro.semantics.values import from_python_list
+from repro.syntax.parser import parse
+
+
+class TestPaperExample:
+    def test_section8_result(self, paper_collecting_program):
+        """The paper: [test -> {True, False}, n -> {1, 2, 3}]."""
+        result = run_monitored(strict, paper_collecting_program, CollectingMonitor())
+        assert result.answer == 6
+        report = result.report()
+        assert set(report["test"]) == {True, False}
+        assert set(report["n"]) == {1, 2, 3}
+
+    def test_insertion_order(self, paper_collecting_program):
+        result = run_monitored(strict, paper_collecting_program, CollectingMonitor())
+        # Figure 2 evaluates an application's argument before its operator,
+        # so the recursive call runs before {n}: n is observed: the
+        # innermost n = 1 is collected first.
+        assert result.report()["n"] == (1, 2, 3)
+
+
+class TestDeduplication:
+    def test_repeated_values_collapse(self):
+        program = parse(
+            "letrec f = lambda n. if n = 0 then 0 else {v}: 7 + f (n - 1) in f 4"
+        )
+        result = run_monitored(strict, program, CollectingMonitor())
+        assert result.report()["v"] == (7,)
+
+    def test_bool_and_int_distinct(self):
+        program = parse("if {v}: true then {v}: 1 else 2")
+        result = run_monitored(strict, program, CollectingMonitor())
+        assert result.report()["v"] == (True, 1)
+
+    def test_list_values_structural(self):
+        program = parse("({v}: [1, 2]) = ({v}: [1, 2])")
+        result = run_monitored(strict, program, CollectingMonitor())
+        assert result.report()["v"] == (from_python_list([1, 2]),)
+
+    def test_function_values_by_identity(self):
+        # Two syntactically identical lambdas are different closures.
+        program = parse("(lambda g. 0) ({v}: (lambda x. x)) + (lambda g. 0) ({v}: (lambda x. x))")
+        result = run_monitored(strict, program, CollectingMonitor())
+        assert len(result.report()["v"]) == 2
+
+
+class TestHelpers:
+    def test_values_of(self):
+        monitor = CollectingMonitor()
+        result = run_monitored(strict, parse("{x}: 1"), monitor)
+        assert monitor.values_of(result.state_of(monitor), "x") == (1,)
+        assert monitor.values_of(result.state_of(monitor), "missing") == ()
+
+    def test_state_purity(self):
+        monitor = CollectingMonitor()
+        s0 = monitor.initial_state()
+        from repro.syntax.annotations import Label
+
+        s1 = monitor.post(Label("x"), None, None, 1, s0)
+        assert s0 == {}
+        assert monitor.values_of(s1, "x") == (1,)

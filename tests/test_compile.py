@@ -1,0 +1,150 @@
+"""Tests for level-2 specialization via the closure compiler."""
+
+import pytest
+
+from repro.errors import EvalError, MonitorError, NotAFunctionError
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import (
+    CollectingMonitor,
+    LabelCounterMonitor,
+    ProfilerMonitor,
+    TracerMonitor,
+    UnsortedListDemon,
+)
+from repro.partial_eval.compile import compile_program
+from repro.syntax.parser import parse
+
+
+class TestStandardCompilation:
+    def test_corpus_parity(self, corpus_case):
+        program, expected = corpus_case
+        compiled = compile_program(program)
+        assert compiled.evaluate() == expected
+
+    def test_deep_recursion_still_safe(self):
+        program = parse(
+            "letrec f = lambda n. if n = 0 then 0 else f (n - 1) in f 100000"
+        )
+        assert compile_program(program).evaluate() == 0
+
+    def test_shadowed_primitive_not_inlined(self):
+        program = parse("let hd = lambda x. 99 in hd [1]")
+        assert compile_program(program).evaluate() == 99
+
+    def test_shadowed_operator_not_inlined(self):
+        # Rebinding + must defeat the static primitive dispatch.
+        program = parse("(lambda f. f 2 3) (lambda a. lambda b. a * b)")
+        assert compile_program(program).evaluate() == 6
+
+    def test_errors_preserved(self):
+        with pytest.raises(EvalError):
+            compile_program(parse("hd []")).evaluate()
+
+    def test_apply_non_function(self):
+        with pytest.raises(NotAFunctionError):
+            compile_program(parse("1 2")).evaluate()
+
+    def test_unbound_variable_fails_at_compile_time(self):
+        # Environment search is static, so unbound names surface during
+        # specialization rather than at run time.
+        with pytest.raises(EvalError):
+            compile_program(parse("nosuch"))
+
+
+class TestInstrumentedCompilation:
+    PAPER = parse(
+        """
+        letrec mul = lambda x. lambda y. {mul}:(x*y) in
+        letrec fac = lambda x. {fac}:if (x=0) then 1 else mul x (fac (x-1))
+        in fac 3
+        """
+    )
+
+    def test_profiler_parity(self):
+        compiled = compile_program(self.PAPER, ProfilerMonitor())
+        answer, states = compiled.run()
+        interp = run_monitored(strict, self.PAPER, ProfilerMonitor())
+        assert answer == interp.answer
+        assert states.get("profile") == interp.state_of("profile")
+
+    def test_tracer_parity(self, paper_tracer_program):
+        monitor = TracerMonitor()
+        compiled = compile_program(paper_tracer_program, monitor)
+        interp = run_monitored(strict, paper_tracer_program, TracerMonitor())
+        assert compiled.report(monitor) == interp.report()
+
+    def test_collecting_parity(self, paper_collecting_program):
+        monitor = CollectingMonitor()
+        compiled = compile_program(paper_collecting_program, monitor)
+        interp = run_monitored(strict, paper_collecting_program, CollectingMonitor())
+        assert monitor.report(compiled.run()[1].get("collect")) == interp.report()
+
+    def test_demon_parity(self, paper_demon_program):
+        monitor = UnsortedListDemon()
+        compiled = compile_program(paper_demon_program, monitor)
+        assert compiled.report(monitor) == frozenset({"l1", "l3"})
+
+    def test_site_counts(self):
+        compiled = compile_program(self.PAPER, ProfilerMonitor())
+        assert compiled.instrumented_sites == 2
+        assert compiled.erased_sites == 0
+
+    def test_unrecognized_annotations_erased(self):
+        program = parse("{f(x)}: ({p}: 1)")
+        compiled = compile_program(program, LabelCounterMonitor())
+        assert compiled.instrumented_sites == 1  # {p}
+        assert compiled.erased_sites == 1  # {f(x)} — tracer syntax, no tracer
+
+    def test_stack_compilation(self):
+        program = parse("{p}: ({f(x)}: 2)")
+        stack = [LabelCounterMonitor(), TracerMonitor()]
+        compiled = compile_program(program, stack)
+        answer, states = compiled.run()
+        assert answer == 2
+        assert states.get("count") == {"p": 1}
+
+    def test_disjointness_enforced(self):
+        program = parse("{p}: 1")
+        with pytest.raises(MonitorError):
+            compile_program(
+                program,
+                [LabelCounterMonitor(key="a"), LabelCounterMonitor(key="b")],
+            )
+
+
+class TestCompiledContext:
+    def test_monitor_sees_variables(self):
+        seen = {}
+
+        from repro.monitoring.spec import FunctionSpec
+        from repro.syntax.annotations import Label
+
+        spy = FunctionSpec(
+            key="spy",
+            recognize=lambda a: a if isinstance(a, Label) else None,
+            initial=lambda: None,
+            pre=lambda ann, term, ctx, st: (
+                seen.update({"x": ctx.lookup("x"), "names": ctx.names()}),
+                st,
+            )[1],
+        )
+        program = parse("(lambda x. {p}: x) 5")
+        compile_program(program, spy).run()
+        assert seen["x"] == 5
+        assert "x" in seen["names"]
+
+    def test_letrec_visible_to_monitor(self):
+        from repro.monitoring.spec import FunctionSpec
+        from repro.syntax.annotations import Label
+
+        seen = []
+        spy = FunctionSpec(
+            key="spy",
+            recognize=lambda a: a if isinstance(a, Label) else None,
+            initial=lambda: None,
+            pre=lambda ann, term, ctx, st: (seen.append(ctx.maybe_lookup("f")), st)[1],
+        )
+        program = parse("letrec f = lambda n. {p}: n in f 1")
+        compile_program(program, spy).run()
+        assert seen[0] is not None  # the closure itself is visible

@@ -1,0 +1,146 @@
+"""Tests for monitor composition (Section 6)."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.languages import strict
+from repro.monitoring.compose import (
+    MonitorStack,
+    compose,
+    flatten_monitors,
+    validate_observations,
+)
+from repro.monitoring.derive import run_monitored
+from repro.monitoring.spec import FunctionSpec, MonitorSpec
+from repro.monitors import ProfilerMonitor, TracerMonitor
+from repro.syntax.annotations import Label, Tagged
+from repro.syntax.parser import parse
+
+
+def spec(key, names=None):
+    def recognize(annotation):
+        if isinstance(annotation, Label) and (names is None or annotation.name in names):
+            return annotation
+        return None
+
+    return FunctionSpec(
+        key=key,
+        recognize=recognize,
+        initial=lambda: 0,
+        pre=lambda ann, term, ctx, st: st + 1,
+    )
+
+
+class TestStackAlgebra:
+    def test_and_operator_builds_stack(self):
+        stack = spec("a", {"p"}) & spec("b", {"q"})
+        assert isinstance(stack, MonitorStack)
+        assert [m.key for m in stack] == ["a", "b"]
+
+    def test_and_is_associative(self):
+        a, b, c = spec("a", {"p"}), spec("b", {"q"}), spec("c", {"r"})
+        left = (a & b) & c
+        right = a & (b & c)
+        assert [m.key for m in left] == [m.key for m in right]
+
+    def test_compose_function(self):
+        stack = compose(spec("a", {"p"}), spec("b", {"q"}), spec("c", {"r"}))
+        assert len(stack) == 3
+
+    def test_flatten_single_spec(self):
+        single = spec("a")
+        assert flatten_monitors(single) == [single]
+
+    def test_flatten_nested_sequences(self):
+        a, b, c = spec("a"), spec("b"), spec("c")
+        assert [m.key for m in flatten_monitors([a, [b, c]])] == ["a", "b", "c"]
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(MonitorError):
+            compose(spec("same", {"p"}), spec("same", {"q"}))
+
+    def test_repr(self):
+        assert "a & b" in repr(spec("a", {"p"}) & spec("b", {"q"}))
+
+
+class TestCascadedExecution:
+    def test_both_monitors_observe(self):
+        program = parse("letrec f = lambda n. if n = 0 then 0 else {p}: ({q}: f (n - 1)) in f 3")
+        result = run_monitored(strict, program, spec("a", {"p"}) & spec("b", {"q"}))
+        assert result.report("a") == 3
+        assert result.report("b") == 3
+
+    def test_order_does_not_change_answer(self):
+        program = parse("{p}: ({q}: (6 * 7))")
+        forward = run_monitored(strict, program, spec("a", {"p"}) & spec("b", {"q"}))
+        backward = run_monitored(strict, program, spec("b", {"q"}) & spec("a", {"p"}))
+        assert forward.answer == backward.answer == 42
+
+    def test_paper_monitors_compose(self, paper_tracer_program):
+        # Tracer recognizes FnHeaders, profiler recognizes Labels: already
+        # disjoint, so the paper's programs can carry both annotation kinds.
+        program = parse(
+            """
+            letrec mul = lambda x. lambda y. {mul(x, y)}: {mul}: (x*y) in
+            letrec fac = lambda x. {fac(x)}: {fac}: if (x=0) then 1 else mul x (fac (x-1))
+            in fac 3
+            """
+        )
+        stack = ProfilerMonitor() & TracerMonitor()
+        result = run_monitored(strict, program, stack)
+        assert result.answer == 6
+        assert result.report("profile") == {"fac": 4, "mul": 3}
+        assert "[FAC receives (3)]" in result.report("trace")
+
+
+class TestObservation:
+    def make_observer(self, observed_key):
+        class Observer(MonitorSpec):
+            key = "observer"
+            observes = (observed_key,)
+
+            def recognize(self, annotation):
+                if isinstance(annotation, Tagged) and annotation.tool == "watch":
+                    return annotation.payload
+                return None
+
+            def initial_state(self):
+                return ()
+
+            def pre(self, annotation, term, ctx, state, inner=None):
+                return state + (inner[observed_key],)
+
+        return Observer()
+
+    def test_observer_sees_earlier_state(self):
+        program = parse("{watch: w}: {p}: 1")
+        stack = spec("a", {"p"}) & self.make_observer("a")
+        result = run_monitored(strict, program, stack)
+        # Observation happens before the inner {p} fires.
+        assert result.report("observer") == (0,)
+
+    def test_observer_after_inner_hits(self):
+        program = parse("({p}: 1) + ({watch: w}: 2)")
+        stack = spec("a", {"p"}) & self.make_observer("a")
+        result = run_monitored(strict, program, stack)
+        # Figure 2 order: the right operand of + evaluates first, so the
+        # observer fires before {p} does.
+        assert result.report("observer") == (0,)
+
+    def test_observer_sees_counts_accumulate(self):
+        program = parse(
+            "letrec f = lambda n. if n = 0 then 0 else {watch: w}: ({p}: f (n - 1)) in f 2"
+        )
+        stack = spec("a", {"p"}) & self.make_observer("a")
+        result = run_monitored(strict, program, stack)
+        assert result.report("observer") == (0, 1)
+
+    def test_forward_observation_rejected(self):
+        observer = self.make_observer("later")
+        later = spec("later", {"p"})
+        with pytest.raises(MonitorError):
+            validate_observations([observer, later])
+
+    def test_backward_observation_accepted(self):
+        observer = self.make_observer("a")
+        validate_observations([spec("a"), observer])

@@ -1,0 +1,58 @@
+"""Figure 4: the pair-counter profiler."""
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import LabelCounterMonitor, PairCounterMonitor
+from repro.syntax.parser import parse
+
+
+class TestPairCounter:
+    def test_paper_figure4_result(self, paper_counter_program):
+        """The paper: monitoring fac 5 yields sigma = <1, 5>."""
+        result = run_monitored(strict, paper_counter_program, PairCounterMonitor())
+        assert result.answer == 120
+        assert result.report() == (1, 5)
+
+    def test_zero_iterations(self):
+        program = parse(
+            "letrec fac = lambda x. if (x = 0) then {A}: 1 else {B}: (x * fac (x - 1)) in fac 0"
+        )
+        result = run_monitored(strict, program, PairCounterMonitor())
+        assert result.report() == (1, 0)
+
+    def test_custom_labels(self):
+        program = parse("{yes}: 1 + {no}: ({yes}: 2)")
+        monitor = PairCounterMonitor("yes", "no")
+        result = run_monitored(strict, program, monitor)
+        assert result.report() == (2, 1)
+
+    def test_other_labels_ignored(self):
+        program = parse("{A}: 1 + {C}: 2")
+        result = run_monitored(strict, program, PairCounterMonitor())
+        assert result.report() == (1, 0)
+
+    def test_namespaced(self):
+        program = parse("{ctr: A}: 1 + {A}: 2")
+        result = run_monitored(
+            strict, program, PairCounterMonitor(namespace="ctr", key="ns")
+        )
+        assert result.report("ns") == (1, 0)
+
+
+class TestLabelCounter:
+    def test_counts_per_label(self):
+        program = parse(
+            "letrec f = lambda n. if n = 0 then {done}: 0 else {loop}: f (n - 1) in f 3"
+        )
+        result = run_monitored(strict, program, LabelCounterMonitor())
+        assert result.report() == {"done": 1, "loop": 3}
+
+    def test_restricted_labels(self):
+        program = parse("{a}: 1 + {b}: 2")
+        monitor = LabelCounterMonitor(labels={"a"})
+        result = run_monitored(strict, program, monitor)
+        assert result.report() == {"a": 1}
+
+    def test_no_hits_empty_state(self):
+        result = run_monitored(strict, parse("1 + 1"), LabelCounterMonitor())
+        assert result.report() == {}

@@ -1,0 +1,110 @@
+"""Tests for the coverage monitor and the watch/invariant monitors."""
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import CoverageMonitor, InvariantMonitor, WatchMonitor
+from repro.syntax.parser import parse
+
+
+class TestCoverage:
+    PROGRAM = parse(
+        "letrec f = lambda n. if n = 0 then {base}: 1 else {step}: (n * f (n - 1)) "
+        "in if f 3 > 0 then {pos}: 1 else {neg}: 0"
+    )
+
+    def test_hits_counted(self):
+        result = run_monitored(strict, self.PROGRAM, CoverageMonitor())
+        assert result.report() == {"base": 1, "step": 3, "pos": 1}
+
+    def test_uncovered_detected(self):
+        monitor = CoverageMonitor()
+        result = run_monitored(strict, self.PROGRAM, monitor)
+        report = monitor.report_against(result.state_of(monitor), self.PROGRAM)
+        assert report.uncovered == frozenset({"neg"})
+        assert report.covered == frozenset({"base", "step", "pos"})
+
+    def test_ratio(self):
+        monitor = CoverageMonitor()
+        result = run_monitored(strict, self.PROGRAM, monitor)
+        report = monitor.report_against(result.state_of(monitor), self.PROGRAM)
+        assert report.ratio == 0.75
+
+    def test_render(self):
+        monitor = CoverageMonitor()
+        result = run_monitored(strict, self.PROGRAM, monitor)
+        report = monitor.report_against(result.state_of(monitor), self.PROGRAM)
+        text = report.render()
+        assert "coverage: 3/4" in text
+        assert "neg: NEVER REACHED" in text
+
+    def test_empty_program_full_coverage(self):
+        monitor = CoverageMonitor()
+        program = parse("1 + 1")
+        result = run_monitored(strict, program, monitor)
+        report = monitor.report_against(result.state_of(monitor), program)
+        assert report.ratio == 1.0
+
+    def test_labels_of(self):
+        monitor = CoverageMonitor()
+        assert monitor.labels_of(self.PROGRAM) == {"base", "step", "pos", "neg"}
+
+
+class TestWatch:
+    def test_changes_logged(self):
+        program = parse(
+            "letrec f = lambda n. {w}: if n = 0 then 0 else f (n - 1) in f 2"
+        )
+        result = run_monitored(strict, program, WatchMonitor(["n"]))
+        log = result.report()
+        values = [value for _, _, value in log]
+        assert values == ["2", "1", "0"]
+
+    def test_unchanged_values_not_relogged(self):
+        program = parse(
+            "letrec f = lambda n. {w}: if n = 0 then 0 else f n in f 0"
+        )
+        result = run_monitored(strict, program, WatchMonitor(["n"]))
+        assert len(result.report()) == 1
+
+    def test_missing_variable_skipped(self):
+        program = parse("{w}: 1")
+        result = run_monitored(strict, program, WatchMonitor(["ghost"]))
+        assert result.report() == ()
+
+    def test_multiple_variables(self):
+        program = parse("(lambda a. (lambda b. {w}: (a + b)) 2) 1")
+        result = run_monitored(strict, program, WatchMonitor(["a", "b"]))
+        assert {(var, val) for _, var, val in result.report()} == {
+            ("a", "1"),
+            ("b", "2"),
+        }
+
+
+class TestInvariant:
+    def test_violations_logged(self):
+        monitor = InvariantMonitor(
+            invariant=lambda ann, term, ctx, result: not isinstance(result, int)
+            or result >= 0
+        )
+        program = parse("{a}: (1 - 5) + {b}: 3")
+        result = run_monitored(strict, program, monitor)
+        assert len(result.report()) == 1
+        assert "a: violated" in result.report()[0]
+
+    def test_no_violations(self):
+        monitor = InvariantMonitor(invariant=lambda *args: True)
+        result = run_monitored(strict, parse("{a}: 1"), monitor)
+        assert result.report() == ()
+
+    def test_pre_check(self):
+        monitor = InvariantMonitor(
+            invariant=lambda ann, term, ctx, result: result is not None,
+            check_pre=True,
+        )
+        result = run_monitored(strict, parse("{a}: 1"), monitor)
+        assert any("violated on entry" in line for line in result.report())
+
+    def test_program_not_aborted(self):
+        monitor = InvariantMonitor(invariant=lambda *args: False)
+        result = run_monitored(strict, parse("{a}: (6 * 7)"), monitor)
+        assert result.answer == 42

@@ -1,0 +1,63 @@
+"""Tests for dynamic breakpoints and extended debugger commands."""
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import DebuggerMonitor
+from repro.syntax.parser import parse
+
+PROGRAM = parse(
+    """
+    letrec outer = lambda n. {outer}: inner n
+    and inner = lambda n. {inner}: if n = 0 then 0 else outer (n - 1)
+    in outer 2
+    """
+)
+
+
+def transcript(script, breakpoints):
+    debugger = DebuggerMonitor(script, breakpoints=breakpoints)
+    result = run_monitored(strict, PROGRAM, debugger)
+    assert result.answer == 0
+    return result.report()
+
+
+class TestDynamicBreakpoints:
+    def test_add_breakpoint_mid_session(self):
+        text = transcript(
+            ["break inner", "continue", "where", "quit"], breakpoints=["outer"]
+        )
+        # First stop at outer; after adding inner, the next stop is inner.
+        assert "stopped at outer (stop #1)" in text
+        assert "breakpoint added: inner" in text
+        assert "stopped at inner (stop #2)" in text
+
+    def test_delete_breakpoint(self):
+        text = transcript(
+            ["delete outer", "continue", "where", "quit"], breakpoints=["outer", "inner"]
+        )
+        # outer removed at the first stop; all later stops are at inner.
+        stops = [line for line in text.splitlines() if line.startswith("stopped at")]
+        assert stops[0] == "stopped at outer (stop #1)"
+        assert all("inner" in stop for stop in stops[1:])
+        assert len(stops) >= 2
+
+    def test_breakpoints_listing(self):
+        text = transcript(
+            ["break inner", "breakpoints", "quit"], breakpoints=["outer"]
+        )
+        assert "breakpoints: inner, outer" in text
+
+    def test_breakpoints_listing_all_sites(self):
+        text = transcript(["breakpoints", "quit"], breakpoints=None)
+        assert "(every annotated site)" in text
+
+    def test_depth_command(self):
+        text = transcript(
+            ["continue", "continue", "depth", "quit"], breakpoints=["outer"]
+        )
+        # Third stop at outer: stack is outer > inner > outer.
+        assert "depth: 3" in text
+
+    def test_delete_overrides_static_set(self):
+        text = transcript(["delete inner", "quit"], breakpoints=["inner"])
+        assert text.count("stopped at") == 1  # only the initial stop

@@ -1,0 +1,82 @@
+"""Figure 8: demons."""
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import PredicateDemon, UnsortedListDemon
+from repro.monitors.demon import is_sorted_list
+from repro.semantics.values import NIL, Cons, from_python_list
+from repro.syntax.parser import parse
+
+
+class TestSortedPredicate:
+    def test_nil_sorted(self):
+        assert is_sorted_list(NIL) is True
+
+    def test_singleton_sorted(self):
+        assert is_sorted_list(from_python_list([5])) is True
+
+    def test_sorted(self):
+        assert is_sorted_list(from_python_list([1, 2, 3])) is True
+
+    def test_unsorted(self):
+        assert is_sorted_list(from_python_list([3, 1])) is False
+
+    def test_duplicates_sorted(self):
+        assert is_sorted_list(from_python_list([1, 1, 2])) is True
+
+    def test_non_list_is_none(self):
+        assert is_sorted_list(42) is None
+
+    def test_improper_list_is_none(self):
+        assert is_sorted_list(Cons(1, 2)) is None
+
+    def test_incomparable_elements_none(self):
+        assert is_sorted_list(from_python_list([1, "a"])) is None
+
+
+class TestPaperExample:
+    def test_section8_result(self, paper_demon_program):
+        """The paper: sigma = {l1, l3}."""
+        result = run_monitored(strict, paper_demon_program, UnsortedListDemon())
+        assert set(result.report()) == {"l1", "l3"}
+
+    def test_non_list_points_ignored(self):
+        program = parse("{num}: 5 + {num2}: 6")
+        result = run_monitored(strict, program, UnsortedListDemon())
+        assert result.report() == frozenset()
+
+    def test_sorted_lists_not_flagged(self):
+        program = parse("{ok}: [1, 2, 3]")
+        result = run_monitored(strict, program, UnsortedListDemon())
+        assert result.report() == frozenset()
+
+
+class TestPredicateDemon:
+    def test_custom_event(self):
+        demon = PredicateDemon(
+            predicate=lambda ann, term, ctx, result: isinstance(result, int)
+            and result < 0,
+        )
+        program = parse("{a}: (1 - 5) + {b}: 10")
+        result = run_monitored(strict, program, demon)
+        assert result.report() == ("a",)
+
+    def test_custom_action(self):
+        demon = PredicateDemon(
+            predicate=lambda ann, term, ctx, result: True,
+            action=lambda ann, term, ctx, result: (ann.name, result),
+        )
+        program = parse("{x}: 1 + {y}: 2")
+        result = run_monitored(strict, program, demon)
+        # Figure 2 order: right operand evaluates first.
+        assert result.report() == (("y", 2), ("x", 1))
+
+    def test_event_order_preserved(self):
+        demon = PredicateDemon(
+            predicate=lambda ann, term, ctx, result: True,
+        )
+        program = parse(
+            "letrec f = lambda n. if n = 0 then 0 else {tick}: f (n - 1) in f 3"
+        )
+        result = run_monitored(strict, program, demon)
+        assert result.report() == ("tick", "tick", "tick")

@@ -1,0 +1,72 @@
+"""Cross-checks between the literal denotational semantics and the machine."""
+
+import pytest
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import CollectingMonitor, LabelCounterMonitor, ProfilerMonitor
+from repro.semantics.answers import string_answers, theta, theta_inverse
+from repro.semantics.denotational import run_denotational
+from repro.syntax.parser import parse
+
+
+class TestStandardAgreement:
+    def test_corpus_agreement(self, corpus_case):
+        program, expected = corpus_case
+        answer, state = run_denotational(program)
+        assert answer == expected
+        assert state is None
+
+    def test_answer_is_pair(self):
+        answer, state = run_denotational(parse("1 + 1"))
+        assert (answer, state) == (2, None)
+
+    def test_string_answer_algebra(self):
+        answer, _ = run_denotational(parse("2 + 2"), answers=string_answers())
+        assert answer == "The result is: 4"
+
+
+class TestMonitoredAgreement:
+    def test_profiler_agrees_with_machine(self, paper_profiler_program):
+        monitor = ProfilerMonitor()
+        den_answer, den_state = run_denotational(paper_profiler_program, monitor)
+        machine = run_monitored(strict, paper_profiler_program, monitor)
+        assert den_answer == machine.answer
+        assert den_state == machine.state_of(monitor)
+
+    def test_collecting_agrees_with_machine(self, paper_collecting_program):
+        monitor = CollectingMonitor()
+        den_answer, den_state = run_denotational(paper_collecting_program, monitor)
+        machine = run_monitored(strict, paper_collecting_program, monitor)
+        assert den_answer == machine.answer
+        assert monitor.report(den_state) == machine.report()
+
+    def test_counter_agrees(self, paper_counter_program):
+        monitor = LabelCounterMonitor()
+        den_answer, den_state = run_denotational(paper_counter_program, monitor)
+        assert den_answer == 120
+        assert den_state == {"A": 1, "B": 5}
+
+
+class TestTheta:
+    """Definition 4.1's answer transformer and its inverse."""
+
+    def test_theta_pairs(self):
+        lifted = theta(42)
+        assert lifted("sigma") == (42, "sigma")
+
+    def test_theta_inverse(self):
+        assert theta_inverse(theta(42)) == 42
+
+    def test_theta_inverse_ignores_sigma(self):
+        assert theta_inverse(theta("x"), sigma=object()) == "x"
+
+
+class TestErrors:
+    def test_errors_agree_with_machine(self):
+        program = parse("hd []")
+        with pytest.raises(Exception) as den_exc:
+            run_denotational(program)
+        with pytest.raises(Exception) as machine_exc:
+            strict.evaluate(program)
+        assert type(den_exc.value) is type(machine_exc.value)

@@ -1,0 +1,26 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.partial_eval.online
+import repro.prelude
+import repro.syntax.annotations
+import repro.syntax.parser
+import repro.toolbox.session
+
+MODULES = [
+    repro.partial_eval.online,
+    repro.prelude,
+    repro.syntax.annotations,
+    repro.syntax.parser,
+    repro.toolbox.session,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,89 @@
+"""Tests for environments."""
+
+import pytest
+
+from repro.errors import UnboundIdentifierError
+from repro.semantics.env import Environment, empty_environment
+from repro.semantics.values import Closure
+from repro.syntax.annotations import Label
+from repro.syntax.ast import Annotated, Const, Lam, Var
+
+
+class TestLookup:
+    def test_empty_raises(self):
+        with pytest.raises(UnboundIdentifierError):
+            empty_environment().lookup("x")
+
+    def test_extend_and_lookup(self):
+        env = empty_environment().extend("x", 1)
+        assert env.lookup("x") == 1
+
+    def test_shadowing(self):
+        env = empty_environment().extend("x", 1).extend("x", 2)
+        assert env.lookup("x") == 2
+
+    def test_parent_chain(self):
+        env = empty_environment().extend("x", 1).extend("y", 2)
+        assert env.lookup("x") == 1
+
+    def test_maybe_lookup(self):
+        env = empty_environment().extend("x", 1)
+        assert env.maybe_lookup("x") == 1
+        assert env.maybe_lookup("z") is None
+
+    def test_contains(self):
+        env = empty_environment().extend("x", 1)
+        assert "x" in env
+        assert "y" not in env
+
+    def test_persistence(self):
+        base = empty_environment().extend("x", 1)
+        child = base.extend("x", 2)
+        assert base.lookup("x") == 1
+        assert child.lookup("x") == 2
+
+
+class TestExtendRecursive:
+    def test_closure_sees_itself(self):
+        env = empty_environment().extend_recursive(
+            (("f", Lam("x", Var("f"))),)
+        )
+        closure = env.lookup("f")
+        assert isinstance(closure, Closure)
+        assert closure.env.lookup("f") is closure
+
+    def test_mutual_recursion(self):
+        env = empty_environment().extend_recursive(
+            (("f", Lam("x", Var("g"))), ("g", Lam("y", Var("f"))))
+        )
+        assert env.lookup("f").env.lookup("g") is env.lookup("g")
+
+    def test_annotated_lambda_stripped_shallow(self):
+        env = empty_environment().extend_recursive(
+            (("f", Annotated(Label("p"), Lam("x", Const(1)))),)
+        )
+        closure = env.lookup("f")
+        assert closure.param == "x"
+
+    def test_closure_named(self):
+        env = empty_environment().extend_recursive((("f", Lam("x", Const(1))),))
+        assert env.lookup("f").name == "f"
+
+
+class TestIntrospection:
+    def test_names_innermost_first(self):
+        env = empty_environment().extend("a", 1).extend("b", 2)
+        assert env.names() == ("b", "a")
+
+    def test_names_deduplicated(self):
+        env = empty_environment().extend("a", 1).extend("a", 2)
+        assert env.names() == ("a",)
+
+    def test_extend_many(self):
+        env = empty_environment().extend_many({"a": 1, "b": 2})
+        assert env.lookup("a") == 1
+        assert env.lookup("b") == 2
+
+    def test_depth(self):
+        env = empty_environment()
+        assert env.extend("a", 1).extend("b", 2).depth() == 3

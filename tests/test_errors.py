@@ -1,0 +1,97 @@
+"""Tests for the error hierarchy and diagnostics."""
+
+import pytest
+
+from repro.errors import (
+    EvalError,
+    LexError,
+    MonitorError,
+    NO_LOCATION,
+    NotAFunctionError,
+    ParseError,
+    PrimitiveError,
+    ReproError,
+    SourceLocation,
+    SpecializationError,
+    StepLimitExceeded,
+    UnboundIdentifierError,
+    format_source_context,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            LexError,
+            ParseError,
+            EvalError,
+            MonitorError,
+            SpecializationError,
+        ],
+    )
+    def test_all_are_repro_errors(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_eval_error_family(self):
+        for exc_type in (UnboundIdentifierError, NotAFunctionError, PrimitiveError, StepLimitExceeded):
+            assert issubclass(exc_type, EvalError)
+
+    def test_unbound_carries_name(self):
+        error = UnboundIdentifierError("foo")
+        assert error.name == "foo"
+        assert "foo" in str(error)
+
+    def test_step_limit_carries_limit(self):
+        assert StepLimitExceeded(100).limit == 100
+
+    def test_location_in_message(self):
+        loc = SourceLocation(3, 7, 20)
+        error = EvalError("boom", loc)
+        assert "3:7" in str(error)
+
+    def test_no_location_omitted(self):
+        assert "at" not in str(EvalError("boom"))
+
+    def test_parse_error_prefix(self):
+        error = ParseError("bad token", SourceLocation(1, 2, 1))
+        assert str(error).startswith("parse error at 1:2")
+
+
+class TestSourceContext:
+    def test_caret_points_at_column(self):
+        source = "let x = = 1 in x"
+        context = format_source_context(source, SourceLocation(1, 9, 8))
+        line, caret = context.split("\n")
+        assert line == source
+        assert caret.index("^") == 8
+
+    def test_multiline_source(self):
+        source = "a\nb c d\ne"
+        context = format_source_context(source, SourceLocation(2, 3, 4))
+        assert context.split("\n")[0] == "b c d"
+
+    def test_no_location(self):
+        assert format_source_context("abc", NO_LOCATION) == ""
+
+    def test_out_of_range_line(self):
+        assert format_source_context("abc", SourceLocation(9, 1, 0)) == ""
+
+    def test_long_line_truncated(self):
+        source = "x" * 200
+        context = format_source_context(source, SourceLocation(1, 150, 149))
+        assert "..." in context
+        assert "^" in context
+
+    def test_str_of_location(self):
+        assert str(SourceLocation(4, 5, 10)) == "4:5"
+
+
+class TestCliDiagnostics:
+    def test_parse_error_shows_context(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "-e", "let x = = 1 in x"]) == 1
+        err = capsys.readouterr().err
+        assert "^" in err
+        assert "parse error" in err

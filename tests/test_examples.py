@@ -1,0 +1,44 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import io
+import pathlib
+import runpy
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Something each example must print, so a silently broken script fails.
+EXPECTED_FRAGMENTS = {
+    "quickstart.py": "counter state <A, B>: (1, 5)",
+    "paper_section8.py": "[FAC returns 6]",
+    "composed_monitors.py": "profile: {'fac': 4, 'mul': 3}",
+    "specialization_pipeline.py": "residual program: let x_0 = y + 1",
+    "debugger_session.py": "stopped at merge",
+    "imperative_monitoring.py": "demon fired at:",
+    "lazy_vs_strict.py": "lazy answer: 42",
+    "time_travel_queries.py": "who calls filter?",
+    "exceptions_and_unwinding.py": "still unmatched at program end",
+    "quantitative_profiling.py": "total collatz steps for 2..30: 441",
+}
+
+
+def test_every_example_has_an_expectation():
+    names = {script.name for script in EXAMPLE_SCRIPTS}
+    assert names == set(EXPECTED_FRAGMENTS), (
+        "examples/ and EXPECTED_FRAGMENTS out of sync; add an expectation "
+        "for new examples"
+    )
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda path: path.name
+)
+def test_example_runs(script):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(script), run_name="__main__")
+    output = buffer.getvalue()
+    assert EXPECTED_FRAGMENTS[script.name] in output

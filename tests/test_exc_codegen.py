@@ -1,0 +1,90 @@
+"""Tests for L_exc residual code generation."""
+
+import pytest
+
+from repro.languages.exceptions import (
+    UncaughtException,
+    exceptions_language,
+    parse_exc,
+)
+from repro.monitoring.derive import run_monitored
+from repro.monitors import LabelCounterMonitor, StepperMonitor, TracerMonitor
+from repro.partial_eval.exc_codegen import generate_exc_program
+
+PROGRAMS = {
+    "no_raise": ("try 1 + 1 catch e. 99", 2),
+    "caught": ("try raise 41 catch e. e + 1", 42),
+    "aborts_pending": ("try 100 * (raise 7) catch e. e", 7),
+    "nested_inner": ("try (try raise 1 catch a. a + 10) catch b. b + 100", 11),
+    "reraise": ("try (try raise 1 catch a. raise (a + 1)) catch b. b * 10", 20),
+    "dynamic_handler": (
+        "let thrower = lambda x. raise x in try thrower 5 catch e. e * 2",
+        10,
+    ),
+    "deep_unwind": (
+        "letrec dig = lambda n. if n = 0 then raise n else 1 + dig (n - 1) in "
+        "try dig 100 catch e. e - 1",
+        -1,
+    ),
+    "value_payload": ("try raise [1, 2] catch e. hd e", 1),
+    "plain_recursion": (
+        "letrec fac = lambda x. if x = 0 then 1 else x * fac (x - 1) in fac 5",
+        120,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS), ids=sorted(PROGRAMS))
+def test_residual_matches_interpreter(name):
+    source, expected = PROGRAMS[name]
+    program = parse_exc(source)
+    assert exceptions_language.evaluate(program) == expected
+    assert generate_exc_program(program).evaluate() == expected
+
+
+class TestUncaught:
+    def test_uncaught_surfaces_as_same_error(self):
+        program = parse_exc("1 + raise 13")
+        with pytest.raises(UncaughtException) as interp_exc:
+            exceptions_language.evaluate(program)
+        with pytest.raises(UncaughtException) as residual_exc:
+            generate_exc_program(program).evaluate()
+        assert interp_exc.value.value == residual_exc.value.value == 13
+
+
+class TestMonitoredResiduals:
+    def test_counter_parity(self):
+        program = parse_exc("try {p}: (1 + raise 5) catch e. {q}: (e * 2)")
+        interp = run_monitored(
+            exceptions_language, program, LabelCounterMonitor()
+        )
+        generated = generate_exc_program(program, LabelCounterMonitor())
+        answer, states = generated.run()
+        assert answer == interp.answer == 10
+        assert states.get("count") == interp.state_of("count") == {"p": 1, "q": 1}
+
+    def test_post_discarded_on_abort(self):
+        program = parse_exc("try {p}: (raise 1) catch e. e")
+        interp = run_monitored(exceptions_language, program, StepperMonitor())
+        generated = generate_exc_program(program, StepperMonitor())
+        answer, states = generated.run()
+        monitor = interp.monitors[0]
+        interp_kinds = [e.kind for e in monitor.events(interp.state_of(monitor))]
+        residual_kinds = [e.kind for e in monitor.events(states.get("step"))]
+        assert interp_kinds == residual_kinds == ["enter"]
+
+    def test_tracer_unreturned_calls_parity(self):
+        program = parse_exc(
+            "letrec f = lambda x. {f(x)}: (if x = 0 then raise 99 else f (x - 1)) in "
+            "try f 2 catch e. e"
+        )
+        interp = run_monitored(exceptions_language, program, TracerMonitor())
+        generated = generate_exc_program(program, TracerMonitor())
+        monitor = TracerMonitor()
+        assert generated.report(monitor) == interp.report()
+
+    def test_source_uses_host_try(self):
+        program = parse_exc("try raise 1 catch e. e")
+        generated = generate_exc_program(program)
+        assert "try:" in generated.source
+        assert "except _raised as" in generated.source

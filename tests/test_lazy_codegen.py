@@ -1,0 +1,97 @@
+"""Tests for lazy residual code generation."""
+
+import pytest
+
+from repro.languages import lazy
+from repro.monitoring.derive import run_monitored
+from repro.monitors import LabelCounterMonitor, ProfilerMonitor
+from repro.partial_eval.lazy_codegen import generate_lazy_program
+from repro.syntax.parser import parse
+
+
+class TestAnswers:
+    def test_corpus_parity(self, corpus_case):
+        program, expected = corpus_case
+        generated = generate_lazy_program(program)
+        assert generated.evaluate() == expected
+
+    def test_unused_divergence_ignored(self):
+        program = parse(
+            "letrec loop = lambda x. loop x in let dead = loop 1 in 42"
+        )
+        assert generate_lazy_program(program).evaluate() == 42
+
+    def test_unused_error_ignored(self):
+        program = parse("(lambda x. 7) (hd [])")
+        assert generate_lazy_program(program).evaluate() == 7
+
+    def test_demanded_error_raises(self):
+        from repro.errors import EvalError
+
+        program = parse("(lambda x. x) (hd [])")
+        with pytest.raises(EvalError):
+            generate_lazy_program(program).evaluate()
+
+
+class TestDemandMonitoring:
+    def test_never_demanded_no_events(self):
+        program = parse("let dead = {dead}: (1 + 1) in 5")
+        generated = generate_lazy_program(program, LabelCounterMonitor())
+        interp = run_monitored(lazy, program, LabelCounterMonitor())
+        assert generated.report("count") == interp.report() == {}
+
+    def test_shared_thunk_single_event(self):
+        program = parse("let x = {costly}: (1 + 2) in x + x")
+        generated = generate_lazy_program(program, LabelCounterMonitor())
+        interp = run_monitored(lazy, program, LabelCounterMonitor())
+        assert generated.report("count") == interp.report() == {"costly": 1}
+
+    def test_sharing_through_aliases(self):
+        program = parse(
+            "let x = {costly}: (2 * 2) in let y = x in let z = y in z + y + x"
+        )
+        generated = generate_lazy_program(program, LabelCounterMonitor())
+        answer, states = generated.run()
+        assert answer == 12
+        assert states.get("count") == {"costly": 1}
+
+    def test_demand_order_matches_interpreter(self):
+        events = []
+        from repro.monitoring.spec import FunctionSpec
+        from repro.syntax.annotations import Label
+
+        def make_spy():
+            return FunctionSpec(
+                key="spy",
+                recognize=lambda a: a if isinstance(a, Label) else None,
+                initial=lambda: None,
+                pre=lambda ann, term, ctx, st: (events.append(ann.name), st)[1],
+            )
+
+        program = parse("(lambda x. {body}: 1 + x) ({arg}: 2)")
+        run_monitored(lazy, program, make_spy())
+        interp_events, events = list(events), []
+        generate_lazy_program(program, make_spy()).run()
+        assert events == interp_events == ["body", "arg"]
+
+    def test_profiled_recursion_parity(self):
+        program = parse(
+            "letrec fib = lambda n. {fib}: (if n < 2 then n else fib (n - 1) + fib (n - 2)) in fib 10"
+        )
+        generated = generate_lazy_program(program, ProfilerMonitor())
+        interp = run_monitored(lazy, program, ProfilerMonitor())
+        answer, states = generated.run()
+        assert answer == interp.answer == 55
+        assert states.get("profile") == interp.state_of("profile")
+
+
+class TestSource:
+    def test_thunks_in_source(self):
+        program = parse("(lambda x. 1) (2 + 3)")
+        generated = generate_lazy_program(program)
+        assert "_T(" in generated.source
+
+    def test_source_is_python(self):
+        program = parse("let x = {p}: (1 + 1) in x")
+        generated = generate_lazy_program(program, LabelCounterMonitor())
+        compile(generated.source, "<check>", "exec")

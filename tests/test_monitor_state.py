@@ -1,0 +1,90 @@
+"""Tests for the monitor-state vector and monitor spec plumbing."""
+
+import pytest
+
+from repro.monitoring.spec import FunctionSpec, MonitorSpec
+from repro.monitoring.state import MonitorStateVector
+from repro.syntax.annotations import Label
+
+
+class TestStateVector:
+    def test_initial_from_monitors(self):
+        specs = [
+            FunctionSpec("a", lambda x: x, lambda: 0),
+            FunctionSpec("b", lambda x: x, lambda: "s"),
+        ]
+        vector = MonitorStateVector.initial(specs)
+        assert vector.get("a") == 0
+        assert vector.get("b") == "s"
+
+    def test_set_is_persistent(self):
+        vector = MonitorStateVector({"a": 1})
+        updated = vector.set("a", 2)
+        assert vector.get("a") == 1
+        assert updated.get("a") == 2
+
+    def test_view_read_only(self):
+        vector = MonitorStateVector({"a": 1, "b": 2})
+        view = vector.view(("a",))
+        assert view["a"] == 1
+        with pytest.raises(TypeError):
+            view["a"] = 5  # type: ignore[index]
+
+    def test_keys_and_len(self):
+        vector = MonitorStateVector({"a": 1, "b": 2})
+        assert set(vector.keys()) == {"a", "b"}
+        assert len(vector) == 2
+        assert "a" in vector
+
+    def test_as_dict_copy(self):
+        vector = MonitorStateVector({"a": 1})
+        d = vector.as_dict()
+        d["a"] = 99
+        assert vector.get("a") == 1
+
+
+class TestMonitorSpecDefaults:
+    def test_default_pre_post_identity(self):
+        spec = MonitorSpec()
+        assert spec.pre(None, None, None, "state") == "state"
+        assert spec.post(None, None, None, None, "state") == "state"
+
+    def test_default_report_identity(self):
+        assert MonitorSpec().report({"x": 1}) == {"x": 1}
+
+    def test_recognize_abstract(self):
+        with pytest.raises(NotImplementedError):
+            MonitorSpec().recognize(Label("x"))
+
+    def test_function_spec_defaults(self):
+        spec = FunctionSpec("k", lambda a: a, lambda: 7)
+        assert spec.initial_state() == 7
+        assert spec.pre(None, None, None, 7) == 7
+        assert spec.post(None, None, None, None, 7) == 7
+        assert spec.report(7) == 7
+
+    def test_function_spec_custom_report(self):
+        spec = FunctionSpec("k", lambda a: a, lambda: 3, report=lambda s: s * 2)
+        assert spec.report(3) == 6
+
+    def test_function_spec_observing(self):
+        from repro.languages import strict
+        from repro.monitoring.derive import run_monitored
+        from repro.monitors import LabelCounterMonitor
+        from repro.syntax.annotations import Tagged
+        from repro.syntax.parser import parse
+
+        seen = []
+        observer = FunctionSpec(
+            key="obs",
+            recognize=lambda a: a.payload if isinstance(a, Tagged) and a.tool == "w" else None,
+            initial=lambda: None,
+            pre=lambda ann, term, ctx, st, inner: (seen.append(dict(inner["count"])), st)[1],
+            observes=("count",),
+        )
+        program = parse("({p}: 1) + ({w: x}: 2)")
+        run_monitored(strict, program, [LabelCounterMonitor(), observer])
+        assert seen == [{}]  # right operand first: observer fires before {p}
+
+    def test_repr(self):
+        assert "k" in repr(FunctionSpec("k", lambda a: a, lambda: 0))

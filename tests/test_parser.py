@@ -1,0 +1,244 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.syntax.annotations import FnHeader, Label, Tagged
+from repro.syntax.ast import (
+    Annotated,
+    App,
+    Const,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Var,
+)
+from repro.syntax.parser import parse
+
+
+class TestAtoms:
+    def test_int(self):
+        assert parse("42") == Const(42)
+
+    def test_float(self):
+        assert parse("2.5") == Const(2.5)
+
+    def test_negative_literal(self):
+        assert parse("-3") == Const(-3)
+
+    def test_bool(self):
+        assert parse("true") == Const(True)
+        assert parse("false") == Const(False)
+
+    def test_string(self):
+        assert parse('"hi"') == Const("hi")
+
+    def test_identifier(self):
+        assert parse("foo") == Var("foo")
+
+    def test_parenthesized(self):
+        assert parse("(42)") == Const(42)
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        assert parse("1 + 2 * 3") == App(
+            App(Var("+"), Const(1)), App(App(Var("*"), Const(2)), Const(3))
+        )
+
+    def test_left_associative_subtraction(self):
+        # (10 - 3) - 2
+        assert parse("10 - 3 - 2") == App(
+            App(Var("-"), App(App(Var("-"), Const(10)), Const(3))), Const(2)
+        )
+
+    def test_comparison_binds_loosest_of_arith(self):
+        expr = parse("1 + 2 = 3")
+        assert isinstance(expr, App)
+        assert expr.fn.fn == Var("=")
+
+    def test_cons_right_associative(self):
+        expr = parse("1 :: 2 :: []")
+        # cons 1 (cons 2 nil)
+        assert expr.fn.fn == Var("cons")
+        assert expr.fn.arg == Const(1)
+        assert expr.arg.fn.fn == Var("cons")
+
+    def test_unary_minus_on_expression(self):
+        assert parse("-(x)") == App(Var("neg"), Var("x"))
+
+    def test_double_negative_folds(self):
+        assert parse("- -3") == Const(3)
+
+    def test_modulo(self):
+        assert parse("7 % 2") == App(App(Var("%"), Const(7)), Const(2))
+
+    def test_string_append(self):
+        assert parse('"a" ++ "b"') == App(App(Var("++"), Const("a")), Const("b"))
+
+
+class TestApplication:
+    def test_simple(self):
+        assert parse("f x") == App(Var("f"), Var("x"))
+
+    def test_left_associative(self):
+        assert parse("f x y") == App(App(Var("f"), Var("x")), Var("y"))
+
+    def test_application_binds_tighter_than_operators(self):
+        expr = parse("f x + 1")
+        assert expr.fn.fn == Var("+")
+        assert expr.fn.arg == App(Var("f"), Var("x"))
+
+    def test_application_to_bool(self):
+        assert parse("f true") == App(Var("f"), Const(True))
+
+    def test_application_to_list(self):
+        expr = parse("f []")
+        assert expr == App(Var("f"), Var("nil"))
+
+
+class TestLambda:
+    def test_single_param(self):
+        assert parse("lambda x. x") == Lam("x", Var("x"))
+
+    def test_multi_param_curried(self):
+        assert parse("lambda x y. x") == Lam("x", Lam("y", Var("x")))
+
+    def test_body_extends_right(self):
+        assert parse("lambda x. x + 1") == Lam(
+            "x", App(App(Var("+"), Var("x")), Const(1))
+        )
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse("lambda x x")
+
+
+class TestConditional:
+    def test_basic(self):
+        assert parse("if true then 1 else 2") == If(Const(True), Const(1), Const(2))
+
+    def test_nested(self):
+        expr = parse("if a then 1 else if b then 2 else 3")
+        assert isinstance(expr.else_branch, If)
+
+    def test_missing_else(self):
+        with pytest.raises(ParseError):
+            parse("if a then 1")
+
+
+class TestLetAndLetrec:
+    def test_let(self):
+        assert parse("let x = 1 in x") == Let("x", Const(1), Var("x"))
+
+    def test_letrec_single(self):
+        expr = parse("letrec f = lambda x. x in f 1")
+        assert isinstance(expr, Letrec)
+        assert expr.bindings[0][0] == "f"
+
+    def test_letrec_multiple(self):
+        expr = parse(
+            "letrec f = lambda x. g x and g = lambda y. y in f 1"
+        )
+        assert [name for name, _ in expr.bindings] == ["f", "g"]
+
+    def test_letrec_requires_lambda(self):
+        with pytest.raises(ParseError):
+            parse("letrec x = 42 in x")
+
+    def test_letrec_annotated_lambda_allowed(self):
+        expr = parse("letrec f = {warm}: lambda x. x in f 2")
+        assert isinstance(expr, Letrec)
+        assert isinstance(expr.bindings[0][1], Annotated)
+
+
+class TestListLiterals:
+    def test_empty(self):
+        assert parse("[]") == Var("nil")
+
+    def test_elements_desugar_to_cons(self):
+        expr = parse("[1, 2]")
+        assert expr.fn.fn == Var("cons")
+        assert expr.fn.arg == Const(1)
+        assert expr.arg.fn.arg == Const(2)
+        assert expr.arg.arg == Var("nil")
+
+    def test_nested_expressions(self):
+        expr = parse("[1 + 1]")
+        assert expr.fn.arg == App(App(Var("+"), Const(1)), Const(1))
+
+
+class TestAnnotations:
+    def test_label(self):
+        assert parse("{p}: 1") == Annotated(Label("p"), Const(1))
+
+    def test_header(self):
+        expr = parse("{fac(x)}: 1")
+        assert expr.annotation == FnHeader("fac", ("x",))
+
+    def test_tagged(self):
+        expr = parse("{trace: f(a, b)}: 1")
+        assert expr.annotation == Tagged("trace", FnHeader("f", ("a", "b")))
+
+    def test_binds_to_next_atom(self):
+        # The paper's collecting example: {n}: n * e annotates just n.
+        expr = parse("{n}: n * m")
+        assert expr.fn.fn == Var("*")
+        assert expr.fn.arg == Annotated(Label("n"), Var("n"))
+
+    def test_swallows_if(self):
+        expr = parse("{fac}: if a then 1 else 2")
+        assert isinstance(expr, Annotated)
+        assert isinstance(expr.body, If)
+
+    def test_swallows_lambda(self):
+        expr = parse("{f}: lambda x. x")
+        assert isinstance(expr.body, Lam)
+
+    def test_parenthesized_body(self):
+        expr = parse("{B}:(x * y)")
+        assert isinstance(expr, Annotated)
+        assert expr.body.fn.fn == Var("*")
+
+    def test_nested_annotations(self):
+        expr = parse("{a}: {b}: 1")
+        assert expr.annotation == Label("a")
+        assert expr.body.annotation == Label("b")
+
+    def test_annotated_as_argument(self):
+        expr = parse("f {p}: x")
+        assert expr == App(Var("f"), Annotated(Label("p"), Var("x")))
+
+    def test_missing_colon(self):
+        with pytest.raises(ParseError):
+            parse("{p} 1")
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse("1 )")
+
+    def test_empty_program(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse("(1 + 2")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("let = 1 in x")
+        assert exc.value.location.line == 1
+
+
+class TestLocations:
+    def test_nodes_carry_locations(self):
+        expr = parse("foo")
+        assert expr.location.line == 1
+        assert expr.location.column == 1
+
+    def test_equality_ignores_location(self):
+        assert parse(" foo ") == parse("foo")

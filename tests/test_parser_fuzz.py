@@ -1,0 +1,80 @@
+"""Robustness fuzzing: the front end never crashes, only reports.
+
+For arbitrary input text the lexer/parser must either produce a tree or
+raise a located :class:`LexError`/:class:`ParseError` — never an
+``AttributeError``/``IndexError``/``RecursionError`` escape.  And for
+text that does parse, pretty-printing and re-parsing must be stable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LexError, ParseError
+from repro.syntax.lexer import tokenize
+from repro.syntax.parser import parse
+from repro.syntax.pretty import pretty
+
+#: Alphabet biased toward the language's own tokens so the fuzzer reaches
+#: deep parser states, plus raw unicode noise.
+TOKENS = [
+    "lambda", "if", "then", "else", "let", "letrec", "in", "and",
+    "true", "false", "x", "y", "fac", "f'",
+    "0", "1", "42", "3.5",
+    "+", "-", "*", "/", "=", "/=", "<", "<=", ">", ">=", "::", "++",
+    "&&", "||",
+    "(", ")", "[", "]", ",", ".", ":", "{", "}",
+    '"str"', "{p}:", "{f(x)}:", "--c\n", "#c\n", " ", "\n",
+]
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(st.sampled_from(TOKENS), max_size=25).map(" ".join))
+def test_parser_total_on_token_soup(source):
+    try:
+        tree = parse(source)
+    except (LexError, ParseError) as exc:
+        assert exc.location is not None
+        return
+    # Parsed: round-trip must be stable.
+    assert parse(pretty(tree)) == tree
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=40))
+def test_lexer_total_on_arbitrary_text(source):
+    try:
+        tokens = tokenize(source)
+    except LexError as exc:
+        assert exc.location is not None
+        return
+    assert tokens[-1].kind == "EOF"
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet="(){}[]:.,+-*/=<>", max_size=30))
+def test_parser_total_on_punctuation_noise(source):
+    try:
+        parse(source)
+    except (LexError, ParseError):
+        pass
+
+
+IMP_TOKENS = [
+    "skip", "emit", "while", "do", "begin", "end", "local", "in",
+    "if", "then", "else", ":=", ";", "x", "y", "0", "1", "+", "<",
+    "{p}:", "(", ")",
+]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.sampled_from(IMP_TOKENS), max_size=20).map(" ".join))
+def test_imp_parser_total_on_token_soup(source):
+    from repro.languages.imp_syntax import parse_imp, pretty_imp
+    from repro.languages.imperative import normalize_seq
+
+    try:
+        command = parse_imp(source)
+    except (LexError, ParseError) as exc:
+        assert exc.location is not None
+        return
+    assert normalize_seq(parse_imp(pretty_imp(command))) == normalize_seq(command)

@@ -1,0 +1,128 @@
+"""Tests for the standard prelude."""
+
+import pytest
+
+from repro.languages import lazy, strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import ProfilerMonitor
+from repro.prelude import PRELUDE_DEFINITIONS, prelude_session, with_prelude
+from repro.semantics.values import from_python_list, to_python_list
+from repro.toolbox.autoannotate import profile_functions
+
+
+def run(source):
+    return strict.evaluate(with_prelude(source))
+
+
+class TestCombinators:
+    def test_id(self):
+        assert run("id 42") == 42
+
+    def test_const(self):
+        assert run("const 1 2") == 1
+
+    def test_compose(self):
+        assert run("compose (lambda x. x * 2) (lambda x. x + 1) 10") == 22
+
+    def test_flip(self):
+        assert run("flip (lambda a. lambda b. a - b) 1 10") == 9
+
+    def test_twice(self):
+        assert run("twice (lambda x. x * 3) 2") == 18
+
+
+class TestLists:
+    def test_append(self):
+        assert to_python_list(run("append [1, 2] [3]")) == [1, 2, 3]
+
+    def test_reverse(self):
+        assert to_python_list(run("reverse [1, 2, 3]")) == [3, 2, 1]
+
+    def test_last(self):
+        assert run("last [1, 2, 3]") == 3
+
+    def test_nth(self):
+        assert run("nth 2 [10, 20, 30]") == 30
+
+    def test_take_and_drop(self):
+        assert to_python_list(run("take 2 [1, 2, 3]")) == [1, 2]
+        assert to_python_list(run("drop 2 [1, 2, 3]")) == [3]
+        assert run("take 5 [1]") == from_python_list([1])
+
+    def test_map(self):
+        assert to_python_list(run("map (lambda x. x * x) [1, 2, 3]")) == [1, 4, 9]
+
+    def test_filter(self):
+        assert to_python_list(run("filter (lambda x. x > 1) [0, 1, 2, 3]")) == [2, 3]
+
+    def test_folds(self):
+        assert run("foldr (lambda a. lambda b. a - b) 0 [10, 3]") == 7  # 10-(3-0)
+        assert run("foldl (lambda a. lambda b. a - b) 0 [10, 3]") == -13
+
+    def test_zip_with(self):
+        assert to_python_list(run("zipWith (lambda a. lambda b. a + b) [1, 2] [10, 20, 30]")) == [11, 22]
+
+
+class TestNumeric:
+    def test_from_to(self):
+        assert to_python_list(run("fromTo 1 4")) == [1, 2, 3, 4]
+        assert run("fromTo 3 1") is not None  # empty list
+
+    def test_sum_product(self):
+        assert run("sum (fromTo 1 10)") == 55
+        assert run("product (fromTo 1 5)") == 120
+
+    def test_extrema(self):
+        assert run("maximum [3, 9, 1]") == 9
+        assert run("minimum [3, 9, 1]") == 1
+
+
+class TestPredicates:
+    def test_all_any(self):
+        assert run("all? (lambda x. x > 0) [1, 2]") is True
+        assert run("all? (lambda x. x > 0) [1, -2]") is False
+        assert run("any? (lambda x. x < 0) [1, -2]") is True
+
+    def test_member(self):
+        assert run("member? 2 [1, 2, 3]") is True
+        assert run("member? 9 [1, 2, 3]") is False
+
+
+class TestSorting:
+    def test_isort(self):
+        assert to_python_list(run("isort [3, 1, 2]")) == [1, 2, 3]
+
+    def test_qsort(self):
+        assert to_python_list(run("qsort [5, 3, 8, 1, 5]")) == [1, 3, 5, 5, 8]
+
+    def test_sorted_predicate(self):
+        assert run("sorted? [1, 2, 2, 3]") is True
+        assert run("sorted? [2, 1]") is False
+
+    def test_sort_composition(self):
+        assert run("sorted? (qsort (reverse (fromTo 1 20)))") is True
+
+
+class TestIntegration:
+    def test_prelude_is_monitorable(self):
+        program = profile_functions(with_prelude("sum (map id [1, 2, 3])"), "map")
+        result = run_monitored(strict, program, ProfilerMonitor())
+        assert result.answer == 6
+        assert result.report() == {"map": 4}
+
+    def test_prelude_session(self):
+        session = prelude_session()
+        assert session.evaluate("sum (fromTo 1 4)").answer == 10
+        result = session.evaluate("product (fromTo 1 4)", tools="profile", functions=["product"])
+        assert result.answer == 24
+        assert result.report("profile") == {"product": 1}
+
+    def test_prelude_under_lazy(self):
+        assert lazy.evaluate(with_prelude("sum (take 3 (fromTo 1 100))")) == 6
+
+    def test_every_definition_is_lambda(self):
+        from repro.syntax.ast import Lam, strip_annotations_shallow
+        from repro.syntax.parser import parse
+
+        for name, source in PRELUDE_DEFINITIONS.items():
+            assert isinstance(strip_annotations_shallow(parse(source)), Lam), name

@@ -1,0 +1,114 @@
+"""Pretty-printer tests, including parse/pretty round-trips."""
+
+import pytest
+
+from repro.syntax.annotations import FnHeader, Label
+from repro.syntax.ast import Annotated, App, Const, If, Lam, Let, Letrec, Var
+from repro.syntax.parser import parse
+from repro.syntax.pretty import pretty
+
+
+ROUNDTRIP_SOURCES = [
+    "42",
+    "true",
+    '"hi there"',
+    "x + y * z",
+    "(x + y) * z",
+    "f x y",
+    "f (g x)",
+    "lambda x y. x + y",
+    "if a then b else c",
+    "let x = 1 in x + x",
+    "letrec f = lambda x. f x in f 1",
+    "letrec f = lambda x. g x and g = lambda y. f y in f 0",
+    "[1, 2, 3]",
+    "1 :: 2 :: []",
+    "{p}: x",
+    "{fac(x)}: if x = 0 then 1 else x * fac (x - 1)",
+    "{n}: n * m",
+    "{trace: mul(x, y)}:(x * y)",
+    "-x",
+    "f (-3)",
+    "a <= b",
+    '"a" ++ "b"',
+]
+
+
+@pytest.mark.parametrize("source", ROUNDTRIP_SOURCES)
+def test_roundtrip(source):
+    """pretty . parse is the identity up to formatting."""
+    tree = parse(source)
+    assert parse(pretty(tree)) == tree
+
+
+class TestRendering:
+    def test_constants(self):
+        assert pretty(Const(42)) == "42"
+        assert pretty(Const(True)) == "true"
+        assert pretty(Const(False)) == "false"
+        assert pretty(Const("hi")) == '"hi"'
+
+    def test_string_escapes(self):
+        assert pretty(Const('a"b')) == '"a\\"b"'
+        assert pretty(Const("a\nb")) == '"a\\nb"'
+
+    def test_negative_constant_parenthesized_in_app(self):
+        expr = App(Var("f"), Const(-3))
+        assert pretty(expr) == "f (-3)"
+
+    def test_infix_resugaring(self):
+        expr = App(App(Var("+"), Var("x")), Var("y"))
+        assert pretty(expr) == "x + y"
+
+    def test_precedence_parens(self):
+        expr = App(App(Var("*"), App(App(Var("+"), Var("a")), Var("b"))), Var("c"))
+        assert pretty(expr) == "(a + b) * c"
+
+    def test_list_resugaring(self):
+        assert pretty(parse("[1, 2, 3]")) == "[1, 2, 3]"
+
+    def test_empty_list(self):
+        assert pretty(parse("[]")) == "[]"
+
+    def test_logic_operators(self):
+        assert pretty(parse("a && b || c")) == "a && b || c"
+
+    def test_cons_with_dynamic_tail(self):
+        assert pretty(parse("x :: xs")) == "x :: xs"
+
+    def test_lambda_currying_collapsed(self):
+        expr = Lam("x", Lam("y", Var("x")))
+        assert pretty(expr) == "lambda x y. x"
+
+    def test_annotated_atom(self):
+        assert pretty(Annotated(Label("p"), Var("x"))) == "{p}: x"
+
+    def test_annotated_compound_parenthesized(self):
+        expr = Annotated(Label("p"), App(App(Var("+"), Var("x")), Const(1)))
+        assert pretty(expr) == "{p}: (x + 1)"
+        assert parse(pretty(expr)) == expr
+
+    def test_annotated_if_open(self):
+        expr = Annotated(Label("f"), If(Var("a"), Const(1), Const(2)))
+        assert pretty(expr) == "{f}: if a then 1 else 2"
+
+    def test_header_annotation(self):
+        expr = Annotated(FnHeader("mul", ("x", "y")), Var("z"))
+        assert pretty(expr) == "{mul(x, y)}: z"
+
+    def test_let(self):
+        assert pretty(Let("x", Const(1), Var("x"))) == "let x = 1 in x"
+
+    def test_letrec_multi(self):
+        expr = parse("letrec f = lambda x. x and g = lambda y. y in 1")
+        text = pretty(expr)
+        assert "and g" in text
+
+    def test_nested_comparison_parenthesized(self):
+        expr = App(App(Var("="), App(App(Var("="), Var("a")), Var("b"))), Var("c"))
+        assert parse(pretty(expr)) == expr
+
+
+def test_roundtrip_on_corpus(corpus_case):
+    program, _ = corpus_case
+    assert parse(pretty(program)) == program

@@ -1,0 +1,191 @@
+"""Tests for the primitive operations and initial environment."""
+
+import pytest
+
+from repro.errors import PrimitiveError
+from repro.languages import strict
+from repro.semantics.primitives import (
+    PRIMITIVE_TABLE,
+    initial_environment,
+    make_primitive,
+)
+from repro.semantics.values import NIL, from_python_list
+from repro.syntax.parser import parse
+
+
+def run(source):
+    return strict.evaluate(parse(source))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("2 + 3", 5),
+            ("2 - 3", -1),
+            ("2 * 3", 6),
+            ("7 / 2", 3),
+            ("-7 / 2", -3),  # truncation toward zero
+            ("7 % 2", 1),
+            ("-7 % 2", -1),
+            ("neg 5", -5),
+            ("abs (-5)", 5),
+            ("min 2 9", 2),
+            ("max 2 9", 9),
+        ],
+    )
+    def test_integer_ops(self, source, expected):
+        assert run(source) == expected
+
+    def test_float_division(self):
+        assert run("7.0 / 2.0") == 3.5
+
+    def test_sqrt(self):
+        assert run("sqrt 9") == 3.0
+
+    def test_sqrt_negative(self):
+        with pytest.raises(PrimitiveError):
+            run("sqrt (-1)")
+
+    def test_division_by_zero(self):
+        with pytest.raises(PrimitiveError):
+            run("1 / 0")
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(PrimitiveError):
+            run("1 % 0")
+
+    def test_add_type_error(self):
+        with pytest.raises(PrimitiveError):
+            run("1 + true")
+
+    def test_bool_is_not_number(self):
+        with pytest.raises(PrimitiveError):
+            run("true + 1")
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("1 = 1", True),
+            ("1 = 2", False),
+            ("1 /= 2", True),
+            ("1 < 2", True),
+            ("2 <= 2", True),
+            ("3 > 2", True),
+            ("2 >= 3", False),
+            ('"a" < "b"', True),
+            ("[1, 2] = [1, 2]", True),
+            ("[1] = [1, 2]", False),
+            ("true = true", True),
+            ("1 = true", False),
+        ],
+    )
+    def test_comparisons(self, source, expected):
+        assert run(source) is expected
+
+    def test_function_equality_rejected(self):
+        with pytest.raises(PrimitiveError):
+            run("(lambda x. x) = (lambda y. y)")
+
+    def test_ordering_type_error(self):
+        with pytest.raises(PrimitiveError):
+            run("true < 1")
+
+
+class TestLogic:
+    def test_not(self):
+        assert run("not true") is False
+
+    def test_and_or(self):
+        assert run("true && false") is False
+        assert run("true || false") is True
+        assert run("1 < 2 && 2 < 3") is True
+
+    def test_not_type_error(self):
+        with pytest.raises(PrimitiveError):
+            run("not 1")
+
+
+class TestLists:
+    def test_cons_hd_tl(self):
+        assert run("hd (1 :: [])") == 1
+        assert run("tl (1 :: [2])") == from_python_list([2])
+
+    def test_nullp(self):
+        assert run("null? []") is True
+        assert run("null? [1]") is False
+
+    def test_length(self):
+        assert run("length [1, 2, 3]") == 3
+        assert run("length []") == 0
+
+    def test_hd_of_empty(self):
+        with pytest.raises(PrimitiveError):
+            run("hd []")
+
+    def test_tl_of_empty(self):
+        with pytest.raises(PrimitiveError):
+            run("tl []")
+
+    def test_hd_of_non_list(self):
+        with pytest.raises(PrimitiveError):
+            run("hd 3")
+
+
+class TestStrings:
+    def test_append(self):
+        assert run('"ab" ++ "cd"') == "abcd"
+
+    def test_to_str(self):
+        assert run("toStr 42") == "42"
+        assert run("toStr [1, 2]") == "[1, 2]"
+        assert run("toStr true") == "True"
+
+    def test_strlen(self):
+        assert run('strlen "abcd"') == 4
+
+    def test_append_type_error(self):
+        with pytest.raises(PrimitiveError):
+            run('"a" ++ 1')
+
+
+class TestPredicates:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("int? 1", True),
+            ("int? true", False),
+            ("bool? false", True),
+            ("string? \"x\"", True),
+            ("list? []", True),
+            ("list? [1]", True),
+            ("list? 1", False),
+            ("function? (lambda x. x)", True),
+            ("function? hd", True),
+            ("function? 3", False),
+        ],
+    )
+    def test_predicates(self, source, expected):
+        assert run(source) is expected
+
+
+class TestInitialEnvironment:
+    def test_all_primitives_bound(self):
+        env = initial_environment()
+        for name in PRIMITIVE_TABLE:
+            assert env.maybe_lookup(name) is not None
+
+    def test_nil_bound(self):
+        assert initial_environment().lookup("nil") is NIL
+
+    def test_make_primitive_arity(self):
+        assert make_primitive("+").arity == 2
+        assert make_primitive("hd").arity == 1
+
+    def test_partial_application_through_language(self):
+        assert run("let add2 = (+) 2 in add2 40") == 42
+
+    def test_primitive_as_value(self):
+        assert run("(lambda f. f 1 2) (+)") == 3

@@ -1,0 +1,70 @@
+"""Figure 6: the function-call profiler."""
+
+from repro.languages import lazy, strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import ProfilerMonitor
+from repro.monitors.profiler import inc_ctr, init_env
+from repro.syntax.parser import parse
+
+
+class TestPaperExample:
+    def test_section8_result(self, paper_profiler_program):
+        """The paper: [fac -> 4, mul -> 3] for fac 3."""
+        result = run_monitored(strict, paper_profiler_program, ProfilerMonitor())
+        assert result.answer == 6
+        assert result.report() == {"fac": 4, "mul": 3}
+
+    def test_report_sorted(self, paper_profiler_program):
+        result = run_monitored(strict, paper_profiler_program, ProfilerMonitor())
+        assert list(result.report()) == ["fac", "mul"]
+
+
+class TestCounterEnvAlgebra:
+    def test_init_env_empty(self):
+        assert init_env() == {}
+
+    def test_inc_ctr_initializes_to_one(self):
+        assert inc_ctr("f", {}) == {"f": 1}
+
+    def test_inc_ctr_increments(self):
+        assert inc_ctr("f", {"f": 2}) == {"f": 3}
+
+    def test_inc_ctr_pure(self):
+        original = {"f": 1}
+        inc_ctr("f", original)
+        assert original == {"f": 1}
+
+
+class TestBehavior:
+    def test_uncalled_function_absent(self):
+        program = parse(
+            "letrec used = lambda x. {used}: x "
+            "and unused = lambda x. {unused}: x "
+            "in used 1"
+        )
+        result = run_monitored(strict, program, ProfilerMonitor())
+        assert result.report() == {"used": 1}
+
+    def test_profile_under_lazy_counts_demand(self):
+        program = parse(
+            "letrec f = lambda x. {f}: (x + 1) in "
+            "let unused = f 1 in 42"
+        )
+        strict_hits = run_monitored(strict, program, ProfilerMonitor()).report()
+        lazy_hits = run_monitored(lazy, program, ProfilerMonitor()).report()
+        assert strict_hits == {"f": 1}
+        assert lazy_hits == {}  # never demanded
+
+    def test_namespaced_profiler(self):
+        program = parse("letrec f = lambda x. {profile: f}: x in f 1")
+        result = run_monitored(
+            strict, program, ProfilerMonitor(namespace="profile")
+        )
+        assert result.report() == {"f": 1}
+
+    def test_deep_recursion_profile(self):
+        program = parse(
+            "letrec f = lambda n. {f}: if n = 0 then 0 else f (n - 1) in f 10000"
+        )
+        result = run_monitored(strict, program, ProfilerMonitor())
+        assert result.report() == {"f": 10001}

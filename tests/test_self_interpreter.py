@@ -1,0 +1,108 @@
+"""A meta-circular stress test: L_lambda interpreting L_lambda.
+
+An interpreter for a core of ``L_lambda`` (constants, variables, lambda,
+application, conditionals, arithmetic), written *in* ``L_lambda`` with
+environments as association lists and object terms encoded as nested
+lists:
+
+    [0, n]          constant n
+    [1, name]       variable (names are ints)
+    [2, name, body] lambda
+    [3, f, a]       application
+    [4, c, t, e]    if
+    [5, l, r]       addition
+    [6, l, r]       subtraction
+    [7, l, r]       equality test
+
+Closures are *host* (meta-level) functions — the object-level lambda
+becomes a meta-level lambda — so the encoded interpreter genuinely
+exercises higher-order evaluation, and monitoring the interpreter's
+``eval`` observes object-program structure through one level of
+interpretation.
+"""
+
+import pytest
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import ProfilerMonitor
+from repro.partial_eval.codegen import generate_program
+from repro.syntax.parser import parse
+
+SELF_INTERPRETER = """
+letrec lookup = lambda name. lambda env.
+    if hd (hd env) = name then hd (tl (hd env)) else lookup name (tl env)
+and eval = lambda t. lambda env.
+    {eval}: (
+    if hd t = 0 then hd (tl t)
+    else if hd t = 1 then lookup (hd (tl t)) env
+    else if hd t = 2 then
+        (lambda v. eval (hd (tl (tl t))) (((hd (tl t)) :: (v :: [])) :: env))
+    else if hd t = 3 then (eval (hd (tl t)) env) (eval (hd (tl (tl t))) env)
+    else if hd t = 4 then
+        (if eval (hd (tl t)) env
+         then eval (hd (tl (tl t))) env
+         else eval (hd (tl (tl (tl t)))) env)
+    else if hd t = 5 then (eval (hd (tl t)) env) + (eval (hd (tl (tl t))) env)
+    else if hd t = 6 then (eval (hd (tl t)) env) - (eval (hd (tl (tl t))) env)
+    else (eval (hd (tl t)) env) = (eval (hd (tl (tl t))) env))
+in eval %s []
+"""
+
+# Object program: ((lambda x. x + x) 21)  — encoded.
+DOUBLE_21 = "[3, [2, 0, [5, [1, 0], [1, 0]]], [0, 21]]"
+
+# Object program: (lambda f. f (f 3)) (lambda x. x + 1)
+TWICE_SUCC = (
+    "[3, [3, [2, 9, [2, 0, [3, [1, 9], [3, [1, 9], [1, 0]]]]],"
+    " [2, 1, [5, [1, 1], [0, 1]]]], [0, 3]]"
+)
+
+# Object program: if (0 = 0) then 10 else 20
+IF_TEST = "[4, [7, [0, 0], [0, 0]], [0, 10], [0, 20]]"
+
+
+def interp(encoded: str):
+    return parse(SELF_INTERPRETER % encoded)
+
+
+class TestSelfInterpretation:
+    def test_double(self):
+        assert strict.evaluate(interp(DOUBLE_21)) == 42
+
+    def test_higher_order(self):
+        assert strict.evaluate(interp(TWICE_SUCC)) == 5
+
+    def test_conditional(self):
+        assert strict.evaluate(interp(IF_TEST)) == 10
+
+    def test_object_level_shadowing(self):
+        # (lambda x. (lambda x. x) 2) 1  -> 2
+        encoded = "[3, [2, 0, [3, [2, 0, [1, 0]], [0, 2]]], [0, 1]]"
+        assert strict.evaluate(interp(encoded)) == 2
+
+
+class TestMonitoringTheInterpreter:
+    def test_eval_counts_object_nodes(self):
+        result = run_monitored(strict, interp(DOUBLE_21), ProfilerMonitor())
+        assert result.answer == 42
+        # app + lambda + const + (body: add + var + var) = 6 eval calls.
+        assert result.report() == {"eval": 6}
+
+    def test_residual_interpreter_parity(self):
+        program = interp(TWICE_SUCC)
+        interp_result = run_monitored(strict, program, ProfilerMonitor())
+        generated = generate_program(program, ProfilerMonitor())
+        assert generated.evaluate() == 5
+        assert generated.report("profile") == interp_result.report()
+
+
+class TestTwoLevelsDeep:
+    def test_monitored_interpreter_interpreting_recursion(self):
+        # Object-level: ((lambda f. ...) fixpointless loop is hard without
+        # letrec in the object language; use nested application depth
+        # instead: (((lambda x. lambda y. x + y) 1) 2)
+        encoded = "[3, [3, [2, 0, [2, 1, [5, [1, 0], [1, 1]]]], [0, 1]], [0, 2]]"
+        result = run_monitored(strict, interp(encoded), ProfilerMonitor())
+        assert result.answer == 3
+        assert result.report()["eval"] == 9

@@ -1,0 +1,66 @@
+"""Tests for session save/load."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.languages import lazy
+from repro.toolbox.session import Session
+
+
+@pytest.fixture
+def session():
+    s = Session()
+    s.define("double", "lambda x. x + x")
+    s.define("fac", "lambda x. if x = 0 then 1 else x * fac (x - 1)")
+    s.define("tagged", "lambda x. {tagged}: (x + 1)")
+    return s
+
+
+class TestRoundTrip:
+    def test_save_load(self, session, tmp_path):
+        path = tmp_path / "session.repro"
+        session.save(path)
+        restored = Session.load(path)
+        assert restored.names() == session.names()
+        assert restored.evaluate("fac (double 2)").answer == 24
+
+    def test_annotations_survive(self, session, tmp_path):
+        path = tmp_path / "session.repro"
+        session.save(path)
+        restored = Session.load(path)
+        result = restored.evaluate("tagged 1", tools=["count"])
+        # 'count' claims bare labels; the saved {tagged} annotation fires.
+        assert result.report("count") == {"tagged": 1}
+
+    def test_file_is_readable_source(self, session, tmp_path):
+        path = tmp_path / "session.repro"
+        session.save(path)
+        text = path.read_text()
+        assert "-- define: fac" in text
+        assert "lambda x." in text
+
+    def test_load_with_language(self, session, tmp_path):
+        path = tmp_path / "session.repro"
+        session.save(path)
+        restored = Session.load(path, language=lazy)
+        assert restored.language is lazy
+
+    def test_empty_session(self, tmp_path):
+        path = tmp_path / "empty.repro"
+        Session().save(path)
+        restored = Session.load(path)
+        assert restored.names() == ()
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("not a session\n")
+        with pytest.raises(ReproError):
+            Session.load(path)
+
+    def test_hand_edit_survives(self, session, tmp_path):
+        path = tmp_path / "session.repro"
+        session.save(path)
+        text = path.read_text().replace("x + x", "x * 3")
+        path.write_text(text)
+        restored = Session.load(path)
+        assert restored.evaluate("double 2").answer == 6

@@ -1,0 +1,76 @@
+"""Tests for the statistics monitor."""
+
+import pytest
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitoring.validate import validate_monitor
+from repro.monitors.statistics import NumericSummary, StatisticsMonitor
+from repro.syntax.parser import parse
+
+
+class TestNumericSummary:
+    def test_empty(self):
+        summary = NumericSummary()
+        assert summary.mean is None
+        assert summary.variance is None
+        assert "no numeric samples" in summary.render()
+
+    def test_single_value(self):
+        summary = NumericSummary().add(5)
+        assert summary.count == 1
+        assert summary.minimum == summary.maximum == 5
+        assert summary.mean == 5
+
+    def test_running_statistics(self):
+        summary = NumericSummary()
+        for value in (1, 2, 3, 4):
+            summary = summary.add(value)
+        assert summary.count == 4
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert summary.mean == 2.5
+        assert summary.variance == pytest.approx(1.25)
+
+    def test_booleans_are_non_numeric(self):
+        summary = NumericSummary().add(True)
+        assert summary.count == 0
+        assert summary.non_numeric == 1
+
+    def test_strings_are_non_numeric(self):
+        summary = NumericSummary().add("x")
+        assert summary.non_numeric == 1
+
+    def test_immutability(self):
+        base = NumericSummary()
+        base.add(1)
+        assert base.count == 0
+
+
+class TestStatisticsMonitor:
+    def test_per_label_summaries(self):
+        program = parse(
+            "letrec f = lambda n. if n = 0 then 0 else {v}: n + f (n - 1) in f 4"
+        )
+        result = run_monitored(strict, program, StatisticsMonitor())
+        summary = result.report()["v"]
+        # Observed values of {v}: n at n = 4, 3, 2, 1... the annotation
+        # binds to the atom n, so values are 1..4 in demand order.
+        assert summary.count == 4
+        assert (summary.minimum, summary.maximum) == (1, 4)
+        assert summary.mean == 2.5
+
+    def test_mixed_types_counted(self):
+        program = parse("if {v}: true then {v}: 1 else 2")
+        result = run_monitored(strict, program, StatisticsMonitor())
+        summary = result.report()["v"]
+        assert summary.count == 1
+        assert summary.non_numeric == 1
+
+    def test_validates(self):
+        assert validate_monitor(StatisticsMonitor()) == []
+
+    def test_render(self):
+        program = parse("{v}: 1 + {v}: 3")
+        result = run_monitored(strict, program, StatisticsMonitor())
+        assert "n=2" in result.report()["v"].render()

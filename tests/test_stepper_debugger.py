@@ -1,0 +1,120 @@
+"""Tests for the stepper and the scriptable debugger."""
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitors import DebuggerMonitor, StepperMonitor
+from repro.syntax.parser import parse
+
+FAC = "letrec fac = lambda x. {fac}: if x = 0 then 1 else x * fac (x - 1) in fac 2"
+
+
+class TestStepper:
+    def test_event_sequence(self):
+        result = run_monitored(strict, parse(FAC), StepperMonitor())
+        monitor = result.monitors[0]
+        events = monitor.events(result.state_of(monitor))
+        kinds = [(e.kind, e.depth) for e in events]
+        assert kinds == [
+            ("enter", 0),
+            ("enter", 1),
+            ("enter", 2),
+            ("exit", 2),
+            ("exit", 1),
+            ("exit", 0),
+        ]
+
+    def test_exit_carries_value(self):
+        result = run_monitored(strict, parse(FAC), StepperMonitor())
+        monitor = result.monitors[0]
+        exits = [e for e in monitor.events(result.state_of(monitor)) if e.kind == "exit"]
+        assert [e.value for e in exits] == ["1", "1", "2"]
+
+    def test_render(self):
+        result = run_monitored(strict, parse("{p}: (1 + 1)"), StepperMonitor())
+        text = result.report()
+        assert "-> p" in text
+        assert "<- p = 2" in text
+
+    def test_long_source_truncated(self):
+        monitor = StepperMonitor(max_source_width=10)
+        result = run_monitored(
+            strict, parse("{p}: (11111 + 22222 + 33333)"), monitor
+        )
+        events = monitor.events(result.state_of(monitor))
+        assert all(len(e.source) <= 10 for e in events)
+
+    def test_header_annotations_recognized(self):
+        result = run_monitored(strict, parse("{f(x)}: 1"), StepperMonitor())
+        assert "-> f" in result.report()
+
+
+class TestDebugger:
+    def test_break_and_print(self):
+        debugger = DebuggerMonitor(["print x", "continue", "quit"], breakpoints=["fac"])
+        result = run_monitored(strict, parse(FAC), debugger)
+        transcript = result.report()
+        assert "stopped at fac (stop #1)" in transcript
+        assert "x = 2" in transcript
+        assert "stopped at fac (stop #2)" in transcript
+
+    def test_quit_stops_breaking(self):
+        debugger = DebuggerMonitor(["quit"], breakpoints=["fac"])
+        result = run_monitored(strict, parse(FAC), debugger)
+        assert result.report().count("stopped at") == 1
+        assert result.answer == 2
+
+    def test_script_exhaustion_runs_to_completion(self):
+        debugger = DebuggerMonitor(["print x"], breakpoints=["fac"])
+        result = run_monitored(strict, parse(FAC), debugger)
+        assert result.answer == 2
+        assert result.report().count("stopped at") == 1
+
+    def test_step_mode_breaks_at_any_site(self):
+        program = parse("{a}: 1 + {b}: ({c}: 2)")
+        debugger = DebuggerMonitor(
+            ["step", "step", "quit"], breakpoints=["b"]
+        )
+        result = run_monitored(strict, program, debugger)
+        transcript = result.report()
+        assert "stopped at b" in transcript
+        assert "stopped at c" in transcript
+
+    def test_where_shows_stack(self):
+        debugger = DebuggerMonitor(
+            ["continue", "where", "quit"], breakpoints=["fac"]
+        )
+        result = run_monitored(strict, parse(FAC), debugger)
+        assert "where: fac > fac" in result.report()
+
+    def test_finish_reports_return(self):
+        debugger = DebuggerMonitor(["finish", "quit"], breakpoints=["fac"])
+        result = run_monitored(strict, parse(FAC), debugger)
+        assert "fac returned 2" in result.report()
+
+    def test_vars_lists_bindings(self):
+        debugger = DebuggerMonitor(["vars", "quit"], breakpoints=["fac"])
+        result = run_monitored(strict, parse(FAC), debugger)
+        assert "vars:" in result.report()
+        assert "x" in result.report()
+
+    def test_source_command(self):
+        debugger = DebuggerMonitor(["source", "quit"], breakpoints=["fac"])
+        result = run_monitored(strict, parse(FAC), debugger)
+        assert "source: if x = 0" in result.report()
+
+    def test_unknown_command_reported(self):
+        debugger = DebuggerMonitor(["frobnicate", "quit"], breakpoints=["fac"])
+        result = run_monitored(strict, parse(FAC), debugger)
+        assert "unknown command" in result.report()
+
+    def test_unbound_print(self):
+        debugger = DebuggerMonitor(["print zz", "quit"], breakpoints=["fac"])
+        result = run_monitored(strict, parse(FAC), debugger)
+        assert "zz is not bound here" in result.report()
+
+    def test_answer_never_affected(self):
+        debugger = DebuggerMonitor(
+            ["print x", "step", "print x", "finish", "quit"], breakpoints=["fac"]
+        )
+        result = run_monitored(strict, parse(FAC), debugger)
+        assert result.answer == 2

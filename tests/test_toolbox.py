@@ -1,0 +1,190 @@
+"""Tests for the programming environment (registry, sessions, autoannotation)."""
+
+import pytest
+
+from repro.errors import MonitorError, ReproError
+from repro.languages import imperative, lazy, strict
+from repro.monitoring.compose import MonitorStack
+from repro.monitors import ProfilerMonitor, TracerMonitor
+from repro.syntax.annotations import FnHeader, Label, Tagged
+from repro.syntax.ast import Annotated, annotations_in
+from repro.syntax.parser import parse
+from repro.toolbox import Session, Toolchain, evaluate, make_tool
+from repro.toolbox.autoannotate import (
+    annotate_function_bodies,
+    annotate_matching,
+    profile_functions,
+    trace_functions,
+)
+
+FAC_DEFS = "letrec fac = lambda x. if x = 0 then 1 else x * fac (x - 1) in fac 4"
+
+
+class TestRegistry:
+    def test_make_tool(self):
+        assert make_tool("profile").key == "profile"
+        assert make_tool("trace").key == "trace"
+
+    def test_unknown_tool(self):
+        with pytest.raises(MonitorError) as exc:
+            make_tool("nonsense")
+        assert "toolbox has" in str(exc.value)
+
+    def test_namespace_passed(self):
+        tool = make_tool("profile", namespace="p")
+        assert tool.recognize(Tagged("p", Label("f"))) == Label("f")
+        assert tool.recognize(Label("f")) is None
+
+
+class TestEvaluate:
+    def test_plain_evaluation(self):
+        result = evaluate([], "2 + 3")
+        assert result.answer == 5
+        assert result.reports == {}
+
+    def test_single_monitor(self):
+        result = evaluate(ProfilerMonitor(), "letrec f = lambda x. {f}: x in f 9")
+        assert result.answer == 9
+        assert result.report("profile") == {"f": 1}
+
+    def test_toolchain_with_ampersand(self):
+        program = "letrec f = lambda x. {profile: f}: ({trace: f(x)}: x) in f 1"
+        chain = (
+            make_tool("profile", namespace="profile")
+            & make_tool("trace", namespace="trace")
+            & strict
+        )
+        assert isinstance(chain, Toolchain)
+        result = evaluate(chain, program)
+        assert result.answer == 1
+        assert result.report("profile") == {"f": 1}
+
+    def test_string_toolchain(self):
+        result = evaluate("profile & strict", "letrec f = lambda x. {f}: x in f 2")
+        assert result.answer == 2
+        assert result.report("profile") == {"f": 1}
+
+    def test_string_toolchain_lazy(self):
+        result = evaluate("profile & lazy", "let d = {d}: 1 in 5")
+        assert result.answer == 5
+        assert result.report("profile") == {}
+
+    def test_report_without_monitors(self):
+        result = evaluate([], "1")
+        with pytest.raises(MonitorError):
+            result.report()
+
+    def test_language_override(self):
+        result = evaluate([], "let d = hd [] in 3", language=lazy)
+        assert result.answer == 3
+
+
+class TestAutoAnnotation:
+    def test_profile_style(self):
+        program = annotate_function_bodies(parse(FAC_DEFS), style="label")
+        annotations = annotations_in(program)
+        assert Label("fac") in annotations
+
+    def test_header_style_curried(self):
+        source = "letrec mul = lambda x. lambda y. x * y in mul 2 3"
+        program = annotate_function_bodies(parse(source), style="header")
+        assert FnHeader("mul", ("x", "y")) in annotations_in(program)
+
+    def test_names_filter(self):
+        source = "letrec f = lambda x. x and g = lambda y. y in f (g 1)"
+        program = annotate_function_bodies(parse(source), names=["g"])
+        assert annotations_in(program) == (Label("g"),)
+
+    def test_namespace(self):
+        program = annotate_function_bodies(
+            parse(FAC_DEFS), style="label", namespace="profile"
+        )
+        assert Tagged("profile", Label("fac")) in annotations_in(program)
+
+    def test_idempotent(self):
+        once = annotate_function_bodies(parse(FAC_DEFS))
+        twice = annotate_function_bodies(once)
+        assert once == twice
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            annotate_function_bodies(parse(FAC_DEFS), style="weird")
+
+    def test_annotated_program_still_correct(self):
+        program = trace_functions(parse(FAC_DEFS))
+        assert strict.evaluate(program) == 24
+
+    def test_annotate_matching(self):
+        from repro.syntax.ast import If
+
+        program = annotate_matching(
+            parse("if a then 1 else 2"),
+            lambda node: "branch" if isinstance(node, If) else None,
+        )
+        assert isinstance(program, Annotated)
+
+    def test_profile_functions_shorthand(self):
+        program = profile_functions(parse(FAC_DEFS), "fac")
+        assert Label("fac") in annotations_in(program)
+
+
+class TestSession:
+    def test_define_and_evaluate(self):
+        session = Session()
+        session.define("double", "lambda x. x + x")
+        assert session.evaluate("double 21").answer == 42
+
+    def test_definitions_recursive(self):
+        session = Session()
+        session.define("fac", "lambda x. if x = 0 then 1 else x * fac (x - 1)")
+        assert session.evaluate("fac 5").answer == 120
+
+    def test_mutual_recursion(self):
+        session = Session()
+        session.define("even", "lambda n. if n = 0 then true else odd (n - 1)")
+        session.define("odd", "lambda n. if n = 0 then false else even (n - 1)")
+        assert session.evaluate("even 8").answer is True
+
+    def test_tools_auto_annotate(self):
+        session = Session()
+        session.define("fac", "lambda x. if x = 0 then 1 else x * fac (x - 1)")
+        result = session.evaluate("fac 4", tools="profile & trace")
+        assert result.answer == 24
+        assert result.report("profile") == {"fac": 5}
+        assert "[FAC receives (4)]" in result.report("trace")
+
+    def test_functions_filter(self):
+        session = Session()
+        session.define("f", "lambda x. x")
+        session.define("g", "lambda y. f y")
+        result = session.evaluate("g 1", tools="profile", functions=["f"])
+        assert result.report("profile") == {"f": 1}
+
+    def test_non_lambda_definition_rejected(self):
+        session = Session()
+        with pytest.raises(ReproError):
+            session.define("x", "42")
+
+    def test_undefine(self):
+        session = Session()
+        session.define("f", "lambda x. x")
+        session.undefine("f")
+        assert session.names() == ()
+
+    def test_redefinition_replaces(self):
+        session = Session()
+        session.define("f", "lambda x. 1")
+        session.define("f", "lambda x. 2")
+        assert session.evaluate("f 0").answer == 2
+
+    def test_lazy_session(self):
+        session = Session(language=lazy)
+        session.define("f", "lambda x. 7")
+        assert session.evaluate("f (hd [])").answer == 7
+
+    def test_explicit_monitor_objects(self):
+        session = Session()
+        session.define("fac", "lambda x. if x = 0 then 1 else x * fac (x - 1)")
+        monitor = ProfilerMonitor(namespace="profile")
+        result = session.evaluate("fac 3", tools=["profile"])
+        assert result.report("profile") == {"fac": 4}

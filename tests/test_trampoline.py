@@ -1,0 +1,46 @@
+"""Tests for the trampoline driver."""
+
+import pytest
+
+from repro.errors import StepLimitExceeded
+from repro.semantics.trampoline import Bounce, Done, trampoline
+
+
+def countdown(n):
+    if n == 0:
+        return Done("done")
+    return Bounce(countdown, (n - 1,))
+
+
+class TestTrampoline:
+    def test_immediate_done(self):
+        assert trampoline(Done(42)) == 42
+
+    def test_bounce_chain(self):
+        assert trampoline(countdown(1000)) == "done"
+
+    def test_very_deep_chain_constant_stack(self):
+        assert trampoline(countdown(1_000_000)) == "done"
+
+    def test_step_limit_exceeded(self):
+        with pytest.raises(StepLimitExceeded) as exc:
+            trampoline(countdown(100), max_steps=50)
+        assert exc.value.limit == 50
+
+    def test_step_limit_sufficient(self):
+        assert trampoline(countdown(100), max_steps=100) == "done"
+
+    def test_non_step_rejected(self):
+        with pytest.raises(TypeError):
+            trampoline("not a step")
+
+    def test_exception_propagates(self):
+        def boom():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            trampoline(Bounce(boom, ()))
+
+    def test_repr(self):
+        assert "countdown" in repr(Bounce(countdown, (1,)))
+        assert "Done" in repr(Done(1))

@@ -1,0 +1,181 @@
+"""Tests for generic AST transformations."""
+
+from hypothesis import given, settings
+
+from repro.syntax.annotations import Label
+from repro.syntax.ast import (
+    Annotated,
+    App,
+    Const,
+    Lam,
+    Let,
+    Letrec,
+    Var,
+    annotations_in,
+    node_count,
+    strip_annotations,
+)
+from repro.syntax.parser import parse
+from repro.syntax.transform import (
+    alpha_equivalent,
+    bound_variables,
+    free_variables,
+    fresh_name,
+    map_children,
+    substitute,
+    transform_bottom_up,
+)
+
+from tests.generators import closed_program
+
+
+class TestFreeVariables:
+    def test_var_is_free(self):
+        assert free_variables(Var("x")) == {"x"}
+
+    def test_lambda_binds(self):
+        assert free_variables(parse("lambda x. x + y")) == {"+", "y"}
+
+    def test_let_binds_body_only(self):
+        expr = parse("let x = x in x")
+        assert "x" in free_variables(expr)  # the bound side's x is free
+
+    def test_letrec_binds_in_bindings_and_body(self):
+        expr = parse("letrec f = lambda x. f x in f")
+        assert "f" not in free_variables(expr)
+
+    def test_annotations_transparent(self):
+        assert free_variables(parse("{p}: x")) == {"x"}
+
+
+class TestBoundVariables:
+    def test_collects_all_binders(self):
+        expr = parse("let a = 1 in lambda b. letrec c = lambda d. d in c")
+        assert bound_variables(expr) == {"a", "b", "c", "d"}
+
+
+class TestFreshName:
+    def test_no_clash(self):
+        assert fresh_name("x", set()) == "x"
+
+    def test_clash_appends_suffix(self):
+        assert fresh_name("x", {"x"}) == "x_1"
+        assert fresh_name("x", {"x", "x_1"}) == "x_2"
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert substitute(Var("x"), {"x": Const(1)}) == Const(1)
+
+    def test_untouched(self):
+        assert substitute(Var("y"), {"x": Const(1)}) == Var("y")
+
+    def test_shadowed_not_substituted(self):
+        expr = Lam("x", Var("x"))
+        assert substitute(expr, {"x": Const(1)}) == expr
+
+    def test_capture_avoidance(self):
+        # (lambda y. x) with x := y must not capture.
+        expr = Lam("y", Var("x"))
+        result = substitute(expr, {"x": Var("y")})
+        assert isinstance(result, Lam)
+        assert result.param != "y"
+        assert result.body == Var("y")
+
+    def test_letrec_shadowing(self):
+        expr = parse("letrec f = lambda x. f x in f 1")
+        result = substitute(expr, {"f": Const(1)})
+        assert result == expr  # f is bound throughout
+
+    def test_letrec_capture_avoidance(self):
+        expr = parse("letrec f = lambda x. g x in f 1")
+        result = substitute(expr, {"g": Var("f")})
+        # The letrec's own f must be renamed so the substituted f stays free.
+        assert isinstance(result, Letrec)
+        assert result.bindings[0][0] != "f"
+
+    def test_annotation_preserved(self):
+        expr = Annotated(Label("p"), Var("x"))
+        assert substitute(expr, {"x": Const(2)}) == Annotated(Label("p"), Const(2))
+
+    def test_simultaneous(self):
+        expr = parse("x + y")
+        result = substitute(expr, {"x": Var("y"), "y": Var("x")})
+        assert result == parse("y + x")
+
+    def test_evaluation_agrees(self):
+        from repro.languages import strict
+
+        expr = parse("x * x + y")
+        closed = substitute(expr, {"x": Const(3), "y": Const(4)})
+        assert strict.evaluate(closed) == 13
+
+
+class TestAlphaEquivalence:
+    def test_identical(self):
+        assert alpha_equivalent(parse("lambda x. x"), parse("lambda x. x"))
+
+    def test_renamed(self):
+        assert alpha_equivalent(parse("lambda x. x"), parse("lambda y. y"))
+
+    def test_free_vars_must_match(self):
+        assert not alpha_equivalent(Var("x"), Var("y"))
+
+    def test_structure_must_match(self):
+        assert not alpha_equivalent(parse("lambda x. x"), parse("lambda x. x x"))
+
+    def test_letrec_renaming(self):
+        a = parse("letrec f = lambda x. f x in f 1")
+        b = parse("letrec g = lambda y. g y in g 1")
+        assert alpha_equivalent(a, b)
+
+    def test_annotations_significant(self):
+        assert not alpha_equivalent(parse("{p}: x"), parse("{q}: x"))
+
+    def test_const_type_significant(self):
+        assert not alpha_equivalent(Const(1), Const(True))
+
+
+class TestStripAnnotations:
+    def test_removes_all(self):
+        expr = parse("{a}: ({b}: x + {c}: y)")
+        assert annotations_in(strip_annotations(expr)) == ()
+
+    def test_preserves_structure(self):
+        expr = parse("letrec f = lambda x. {f}: (x + 1) in f 1")
+        stripped = strip_annotations(expr)
+        assert stripped == parse("letrec f = lambda x. x + 1 in f 1")
+
+
+class TestTraversal:
+    def test_map_children_identity_preserves_object(self):
+        expr = parse("f (x + 1)")
+        assert map_children(expr, lambda child: child) is expr
+
+    def test_transform_bottom_up(self):
+        expr = parse("1 + 2")
+
+        def bump(node):
+            if isinstance(node, Const) and node.value == 1:
+                return Const(10)
+            return node
+
+        assert transform_bottom_up(expr, bump) == parse("10 + 2")
+
+    def test_node_count(self):
+        assert node_count(Const(1)) == 1
+        assert node_count(parse("1 + 2")) == 5  # App(App(Var+, 1), 2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(closed_program())
+def test_strip_annotations_idempotent(program):
+    once = strip_annotations(program)
+    assert strip_annotations(once) == once
+    assert annotations_in(once) == ()
+
+
+@settings(max_examples=60, deadline=None)
+@given(closed_program())
+def test_alpha_equivalence_reflexive(program):
+    assert alpha_equivalent(program, program)

@@ -1,0 +1,119 @@
+"""Tests for monitor transformers."""
+
+import pytest
+
+from repro.languages import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitoring.transformers import (
+    bounded,
+    filtered,
+    mapped_report,
+    renamed,
+    sampled,
+)
+from repro.monitoring.validate import validate_monitor
+from repro.monitors import LabelCounterMonitor, ProfilerMonitor, StepperMonitor
+from repro.syntax.parser import parse
+
+LOOP = parse(
+    "letrec f = lambda n. if n = 0 then {done}: 0 else {tick}: f (n - 1) in f 10"
+)
+
+
+class TestFiltered:
+    def test_predicate_selects_annotations(self):
+        monitor = filtered(
+            LabelCounterMonitor(), lambda ann: ann.name == "tick"
+        )
+        result = run_monitored(strict, LOOP, monitor)
+        assert result.report() == {"tick": 10}
+
+    def test_everything_filtered(self):
+        monitor = filtered(LabelCounterMonitor(), lambda ann: False)
+        result = run_monitored(strict, LOOP, monitor)
+        assert result.report() == {}
+
+
+class TestSampled:
+    def test_every_other(self):
+        monitor = sampled(LabelCounterMonitor(), every=2)
+        result = run_monitored(strict, LOOP, monitor)
+        # 11 recognized activations (10 ticks + 1 done); every 2nd fires.
+        total_hits = sum(result.report().values())
+        assert total_hits == 5
+
+    def test_every_one_is_identity(self):
+        monitor = sampled(LabelCounterMonitor(), every=1)
+        result = run_monitored(strict, LOOP, monitor)
+        assert result.report() == {"tick": 10, "done": 1}
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            sampled(LabelCounterMonitor(), every=0)
+
+
+class TestBounded:
+    def test_budget_respected(self):
+        monitor = bounded(LabelCounterMonitor(), budget=3)
+        result = run_monitored(strict, LOOP, monitor)
+        assert sum(result.report().values()) == 3
+
+    def test_zero_budget(self):
+        monitor = bounded(LabelCounterMonitor(), budget=0)
+        result = run_monitored(strict, LOOP, monitor)
+        assert result.report() == {}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            bounded(LabelCounterMonitor(), budget=-1)
+
+    def test_nested_pre_post_pairing(self):
+        # Budget cuts in the middle of nested activations; the stepper's
+        # depth bookkeeping must survive because gating decisions are
+        # remembered per activation.
+        nested = parse(
+            "letrec f = lambda n. if n = 0 then 0 else {call}: (f (n - 1)) in f 5"
+        )
+        monitor = bounded(StepperMonitor(), budget=2)
+        result = run_monitored(strict, nested, monitor)
+        events = monitor.base.events(monitor.base_state_of(result.state_of(monitor)))
+        kinds = [e.kind for e in events]
+        # Activations nest; only the two outermost fire, and their exits
+        # pair correctly even though inner activations were gated off.
+        assert kinds == ["enter", "enter", "exit", "exit"]
+
+
+class TestMappedAndRenamed:
+    def test_mapped_report(self):
+        monitor = mapped_report(
+            ProfilerMonitor(), lambda report: sum(report.values())
+        )
+        program = parse("letrec f = lambda n. {f}: n in f 1 + f 2")
+        result = run_monitored(strict, program, monitor)
+        assert result.report() == 2
+
+    def test_renamed_key(self):
+        monitor = renamed(ProfilerMonitor(), "profile-copy")
+        program = parse("letrec f = lambda n. {f}: n in f 1")
+        result = run_monitored(strict, program, monitor)
+        assert result.report("profile-copy") == {"f": 1}
+
+    def test_soundness_preserved(self):
+        monitor = sampled(bounded(LabelCounterMonitor(), budget=5), every=2)
+        result = run_monitored(strict, LOOP, monitor)
+        assert result.answer == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: filtered(LabelCounterMonitor(), lambda a: True),
+            lambda: sampled(LabelCounterMonitor(), every=3),
+            lambda: bounded(LabelCounterMonitor(), budget=2),
+            lambda: mapped_report(ProfilerMonitor(), dict),
+        ],
+        ids=["filtered", "sampled", "bounded", "mapped"],
+    )
+    def test_transformed_monitors_validate(self, make):
+        assert validate_monitor(make()) == []

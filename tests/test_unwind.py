@@ -1,0 +1,77 @@
+"""Tests for the unwind monitor over the exceptions language."""
+
+from repro.languages import strict
+from repro.languages.exceptions import exceptions_language, parse_exc
+from repro.monitoring.derive import run_monitored
+from repro.monitors.unwind import UnwindMonitor
+from repro.syntax.parser import parse
+
+
+class TestNormalControlFlow:
+    def test_balanced_run_reports_nothing(self):
+        program = parse(
+            "letrec f = lambda n. {f}: if n = 0 then 0 else f (n - 1) in f 3"
+        )
+        result = run_monitored(strict, program, UnwindMonitor())
+        report = result.report()
+        assert report.aborted == ()
+        assert report.unmatched_at_end == ()
+        assert report.render() == "no aborted activations"
+
+    def test_works_on_strict_language(self, corpus_case):
+        program, expected = corpus_case
+        result = run_monitored(strict, program, UnwindMonitor())
+        assert result.answer == expected
+        assert result.report().total_aborted_activations == 0
+
+
+class TestExceptionalControlFlow:
+    def test_single_abort_detected(self):
+        program = parse_exc(
+            "try ({outer}: ({inner}: (raise 1))) catch e. {handler}: e"
+        )
+        result = run_monitored(exceptions_language, program, UnwindMonitor())
+        assert result.answer == 1
+        report = result.report()
+        # outer and inner both entered, neither exited; handler balanced.
+        assert report.unmatched_at_end == ("outer", "inner")
+
+    def test_abort_through_recursion(self):
+        program = parse_exc(
+            "letrec dig = lambda n. {dig}: (if n = 0 then raise 99 else dig (n - 1)) in "
+            "try ({root}: (dig 3)) catch e. {handler}: e"
+        )
+        result = run_monitored(exceptions_language, program, UnwindMonitor())
+        assert result.answer == 99
+        report = result.report()
+        # root + 4 dig activations all abandoned.
+        assert report.unmatched_at_end == ("root", "dig", "dig", "dig", "dig")
+
+    def test_partial_abort_with_outer_completion(self):
+        # The outer annotated region COMPLETES (the try is inside it), so
+        # its post runs and discovers the abandoned inner frames.
+        program = parse_exc(
+            "{outer}: (try ({inner}: (raise 5)) catch e. e + 1)"
+        )
+        result = run_monitored(exceptions_language, program, UnwindMonitor())
+        assert result.answer == 6
+        report = result.report()
+        assert report.aborted == (("inner",),)
+        assert report.unmatched_at_end == ()
+        assert "unwind #1 cut through: inner" in report.render()
+
+    def test_multiple_unwinds(self):
+        program = parse_exc(
+            "{outer}: ("
+            "  (try ({a}: (raise 1)) catch e. e) + "
+            "  (try ({b}: (raise 2)) catch e. e)"
+            ")"
+        )
+        result = run_monitored(exceptions_language, program, UnwindMonitor())
+        assert result.answer == 3
+        report = result.report()
+        # Both aborted frames are discovered together when the enclosing
+        # region's post finally runs (detection is as lazy as the
+        # surviving hooks): one group containing both, in stack order.
+        assert report.aborted == (("b", "a"),)
+        assert report.total_aborted_activations == 2

@@ -1,0 +1,119 @@
+"""Tests for the monitor-spec validator."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitoring.spec import FunctionSpec, MonitorSpec
+from repro.monitoring.validate import assert_valid_monitor, validate_monitor
+from repro.monitors import (
+    CallGraphMonitor,
+    CollectingMonitor,
+    CoverageMonitor,
+    HistoryMonitor,
+    LabelCounterMonitor,
+    PairCounterMonitor,
+    ProfilerMonitor,
+    StepperMonitor,
+    TracerMonitor,
+    UnsortedListDemon,
+    WatchMonitor,
+)
+from repro.syntax.annotations import Label
+
+TOOLBOX_MONITORS = [
+    CallGraphMonitor(),
+    CollectingMonitor(),
+    CoverageMonitor(),
+    HistoryMonitor(),
+    LabelCounterMonitor(),
+    PairCounterMonitor(),
+    ProfilerMonitor(),
+    StepperMonitor(),
+    TracerMonitor(),
+    UnsortedListDemon(),
+    WatchMonitor(["x"]),
+]
+
+
+@pytest.mark.parametrize("monitor", TOOLBOX_MONITORS, ids=lambda m: type(m).__name__)
+def test_every_toolbox_monitor_validates(monitor):
+    assert validate_monitor(monitor) == []
+    assert_valid_monitor(monitor)  # no raise
+
+
+class TestFindings:
+    def test_missing_key(self):
+        class Broken(MonitorSpec):
+            key = ""
+
+            def recognize(self, annotation):
+                return None
+
+            def initial_state(self):
+                return None
+
+        findings = validate_monitor(Broken())
+        assert any(f.check == "key" for f in findings)
+
+    def test_raising_recognize(self):
+        spec = FunctionSpec(
+            key="bad",
+            recognize=lambda a: a.nonexistent_attribute,
+            initial=lambda: 0,
+        )
+        findings = validate_monitor(spec)
+        assert any(f.check == "recognize" for f in findings)
+
+    def test_shared_initial_state(self):
+        shared = {}
+        spec = FunctionSpec(
+            key="bad",
+            recognize=lambda a: a if isinstance(a, Label) else None,
+            initial=lambda: shared,
+        )
+        findings = validate_monitor(spec)
+        assert any(f.check == "initial_state" for f in findings)
+
+    def test_mutating_pre(self):
+        def impure_pre(ann, term, ctx, state):
+            state["hits"] = state.get("hits", 0) + 1  # in-place!
+            return state
+
+        spec = FunctionSpec(
+            key="bad",
+            recognize=lambda a: a if isinstance(a, Label) else None,
+            initial=lambda: {},
+            pre=impure_pre,
+        )
+        findings = validate_monitor(spec)
+        assert any(f.check == "purity" for f in findings)
+
+    def test_raising_pre(self):
+        spec = FunctionSpec(
+            key="bad",
+            recognize=lambda a: a if isinstance(a, Label) else None,
+            initial=lambda: 0,
+            pre=lambda ann, term, ctx, st: 1 / 0,
+        )
+        findings = validate_monitor(spec)
+        assert any(f.check == "run" for f in findings)
+
+    def test_raising_report(self):
+        spec = FunctionSpec(
+            key="bad",
+            recognize=lambda a: a if isinstance(a, Label) else None,
+            initial=lambda: 0,
+            report=lambda s: s.undefined,  # type: ignore[union-attr]
+        )
+        findings = validate_monitor(spec)
+        assert any(f.check == "report" for f in findings)
+
+    def test_assert_raises_with_details(self):
+        spec = FunctionSpec(
+            key="bad",
+            recognize=lambda a: a.boom,
+            initial=lambda: 0,
+        )
+        with pytest.raises(MonitorError) as exc:
+            assert_valid_monitor(spec)
+        assert "recognize" in str(exc.value)

@@ -1,0 +1,152 @@
+"""Tests for the denotable-value domain."""
+
+import pytest
+
+from repro.errors import EvalError, PrimitiveError
+from repro.semantics.values import (
+    NIL,
+    Closure,
+    Cons,
+    PrimFun,
+    Thunk,
+    from_python_list,
+    hashable_key,
+    is_function,
+    iter_list,
+    to_python_list,
+    value_to_string,
+    values_equal,
+)
+from repro.syntax.ast import Const, Var
+
+
+class TestLists:
+    def test_nil_singleton(self):
+        assert from_python_list([]) is NIL
+
+    def test_roundtrip(self):
+        values = [1, 2, 3]
+        assert to_python_list(from_python_list(values)) == values
+
+    def test_nested(self):
+        nested = from_python_list([from_python_list([1]), NIL])
+        items = to_python_list(nested)
+        assert isinstance(items[0], Cons)
+        assert items[1] is NIL
+
+    def test_improper_list_rejected(self):
+        with pytest.raises(EvalError):
+            to_python_list(Cons(1, 2))
+
+    def test_iter_list(self):
+        assert list(iter_list(from_python_list([5, 6]))) == [5, 6]
+
+    def test_nil_is_falsy(self):
+        assert not NIL
+        assert repr(NIL) == "NIL"
+
+
+class TestEquality:
+    def test_ints(self):
+        assert values_equal(3, 3)
+        assert not values_equal(3, 4)
+
+    def test_bool_int_distinct(self):
+        assert not values_equal(True, 1)
+        assert not values_equal(0, False)
+
+    def test_strings(self):
+        assert values_equal("a", "a")
+
+    def test_lists_structural(self):
+        assert values_equal(from_python_list([1, 2]), from_python_list([1, 2]))
+        assert not values_equal(from_python_list([1]), from_python_list([1, 2]))
+
+    def test_nil_vs_list(self):
+        assert not values_equal(NIL, from_python_list([1]))
+
+    def test_functions_not_comparable(self):
+        prim = PrimFun("id", 1, lambda x: x)
+        with pytest.raises(PrimitiveError):
+            values_equal(prim, prim)
+
+    def test_cons_dunder_eq(self):
+        assert Cons(1, NIL) == Cons(1, NIL)
+        assert Cons(1, NIL) != Cons(2, NIL)
+
+
+class TestPrimFun:
+    def test_saturated_application(self):
+        add = PrimFun("+", 2, lambda a, b: a + b)
+        assert add.apply(1).apply(2) == 3
+
+    def test_partial_application_shares_nothing(self):
+        add = PrimFun("+", 2, lambda a, b: a + b)
+        plus1 = add.apply(1)
+        plus2 = add.apply(2)
+        assert plus1.apply(10) == 11
+        assert plus2.apply(10) == 12
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            PrimFun("bad", 0, lambda: 1)
+
+    def test_repr(self):
+        add = PrimFun("+", 2, lambda a, b: a + b)
+        assert "+" in repr(add)
+        assert "1 applied" in repr(add.apply(1))
+
+
+class TestValueToString:
+    def test_basics(self):
+        assert value_to_string(True) == "True"
+        assert value_to_string(False) == "False"
+        assert value_to_string(42) == "42"
+        assert value_to_string("hi") == "hi"
+
+    def test_lists(self):
+        assert value_to_string(from_python_list([1, 2])) == "[1, 2]"
+        assert value_to_string(NIL) == "[]"
+
+    def test_closure(self):
+        closure = Closure("x", Const(1), None, name="f")
+        assert value_to_string(closure) == "<fun f>"
+
+    def test_prim(self):
+        assert value_to_string(PrimFun("+", 2, lambda a, b: a + b)) == "<prim +>"
+
+    def test_thunk(self):
+        thunk = Thunk(Var("x"), None)
+        assert value_to_string(thunk) == "<delayed>"
+        thunk.memoize(7)
+        assert value_to_string(thunk) == "7"
+
+
+class TestIsFunction:
+    def test_closure_and_prim(self):
+        assert is_function(Closure("x", Const(1), None))
+        assert is_function(PrimFun("id", 1, lambda x: x))
+
+    def test_basics_are_not(self):
+        assert not is_function(3)
+        assert not is_function(NIL)
+        assert not is_function("s")
+
+
+class TestHashableKey:
+    def test_distinguishes_bool_from_int(self):
+        assert hashable_key(True) != hashable_key(1)
+
+    def test_lists(self):
+        a = hashable_key(from_python_list([1, 2]))
+        b = hashable_key(from_python_list([1, 2]))
+        assert a == b
+
+    def test_functions_by_identity(self):
+        f = PrimFun("id", 1, lambda x: x)
+        g = PrimFun("id", 1, lambda x: x)
+        assert hashable_key(f) != hashable_key(g)
+
+    def test_usable_in_sets(self):
+        keys = {hashable_key(v) for v in (1, True, "1", from_python_list([1]))}
+        assert len(keys) == 4
