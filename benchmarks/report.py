@@ -1,6 +1,7 @@
 """Print the paper-style evaluation rows from direct timings.
 
-Run:  python benchmarks/report.py
+Run:  python benchmarks/report.py            # full text report
+      python benchmarks/report.py --json     # engine comparison -> BENCH_report.json
 
 This regenerates, in one screenful, the numbers the paper reports in
 Section 9.1 and Figure 11:
@@ -11,19 +12,30 @@ Section 9.1 and Figure 11:
 * the instrumented program's speedup over the monitored and standard
   interpreters (paper: ~85% and ~83% faster);
 * the Figure 11 series: run time vs. number of requested trace
-  printouts, with the linear fit and the convergence-to-baseline check.
+  printouts, with the linear fit and the convergence-to-baseline check;
+* the T-ENG series: the staged fast-path engine
+  (:mod:`repro.semantics.compiled`) against the reference interpreter.
+
+``--json`` runs only the engine comparison and writes machine-readable
+results to ``BENCH_report.json`` at the repository root (CI's benchmark
+smoke test); it exits non-zero if the compiled engine is slower than the
+reference on fib.  ``--quick`` shrinks workloads for smoke runs.
 
 Numbers are written to stdout; EXPERIMENTS.md records a reference run.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import sys
 import time
 from statistics import median
 
-sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _REPO_ROOT)
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
 from repro.languages import strict
 from repro.monitoring.derive import run_monitored
@@ -145,6 +157,148 @@ def figure_11() -> None:
     print()
 
 
-if __name__ == "__main__":
+def measure_engines(quick: bool = False, repeats: int = REPEATS):
+    """Time both execution engines end-to-end on the T-ENG workloads.
+
+    Returns a list of row dicts: workload name, per-engine medians (in
+    seconds), and the reference/compiled speedup factor.  Timings go
+    through the public API, so the compiled rows include compilation.
+    """
+    fib_n = 12 if quick else FIB_N
+    loop_n = 400 if quick else 2000
+    tracer = TracerMonitor()
+
+    workloads = [
+        (
+            "fib_unmonitored",
+            plain_fib(fib_n),
+            lambda p, engine: strict.evaluate(p, engine=engine),
+        ),
+        (
+            "loop_unmonitored",
+            loop_with_trace_hits(loop_n, 0),
+            lambda p, engine: strict.evaluate(p, engine=engine),
+        ),
+        (
+            "fib_traced_monitored",
+            traced_fib(fib_n),
+            lambda p, engine: run_monitored(strict, p, tracer, engine=engine),
+        ),
+    ]
+
+    rows = []
+    for name, program, run in workloads:
+        t_ref = best_time(lambda: run(program, "reference"), repeats)
+        t_com = best_time(lambda: run(program, "compiled"), repeats)
+        rows.append(
+            {
+                "workload": name,
+                "monitored": name.endswith("monitored")
+                and not name.endswith("unmonitored"),
+                "reference_s": t_ref,
+                "compiled_s": t_com,
+                "speedup": t_ref / t_com,
+            }
+        )
+    return rows
+
+
+#: Headline targets for the staged engine (checked in the JSON report).
+ENGINE_TARGETS = {"unmonitored_speedup": 3.0, "monitored_speedup": 2.0}
+
+
+def engines_section(quick: bool = False):
+    print("=" * 72)
+    print("T-ENG  (staged fast-path engine vs. reference interpreter)")
+    print("=" * 72)
+    rows = measure_engines(quick=quick)
+    print(f"{'workload':<22} {'reference':>12} {'compiled':>12} {'speedup':>9}")
+    for row in rows:
+        print(
+            f"{row['workload']:<22} {row['reference_s'] * 1000:>9.1f} ms "
+            f"{row['compiled_s'] * 1000:>9.1f} ms {row['speedup']:>8.2f}x"
+        )
+    print()
+    print(
+        f"targets: >= {ENGINE_TARGETS['unmonitored_speedup']:.0f}x unmonitored, "
+        f">= {ENGINE_TARGETS['monitored_speedup']:.0f}x monitored"
+    )
+    print()
+    return rows
+
+
+def json_report(quick: bool, output: str) -> int:
+    """CI's benchmark smoke test: engine rows -> JSON, gate on the fib row."""
+    rows = measure_engines(quick=quick, repeats=3 if quick else REPEATS)
+    by_name = {row["workload"]: row for row in rows}
+    targets_met = {
+        "unmonitored_speedup": min(
+            by_name["fib_unmonitored"]["speedup"],
+            by_name["loop_unmonitored"]["speedup"],
+        )
+        >= ENGINE_TARGETS["unmonitored_speedup"],
+        "monitored_speedup": by_name["fib_traced_monitored"]["speedup"]
+        >= ENGINE_TARGETS["monitored_speedup"],
+    }
+    report = {
+        "schema": "repro-bench-engines/v1",
+        "quick": quick,
+        "repeats": 3 if quick else REPEATS,
+        "workloads": rows,
+        "targets": ENGINE_TARGETS,
+        "targets_met": targets_met,
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    for row in rows:
+        print(
+            f"{row['workload']:<22} {row['reference_s'] * 1000:>9.1f} ms -> "
+            f"{row['compiled_s'] * 1000:>9.1f} ms  ({row['speedup']:.2f}x)"
+        )
+    print(f"wrote {output}")
+
+    fib_speedup = by_name["fib_unmonitored"]["speedup"]
+    if fib_speedup < 1.0:
+        print(
+            f"FAIL: compiled engine slower than reference on fib "
+            f"({fib_speedup:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="paper-style benchmark report (Section 9.1 / Figure 11 / T-ENG)"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="run only the engine comparison and write BENCH_report.json",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads and fewer repeats (CI smoke test)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(_REPO_ROOT, "BENCH_report.json"),
+        help="JSON output path (default: BENCH_report.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json:
+        return json_report(quick=args.quick, output=args.output)
+
     section_9_1()
     figure_11()
+    engines_section(quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,11 +107,14 @@ def cmd_run(args) -> int:
     program = _load_program(args)
     language = _language(args)
     tools = _tools(args.tools)
+    engine = getattr(args, "engine", "reference")
     if not tools:
-        answer = language.evaluate(program, max_steps=args.max_steps)
+        answer = language.evaluate(program, max_steps=args.max_steps, engine=engine)
         print(_render_answer(answer))
         return 0
-    result = run_monitored(language, program, tools, max_steps=args.max_steps)
+    result = run_monitored(
+        language, program, tools, max_steps=args.max_steps, engine=engine
+    )
     print(_render_answer(result.answer))
     _print_reports(result)
     return 0
@@ -129,7 +132,13 @@ def _annotated_run(args, tool_name: str, style: str) -> int:
         program, functions, style=style, namespace=tool_name
     )
     monitor = make_tool(tool_name, namespace=tool_name)
-    result = run_monitored(language, annotated, monitor, max_steps=args.max_steps)
+    result = run_monitored(
+        language,
+        annotated,
+        monitor,
+        max_steps=args.max_steps,
+        engine=getattr(args, "engine", "reference"),
+    )
     print(_render_answer(result.answer))
     _print_reports(result)
     return 0
@@ -182,6 +191,7 @@ def cmd_session(args) -> int:
             else None
         ),
         max_steps=args.max_steps,
+        engine=getattr(args, "engine", "reference"),
     )
     print(_render_answer(result.answer))
     if result.monitored is not None:
@@ -206,6 +216,15 @@ def cmd_debug(args) -> int:
 
 
 # Argument parsing ------------------------------------------------------------------
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=("reference", "compiled"),
+        default="reference",
+        help="execution engine (compiled = staged fast path; strict language only)",
+    )
 
 
 def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
@@ -233,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--tools", help="comma-separated toolbox monitors (profile,trace,...)"
     )
+    _add_engine_argument(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
     trace_parser = subparsers.add_parser(
@@ -240,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_program_arguments(trace_parser)
     trace_parser.add_argument("--functions", help="comma-separated function names")
+    _add_engine_argument(trace_parser)
     trace_parser.set_defaults(handler=cmd_trace)
 
     profile_parser = subparsers.add_parser(
@@ -247,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_program_arguments(profile_parser)
     profile_parser.add_argument("--functions", help="comma-separated function names")
+    _add_engine_argument(profile_parser)
     profile_parser.set_defaults(handler=cmd_profile)
 
     spec_parser = subparsers.add_parser(
@@ -284,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--language", choices=sorted(LANGUAGES), default="strict"
     )
     session_parser.add_argument("--max-steps", type=int, default=None)
+    _add_engine_argument(session_parser)
     session_parser.set_defaults(handler=cmd_session)
 
     debug_parser = subparsers.add_parser("debug", help="scriptable/interactive debugger")

@@ -88,12 +88,20 @@ class StepLimitExceeded(EvalError):
     """Evaluation exceeded the configured trampoline step budget.
 
     The machine accepts an optional ``max_steps`` bound so that test suites
-    can run possibly-divergent programs safely.
+    can run possibly-divergent programs safely.  ``consumed`` is the number
+    of steps the trampoline actually executed before giving up (equal to
+    ``limit`` under the exact batched check, but reported separately so
+    callers never have to guess).
     """
 
-    def __init__(self, limit: int) -> None:
-        super().__init__(f"evaluation exceeded step limit of {limit}")
+    def __init__(self, limit: int, consumed: "int | None" = None) -> None:
+        consumed = limit if consumed is None else consumed
+        super().__init__(
+            f"evaluation exceeded step limit of {limit} "
+            f"({consumed} steps consumed)"
+        )
         self.limit = limit
+        self.consumed = consumed
 
 
 class MonitorError(ReproError):

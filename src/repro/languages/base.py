@@ -2,11 +2,26 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro.errors import ReproError
 from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
 from repro.semantics.machine import Functional, final_kont, fix
 from repro.semantics.trampoline import trampoline
+
+#: The execution engines a language may support.  ``reference`` is the
+#: direct transliteration of the paper's semantics (the oracle);
+#: ``compiled`` is the staged fast-path engine of
+#: :mod:`repro.semantics.compiled`.
+ENGINES: Tuple[str, ...] = ("reference", "compiled")
+
+
+def check_engine(engine: str) -> None:
+    """Reject unknown engine names with an actionable error."""
+    if engine not in ENGINES:
+        raise ReproError(
+            f"unknown engine {engine!r}; choose one of {', '.join(map(repr, ENGINES))}"
+        )
 
 
 class BaseLanguage:
@@ -14,7 +29,9 @@ class BaseLanguage:
 
     Subclasses provide ``name``, :meth:`functional` and
     :meth:`initial_context`; programs are evaluated in that context with
-    the standard initial continuation ``{\\v. phi v}``.
+    the standard initial continuation ``{\\v. phi v}``.  Languages whose
+    context is a plain environment may additionally support the compiled
+    engine by overriding :meth:`evaluate_compiled`.
     """
 
     name = "base"
@@ -45,13 +62,37 @@ class BaseLanguage:
         *,
         answers: AnswerAlgebra = STANDARD_ANSWERS,
         max_steps: Optional[int] = None,
+        engine: str = "reference",
     ):
-        """Evaluate under this language's *standard* semantics."""
+        """Evaluate under this language's *standard* semantics.
+
+        ``engine`` selects the implementation: ``"reference"`` runs the
+        paper-faithful interpreter; ``"compiled"`` runs the staged
+        fast-path engine (where the language supports it).  Both produce
+        identical answers and raise identical errors.
+        """
+        check_engine(engine)
+        if engine == "compiled":
+            return self.evaluate_compiled(
+                program, answers=answers, max_steps=max_steps
+            )
         eval_fn = fix(self.functional())
         answer, _ = self.run_program(
             program, eval_fn, answers=answers, max_steps=max_steps
         )
         return answer
+
+    def evaluate_compiled(
+        self,
+        program,
+        *,
+        answers: AnswerAlgebra = STANDARD_ANSWERS,
+        max_steps: Optional[int] = None,
+    ):
+        """Evaluate on the compiled engine; overridden by supporting languages."""
+        raise ReproError(
+            f"language {self.name!r} has no compiled engine; use engine='reference'"
+        )
 
     def __repr__(self) -> str:
         return f"<language {self.name}>"

@@ -4,11 +4,18 @@ This is the language of Figure 2, the one the paper's examples and
 benchmarks use.  The valuation functional itself lives in
 :mod:`repro.semantics.standard`; this module packages it behind the
 uniform :class:`~repro.semantics.machine.Language` protocol.
+
+The strict language supports both execution engines: the reference
+interpreter (the oracle) and the staged fast-path engine of
+:mod:`repro.semantics.compiled` (``engine="compiled"``).
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.languages.base import BaseLanguage
+from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
 from repro.semantics.machine import Functional
 from repro.semantics.primitives import initial_environment
 from repro.semantics.standard import standard_functional
@@ -22,6 +29,19 @@ class StrictLanguage(BaseLanguage):
 
     def initial_context(self):
         return initial_environment()
+
+    def evaluate_compiled(
+        self,
+        program,
+        *,
+        answers: AnswerAlgebra = STANDARD_ANSWERS,
+        max_steps: Optional[int] = None,
+    ):
+        from repro.semantics.compiled import compile_program
+
+        compiled = compile_program(program, env=self.initial_context())
+        answer, _ = compiled.run(answers=answers, max_steps=max_steps)
+        return answer
 
 
 #: The shared strict-language instance (language modules are stateless).

@@ -163,23 +163,51 @@ def run_monitored(
     answers: AnswerAlgebra = STANDARD_ANSWERS,
     max_steps: Optional[int] = None,
     check_disjointness: bool = True,
+    engine: str = "reference",
 ) -> MonitoredResult:
     """Evaluate ``program`` under ``language`` with ``monitors`` cascaded.
 
     Returns the pair the monitoring semantics denotes — the standard answer
     together with the final monitor state(s) (Section 2) — packaged as a
     :class:`MonitoredResult`.
+
+    ``engine="compiled"`` runs the staged fast-path engine
+    (:mod:`repro.semantics.compiled`), which specializes the derived
+    semantics with respect to both the program and the monitor stack; it
+    produces the same answers and final monitor states as the reference
+    derivation (the parity property tests assert exactly this).
     """
+    from repro.languages.base import check_engine
     from repro.monitoring.compose import flatten_monitors, validate_observations
 
+    check_engine(engine)
     monitor_list: List[MonitorSpec] = flatten_monitors(monitors)
     validate_observations(monitor_list)
     if check_disjointness:
         check_disjoint(monitor_list, program)
 
+    initial = MonitorStateVector.initial(monitor_list)
+    if engine == "compiled":
+        if getattr(language, "name", None) != "strict":
+            raise MonitorError(
+                "engine='compiled' currently supports the strict language "
+                f"only, not {getattr(language, 'name', language)!r}; "
+                "use engine='reference'"
+            )
+        from repro.semantics.compiled import compile_program
+
+        compiled = compile_program(
+            program, monitors=monitor_list, env=language.initial_context()
+        )
+        answer, final_states = compiled.run(
+            answers=answers, initial_ms=initial, max_steps=max_steps
+        )
+        return MonitoredResult(
+            answer=answer, states=final_states, monitors=tuple(monitor_list)
+        )
+
     functional = derive_all(language.functional(), monitor_list)
     eval_fn = fix(functional)
-    initial = MonitorStateVector.initial(monitor_list)
     answer, final_states = language.run_program(
         program, eval_fn, answers=answers, ms=initial, max_steps=max_steps
     )

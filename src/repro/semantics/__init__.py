@@ -11,12 +11,24 @@
   derived from it (Definition 4.2).
 * :mod:`repro.semantics.machine` — the generic fixpoint/run machinery shared
   by every language module and every derived monitoring semantics.
+* :mod:`repro.semantics.compiled` — the staged fast-path engine: lexical
+  addressing plus an AST-to-closure pass specializing the (possibly
+  monitored) semantics with respect to the program (``engine="compiled"``).
 * :mod:`repro.semantics.denotational` — a literal higher-order reference
   implementation whose answers really are ``MS -> (Ans x MS)`` closures,
   used to cross-check the trampolined machine.
 """
 
+from repro.semantics.compiled import compile_program as compile_to_closures
+from repro.semantics.compiled import evaluate_compiled
 from repro.semantics.machine import fix, run_machine
 from repro.semantics.standard import evaluate, standard_functional
 
-__all__ = ["fix", "run_machine", "evaluate", "standard_functional"]
+__all__ = [
+    "fix",
+    "run_machine",
+    "evaluate",
+    "standard_functional",
+    "compile_to_closures",
+    "evaluate_compiled",
+]

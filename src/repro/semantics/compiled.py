@@ -1,0 +1,730 @@
+"""The staged fast-path engine: AST -> Python-closure compilation.
+
+The reference interpreter (:mod:`repro.semantics.standard`) re-examines the
+syntax tree on every step: each bounce pays an ``isinstance`` dispatch
+chain, an O(depth) linked-environment name search, and a tuple-packed
+:class:`~repro.semantics.trampoline.Bounce` allocation.  This module
+removes all three overheads by *staging* evaluation:
+
+1. **Resolve pass (lexical addressing).**  At compile time every
+   identifier is resolved against the static scope chain to a pair
+   ``(frame depth, slot)``; runtime environments become flat Python lists
+   (*ribs*, ``[parent, v1, ..., vn]``) indexed directly.  Names bound in
+   the initial environment (primitives, ``nil``) are resolved to their
+   values outright, so ``+`` or ``<`` never costs a lookup at run time.
+
+2. **AST -> closure compilation.**  Each expression node is translated
+   *once* into a Python closure ``code(rib, kont, ms) -> Step``.  The
+   trampoline then executes pre-dispatched closures: no ``isinstance``
+   test on syntax ever runs inside the loop.  This realizes the paper's
+   Section 9 observation that *compilation is specialization of the
+   interpreter with respect to the program* — here performed directly,
+   closure by closure.  Saturated applications of primitive operators with
+   simple operands are additionally collapsed into single in-line
+   computations (``n - 1`` costs one Python call, not five bounces).
+
+3. **Monitor specialization.**  The compiler takes the monitor stack as a
+   second static input.  Annotations nobody recognizes are *erased* at
+   compile time (obliviousness, Definition 7.1, for free); annotations a
+   monitor claims compile into code that runs ``updPre``, evaluates the
+   body, and composes ``updPost`` into the continuation — exactly the
+   ``[[{mu}: s']]`` equation of Definition 4.2, but with the recognition
+   test already performed.  Monitored evaluation therefore rides the same
+   fast path, and one-monitor stacks thread the copy-free
+   :class:`~repro.monitoring.state.SingleSlotVector`.
+
+The reference interpreter remains the oracle: `tests/test_engine_parity.py`
+checks answers, final monitor states, and raised error types agree on
+random programs.  Tail calls use the ``__slots__`` step variants
+:class:`~repro.semantics.trampoline.Tail` /
+:class:`~repro.semantics.trampoline.KTail`, avoiding argument tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import (
+    EvalError,
+    NotAFunctionError,
+    UnboundIdentifierError,
+)
+from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
+from repro.semantics.env import Environment
+from repro.semantics.primitives import initial_environment
+from repro.semantics.trampoline import Done, KTail, Step, Tail, trampoline
+from repro.semantics.values import Closure, PrimFun, value_to_string
+from repro.syntax.ast import (
+    Annotated,
+    App,
+    Const,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Var,
+    strip_annotations_shallow,
+)
+
+#: A compiled expression: called with the current rib, continuation and
+#: monitor state, returns the next machine step.
+Code = Callable[[list, Callable, object], Step]
+
+
+class CompiledClosure:
+    """A function value of the compiled engine.
+
+    Stores the pre-compiled body code and the defining rib; application is
+    one :class:`Tail` step into ``code`` with a fresh two-element rib.
+    ``function_display`` marks it as applicable for
+    :func:`repro.semantics.values.is_function` without importing this
+    module there.
+    """
+
+    __slots__ = ("code", "rib", "param", "name")
+
+    def __init__(self, code: Code, rib: list, param: str, name: Optional[str]) -> None:
+        self.code = code
+        self.rib = rib
+        self.param = param
+        self.name = name
+
+    @property
+    def function_display(self) -> str:
+        # Must match the reference Closure rendering for output parity.
+        return f"<fun {self.name or self.param}>"
+
+    def __repr__(self) -> str:
+        label = self.name or "lambda"
+        return f"<compiled closure {label}({self.param})>"
+
+
+class _Scope:
+    """A compile-time mirror of the runtime rib chain (names only)."""
+
+    __slots__ = ("names", "parent")
+
+    def __init__(self, names: Tuple[str, ...], parent: Optional["_Scope"]) -> None:
+        self.names = names
+        self.parent = parent
+
+
+def _resolve(scope: Optional[_Scope], name: str) -> Optional[Tuple[int, int]]:
+    """Lexical address ``(depth, slot)`` of ``name``, or ``None`` if free.
+
+    ``slot`` is the runtime list index (binding ``i`` lives at ``i + 1``
+    because slot 0 holds the parent rib).
+    """
+    depth = 0
+    while scope is not None:
+        names = scope.names
+        if name in names:
+            return depth, names.index(name) + 1
+        depth += 1
+        scope = scope.parent
+    return None
+
+
+def _local_getter(depth: int, slot: int):
+    """A specialized ``rib -> value`` reader for a lexical address."""
+    if depth == 0:
+        return lambda rib: rib[slot]
+    if depth == 1:
+        return lambda rib: rib[0][slot]
+    if depth == 2:
+        return lambda rib: rib[0][0][slot]
+    if depth == 3:
+        return lambda rib: rib[0][0][0][slot]
+
+    def getter(rib):
+        for _ in range(depth):
+            rib = rib[0]
+        return rib[slot]
+
+    return getter
+
+
+class _CompiledContext:
+    """Adapter giving monitors name-based access to a compiled rib.
+
+    Monitors observe the semantic context ``A*`` through
+    ``maybe_lookup``/``lookup``/``names`` (see
+    :func:`repro.monitors.common.context_lookup`); this view translates
+    names to lexical addresses using the table computed at compile time,
+    falling back to the (static) global environment.
+    """
+
+    __slots__ = ("_rib", "_addresses", "_globals")
+
+    def __init__(self, rib: list, addresses: Dict[str, Tuple[int, int]], global_env: Environment) -> None:
+        self._rib = rib
+        self._addresses = addresses
+        self._globals = global_env
+
+    def maybe_lookup(self, name: str):
+        address = self._addresses.get(name)
+        if address is None:
+            return self._globals.maybe_lookup(name)
+        depth, slot = address
+        rib = self._rib
+        for _ in range(depth):
+            rib = rib[0]
+        return rib[slot]
+
+    def lookup(self, name: str):
+        if name in self._addresses or name in self._globals:
+            return self.maybe_lookup(name)
+        raise UnboundIdentifierError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._addresses or name in self._globals
+
+    def names(self) -> Tuple[str, ...]:
+        local = tuple(self._addresses)
+        rest = tuple(n for n in self._globals.names() if n not in self._addresses)
+        return local + rest
+
+    def __repr__(self) -> str:
+        return f"<compiled-context {len(self._addresses)} local bindings>"
+
+
+def _apply(fn_value, arg_value, kont, ms) -> Step:
+    """Apply ``(v1 | Fun) v2 kappa`` — the compiled engine's dispatch."""
+    cls = fn_value.__class__
+    if cls is CompiledClosure:
+        return Tail(fn_value.code, [fn_value.rib, arg_value], kont, ms)
+    if cls is PrimFun:
+        return KTail(kont, fn_value.apply(arg_value), ms)
+    if isinstance(fn_value, Closure):
+        raise EvalError(
+            "reference-interpreter closure reached the compiled engine; "
+            "compile the whole program with one engine"
+        )
+    raise NotAFunctionError(
+        f"attempt to apply non-function value {value_to_string(fn_value)!r}"
+    )
+
+
+class _Compiler:
+    """One compilation unit: a program, a global env, a monitor stack."""
+
+    def __init__(self, global_env: Environment, monitors: Tuple) -> None:
+        self.global_env = global_env
+        self.monitors = monitors
+
+    # -- the resolve pass's trivial-expression analysis -----------------------
+
+    def trivial(self, expr: Expr, scope: Optional[_Scope]):
+        """A direct ``rib -> value`` evaluator for ``expr``, or ``None``.
+
+        Trivial expressions (Reynolds' sense) compute a value without
+        touching continuations or monitor state: constants, resolved
+        variables, and saturated applications of global primitives to
+        trivial operands.  Operand order inside compound trivials matches
+        the reference semantics (argument before operator, outermost
+        first), so primitive errors surface at the same point.
+        """
+        cls = type(expr)
+        if cls is Const:
+            value = expr.value
+            return lambda rib: value
+        if cls is Var:
+            address = _resolve(scope, expr.name)
+            if address is not None:
+                return _local_getter(*address)
+            if expr.name in self.global_env:
+                value = self.global_env.lookup(expr.name)
+                return lambda rib: value
+            return None
+        if cls is App:
+            # Unfold the application spine; outermost argument first,
+            # which is the reference evaluation order (Figure 2: e2
+            # before e1).
+            spine = []
+            node: Expr = expr
+            while type(node) is App:
+                spine.append(node.arg)
+                node = node.fn
+            if type(node) is not Var:
+                return None
+            if _resolve(scope, node.name) is not None:
+                return None
+            if node.name not in self.global_env:
+                return None
+            prim = self.global_env.lookup(node.name)
+            if type(prim) is not PrimFun or prim.args or prim.arity != len(spine):
+                return None
+            getters = [self.trivial(arg, scope) for arg in spine]
+            if any(getter is None for getter in getters):
+                return None
+            fn = prim.fn
+            if prim.arity == 1:
+                get_a = getters[0]
+                return lambda rib: fn(get_a(rib))
+            if prim.arity == 2:
+                get_b, get_a = getters  # spine order: outer (2nd) arg first
+
+                def compute(rib):
+                    b = get_b(rib)
+                    return fn(get_a(rib), b)
+
+                return compute
+            return None
+        return None
+
+    # -- compilation proper ---------------------------------------------------
+
+    def compile(self, expr: Expr, scope: Optional[_Scope]) -> Code:
+        cls = type(expr)
+        if cls is Const:
+            value = expr.value
+
+            def code_const(rib, kont, ms):
+                return KTail(kont, value, ms)
+
+            return code_const
+
+        if cls is Var:
+            return self._compile_var(expr, scope)
+
+        if cls is Lam:
+            param = expr.param
+            body_code = self.compile(expr.body, _Scope((param,), scope))
+
+            def code_lam(rib, kont, ms):
+                return KTail(kont, CompiledClosure(body_code, rib, param, None), ms)
+
+            return code_lam
+
+        if cls is If:
+            return self._compile_if(expr, scope)
+
+        if cls is App:
+            return self._compile_app(expr, scope)
+
+        if cls is Let:
+            return self._compile_let(expr, scope)
+
+        if cls is Letrec:
+            return self._compile_letrec(expr, scope)
+
+        if cls is Annotated:
+            return self._compile_annotated(expr, scope)
+
+        raise TypeError(f"unknown expression node: {cls.__name__}")
+
+    def _compile_var(self, expr: Var, scope: Optional[_Scope]) -> Code:
+        address = _resolve(scope, expr.name)
+        if address is not None:
+            getter = _local_getter(*address)
+
+            def code_local(rib, kont, ms):
+                return KTail(kont, getter(rib), ms)
+
+            return code_local
+        if expr.name in self.global_env:
+            value = self.global_env.lookup(expr.name)
+
+            def code_global(rib, kont, ms):
+                return KTail(kont, value, ms)
+
+            return code_global
+        name = expr.name
+
+        def code_unbound(rib, kont, ms):
+            raise UnboundIdentifierError(name)
+
+        return code_unbound
+
+    def _compile_if(self, expr: If, scope: Optional[_Scope]) -> Code:
+        then_code = self.compile(expr.then_branch, scope)
+        else_code = self.compile(expr.else_branch, scope)
+        location = expr.location
+
+        get_cond = self.trivial(expr.cond, scope)
+        if get_cond is not None:
+
+            def code_if_trivial(rib, kont, ms):
+                value = get_cond(rib)
+                if value is True:
+                    return then_code(rib, kont, ms)
+                if value is False:
+                    return else_code(rib, kont, ms)
+                raise EvalError(
+                    f"condition evaluated to non-boolean {value_to_string(value)!r}",
+                    location,
+                )
+
+            return code_if_trivial
+
+        cond_code = self.compile(expr.cond, scope)
+
+        def code_if(rib, kont, ms):
+            def branch_kont(value, ms_inner):
+                if value is True:
+                    return then_code(rib, kont, ms_inner)
+                if value is False:
+                    return else_code(rib, kont, ms_inner)
+                raise EvalError(
+                    f"condition evaluated to non-boolean {value_to_string(value)!r}",
+                    location,
+                )
+
+            return cond_code(rib, branch_kont, ms)
+
+        return code_if
+
+    def _global_prim(self, node: Expr, scope: Optional[_Scope], arity: int):
+        """The primitive a spine head resolves to, if saturated at ``arity``."""
+        if type(node) is not Var:
+            return None
+        if _resolve(scope, node.name) is not None:
+            return None
+        if node.name not in self.global_env:
+            return None
+        prim = self.global_env.lookup(node.name)
+        if type(prim) is PrimFun and not prim.args and prim.arity == arity:
+            return prim
+        return None
+
+    def _compile_app(self, expr: App, scope: Optional[_Scope]) -> Code:
+        compute = self.trivial(expr, scope)
+        if compute is not None:
+
+            def code_trivial(rib, kont, ms):
+                return KTail(kont, compute(rib), ms)
+
+            return code_trivial
+
+        fn_node, arg_node = expr.fn, expr.arg
+
+        # Saturated binary primitive with at most one trivial operand.
+        if type(fn_node) is App:
+            prim = self._global_prim(fn_node.fn, scope, 2)
+            if prim is not None:
+                fn2 = prim.fn
+                left_node = fn_node.arg
+                get_right = self.trivial(arg_node, scope)
+                get_left = self.trivial(left_node, scope)
+                if get_right is not None:
+                    left_code = self.compile(left_node, scope)
+
+                    def code_binop_rt(rib, kont, ms):
+                        b = get_right(rib)
+
+                        def left_kont(a, ms_inner):
+                            return KTail(kont, fn2(a, b), ms_inner)
+
+                        return left_code(rib, left_kont, ms)
+
+                    return code_binop_rt
+                if get_left is not None:
+                    right_code = self.compile(arg_node, scope)
+
+                    def code_binop_lt(rib, kont, ms):
+                        def right_kont(b, ms_inner):
+                            return KTail(kont, fn2(get_left(rib), b), ms_inner)
+
+                        return right_code(rib, right_kont, ms)
+
+                    return code_binop_lt
+                left_code = self.compile(left_node, scope)
+                right_code = self.compile(arg_node, scope)
+
+                def code_binop(rib, kont, ms):
+                    def right_kont(b, ms_right):
+                        def left_kont(a, ms_left):
+                            return KTail(kont, fn2(a, b), ms_left)
+
+                        return left_code(rib, left_kont, ms_right)
+
+                    return right_code(rib, right_kont, ms)
+
+                return code_binop
+
+        # Saturated unary primitive over a general operand.
+        prim = self._global_prim(fn_node, scope, 1)
+        if prim is not None:
+            fn1 = prim.fn
+            arg_code = self.compile(arg_node, scope)
+
+            def code_unop(rib, kont, ms):
+                def arg_kont(value, ms_inner):
+                    return KTail(kont, fn1(value), ms_inner)
+
+                return arg_code(rib, arg_kont, ms)
+
+            return code_unop
+
+        # Immediate lambda application ((lambda x. body) arg) — evaluate
+        # like let, skipping the closure allocation.  Safe because a bare
+        # Lam in operator position is unobservable (no annotation layer).
+        if type(fn_node) is Lam:
+            body_code = self.compile(fn_node.body, _Scope((fn_node.param,), scope))
+            get_arg = self.trivial(arg_node, scope)
+            if get_arg is not None:
+
+                def code_beta_trivial(rib, kont, ms):
+                    return body_code([rib, get_arg(rib)], kont, ms)
+
+                return code_beta_trivial
+            arg_code = self.compile(arg_node, scope)
+
+            def code_beta(rib, kont, ms):
+                def arg_kont(value, ms_inner):
+                    return body_code([rib, value], kont, ms_inner)
+
+                return arg_code(rib, arg_kont, ms)
+
+            return code_beta
+
+        # General application.  Figure 2 order: argument before operator.
+        get_fn = self.trivial(fn_node, scope)
+        get_arg = self.trivial(arg_node, scope)
+        if get_fn is not None and get_arg is not None:
+
+            def code_app_tt(rib, kont, ms):
+                arg_value = get_arg(rib)
+                return _apply(get_fn(rib), arg_value, kont, ms)
+
+            return code_app_tt
+        if get_fn is not None:
+            arg_code = self.compile(arg_node, scope)
+
+            def code_app_ft(rib, kont, ms):
+                def arg_kont(arg_value, ms_inner):
+                    return _apply(get_fn(rib), arg_value, kont, ms_inner)
+
+                return arg_code(rib, arg_kont, ms)
+
+            return code_app_ft
+        if get_arg is not None:
+            fn_code = self.compile(fn_node, scope)
+
+            def code_app_at(rib, kont, ms):
+                arg_value = get_arg(rib)
+
+                def fn_kont(fn_value, ms_inner):
+                    return _apply(fn_value, arg_value, kont, ms_inner)
+
+                return fn_code(rib, fn_kont, ms)
+
+            return code_app_at
+
+        fn_code = self.compile(fn_node, scope)
+        arg_code = self.compile(arg_node, scope)
+
+        def code_app(rib, kont, ms):
+            def arg_kont(arg_value, ms_arg):
+                def fn_kont(fn_value, ms_fn):
+                    return _apply(fn_value, arg_value, kont, ms_fn)
+
+                return fn_code(rib, fn_kont, ms_arg)
+
+            return arg_code(rib, arg_kont, ms)
+
+        return code_app
+
+    def _compile_let(self, expr: Let, scope: Optional[_Scope]) -> Code:
+        body_code = self.compile(expr.body, _Scope((expr.name,), scope))
+        get_bound = self.trivial(expr.bound, scope)
+        if get_bound is not None:
+
+            def code_let_trivial(rib, kont, ms):
+                return body_code([rib, get_bound(rib)], kont, ms)
+
+            return code_let_trivial
+
+        bound_code = self.compile(expr.bound, scope)
+
+        def code_let(rib, kont, ms):
+            def bound_kont(value, ms_inner):
+                return body_code([rib, value], kont, ms_inner)
+
+            return bound_code(rib, bound_kont, ms)
+
+        return code_let
+
+    def _compile_letrec(self, expr: Letrec, scope: Optional[_Scope]) -> Code:
+        names = tuple(name for name, _ in expr.bindings)
+        rec_scope = _Scope(names, scope)
+        makers = []
+        for name, bound in expr.bindings:
+            # Figure 2's letrec equation builds the Fun value directly, so
+            # annotation layers around the lambda itself are not observable
+            # (matching Environment.extend_recursive in the reference).
+            lam = strip_annotations_shallow(bound)
+            assert isinstance(lam, Lam), "Letrec guarantees lambda bindings"
+            body_code = self.compile(lam.body, _Scope((lam.param,), rec_scope))
+            makers.append((body_code, lam.param, name))
+        body_code = self.compile(expr.body, rec_scope)
+
+        if len(makers) == 1:
+            code0, param0, name0 = makers[0]
+
+            def code_letrec1(rib, kont, ms):
+                new_rib = [rib, None]
+                new_rib[1] = CompiledClosure(code0, new_rib, param0, name0)
+                return body_code(new_rib, kont, ms)
+
+            return code_letrec1
+
+        def code_letrec(rib, kont, ms):
+            new_rib = [rib]
+            append = new_rib.append
+            for code_i, param_i, name_i in makers:
+                append(CompiledClosure(code_i, new_rib, param_i, name_i))
+            return body_code(new_rib, kont, ms)
+
+        return code_letrec
+
+    def _compile_annotated(self, expr: Annotated, scope: Optional[_Scope]) -> Code:
+        payload = expr.annotation
+        spec = None
+        recognized = None
+        # derive_all wraps the last monitor outermost, so it gets first
+        # claim; with disjoint syntaxes at most one monitor matches anyway.
+        for monitor in reversed(self.monitors):
+            view = monitor.recognize(payload)
+            if view is not None:
+                spec, recognized = monitor, view
+                break
+        if spec is None:
+            # Obliviousness (Definition 7.1), performed at compile time:
+            # unclaimed annotations cost nothing at run time.
+            return self.compile(expr.body, scope)
+
+        body_code = self.compile(expr.body, scope)
+        body_ast = expr.body
+        addresses = self._address_table(scope)
+        global_env = self.global_env
+        key = spec.key
+        observes = tuple(spec.observes)
+        pre, post = spec.pre, spec.post
+
+        if observes:
+
+            def code_observing(rib, kont, ms):
+                ctx = _CompiledContext(rib, addresses, global_env)
+                pre_state = pre(
+                    recognized, body_ast, ctx, ms.get(key), inner=ms.view(observes)
+                )
+                ms_pre = ms.set(key, pre_state)
+
+                def kont_post(result, ms_inner):
+                    post_state = post(
+                        recognized,
+                        body_ast,
+                        ctx,
+                        result,
+                        ms_inner.get(key),
+                        inner=ms_inner.view(observes),
+                    )
+                    return KTail(kont, result, ms_inner.set(key, post_state))
+
+                return body_code(rib, kont_post, ms_pre)
+
+            return code_observing
+
+        def code_monitored(rib, kont, ms):
+            ctx = _CompiledContext(rib, addresses, global_env)
+            pre_state = pre(recognized, body_ast, ctx, ms.get(key))
+            ms_pre = ms.set(key, pre_state)
+
+            def kont_post(result, ms_inner):
+                post_state = post(recognized, body_ast, ctx, result, ms_inner.get(key))
+                return KTail(kont, result, ms_inner.set(key, post_state))
+
+            return body_code(rib, kont_post, ms_pre)
+
+        return code_monitored
+
+    @staticmethod
+    def _address_table(scope: Optional[_Scope]) -> Dict[str, Tuple[int, int]]:
+        """Name -> lexical address for every visible binding, innermost wins."""
+        addresses: Dict[str, Tuple[int, int]] = {}
+        depth = 0
+        while scope is not None:
+            for index, name in enumerate(scope.names):
+                addresses.setdefault(name, (depth, index + 1))
+            depth += 1
+            scope = scope.parent
+        return addresses
+
+
+class CompiledProgram:
+    """A program staged to Python closures, ready to run repeatedly.
+
+    Compilation is pure: running a compiled program builds fresh ribs and
+    threads whatever monitor state the caller supplies, so one
+    ``CompiledProgram`` can be executed any number of times.
+    """
+
+    __slots__ = ("code", "global_env", "monitors")
+
+    def __init__(self, code: Code, global_env: Environment, monitors: Tuple) -> None:
+        self.code = code
+        self.global_env = global_env
+        self.monitors = monitors
+
+    def run(
+        self,
+        *,
+        answers: AnswerAlgebra = STANDARD_ANSWERS,
+        initial_ms=None,
+        max_steps: Optional[int] = None,
+    ) -> Tuple[object, object]:
+        """Execute, returning ``(answer, monitor_state)``."""
+        if initial_ms is None and self.monitors:
+            from repro.monitoring.state import MonitorStateVector
+
+            initial_ms = MonitorStateVector.initial(self.monitors)
+        phi = answers.phi
+
+        def final_kont(value, ms) -> Step:
+            return Done((phi(value), ms))
+
+        step = self.code([None], final_kont, initial_ms)
+        return trampoline(step, max_steps=max_steps)
+
+
+def compile_program(
+    program: Expr,
+    *,
+    monitors: Sequence = (),
+    env: Optional[Environment] = None,
+) -> CompiledProgram:
+    """Stage ``program`` (and ``monitors``) into a :class:`CompiledProgram`.
+
+    ``env`` is the global environment free identifiers resolve against; it
+    defaults to the initial environment of primitives and must not change
+    between runs (its bindings are burned into the compiled code).
+    """
+    global_env = initial_environment() if env is None else env
+    monitor_tuple = tuple(monitors)
+    compiler = _Compiler(global_env, monitor_tuple)
+    code = compiler.compile(program, None)
+    return CompiledProgram(code, global_env, monitor_tuple)
+
+
+def evaluate_compiled(
+    program: Expr,
+    *,
+    env: Optional[Environment] = None,
+    answers: AnswerAlgebra = STANDARD_ANSWERS,
+    max_steps: Optional[int] = None,
+):
+    """Evaluate ``program`` on the compiled engine and return the answer."""
+    answer, _ = compile_program(program, env=env).run(
+        answers=answers, max_steps=max_steps
+    )
+    return answer
+
+
+__all__ = [
+    "CompiledClosure",
+    "CompiledProgram",
+    "compile_program",
+    "evaluate_compiled",
+]

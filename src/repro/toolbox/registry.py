@@ -139,21 +139,26 @@ def evaluate(
     *,
     language: Optional[BaseLanguage] = None,
     max_steps: Optional[int] = None,
+    engine: str = "reference",
 ) -> EvaluationResult:
     """The Section 9.2 entry point: ``evaluate(profile & trace & strict, prog)``.
 
     ``tools`` may be a toolchain built with ``&``, a monitor stack, a
     single spec, a list mixing specs and tool names, or a string such as
     ``"profile & trace & strict"``.  ``program`` may be surface syntax or
-    an already-parsed expression.
+    an already-parsed expression.  ``engine`` selects the execution engine
+    (``"reference"`` or ``"compiled"``) for both the plain and the
+    monitored run.
     """
     monitors, chain_language = _resolve_tools(tools)
     run_language = language or chain_language or strict
     expr = parse(program) if isinstance(program, str) else program
 
     if not monitors:
-        answer = run_language.evaluate(expr, max_steps=max_steps)
+        answer = run_language.evaluate(expr, max_steps=max_steps, engine=engine)
         return EvaluationResult(answer=answer, monitored=None)
 
-    result = run_monitored(run_language, expr, list(monitors), max_steps=max_steps)
+    result = run_monitored(
+        run_language, expr, list(monitors), max_steps=max_steps, engine=engine
+    )
     return EvaluationResult(answer=result.answer, monitored=result)

@@ -92,6 +92,7 @@ class Session:
         *,
         functions: Optional[Sequence[str]] = None,
         max_steps: Optional[int] = None,
+        engine: str = "reference",
     ) -> EvaluationResult:
         """Evaluate an expression over the session's definitions.
 
@@ -100,12 +101,16 @@ class Session:
         annotates the definitions in that tool's own namespace, so any
         combination composes with disjoint syntaxes.  ``functions``
         restricts auto-annotation to the listed definitions ("trace calls
-        to the function f").
+        to the function f").  ``engine`` picks the execution engine
+        (``"reference"`` or ``"compiled"``) for both plain and monitored
+        evaluation.
         """
         program = self.program_for(expr_source)
 
         if tools is None:
-            answer = self.language.evaluate(program, max_steps=max_steps)
+            answer = self.language.evaluate(
+                program, max_steps=max_steps, engine=engine
+            )
             return EvaluationResult(answer=answer, monitored=None)
 
         tool_items = self._normalize_tools(tools)
@@ -123,7 +128,11 @@ class Session:
                     program, functions, style=style, namespace=name
                 )
         return evaluate(
-            monitors, program, language=self.language, max_steps=max_steps
+            monitors,
+            program,
+            language=self.language,
+            max_steps=max_steps,
+            engine=engine,
         )
 
     @staticmethod

@@ -1,0 +1,194 @@
+"""Differential parity: the compiled engine against the reference oracle.
+
+The staged fast-path engine (:mod:`repro.semantics.compiled`) is only
+admissible as an implementation of the monitoring semantics if it is
+*observationally indistinguishable* from the reference interpreter — same
+answers, same final monitor states, same errors with the same messages.
+These property tests run every hypothesis-generated program through both
+engines and compare everything observable.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import (
+    EvalError,
+    NotAFunctionError,
+    StepLimitExceeded,
+    UnboundIdentifierError,
+)
+from repro.languages.strict import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitoring.spec import FunctionSpec
+from repro.monitors import LabelCounterMonitor, TracerMonitor
+from repro.semantics.values import is_function, value_to_string, values_equal
+from repro.syntax.annotations import untag
+from repro.syntax.parser import parse
+
+from tests.generators import closed_program
+
+
+def answers_match(reference, compiled) -> bool:
+    """Observational equality of answers across engines.
+
+    Function values are compared by display (the engines use different
+    closure representations); everything else by object-language equality.
+    """
+    if is_function(reference) or is_function(compiled):
+        return is_function(reference) and is_function(compiled) and (
+            value_to_string(reference) == value_to_string(compiled)
+        )
+    return values_equal(reference, compiled)
+
+
+def run_both(program, monitors):
+    ref = run_monitored(strict, program, monitors, engine="reference")
+    com = run_monitored(strict, program, monitors, engine="compiled")
+    return ref, com
+
+
+def assert_monitor_states_match(ref, com, monitors):
+    for monitor in monitors:
+        key = monitor.key
+        if isinstance(monitor, TracerMonitor):
+            ref_chan, ref_level = ref.state_of(key)
+            com_chan, com_level = com.state_of(key)
+            assert ref_chan.render() == com_chan.render()
+            assert ref_level == com_level
+        else:
+            assert ref.state_of(key) == com.state_of(key)
+
+
+# -- the headline differential properties (>= 200 random programs) ---------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(closed_program())
+def test_unmonitored_answers_agree(program):
+    reference = strict.evaluate(program, max_steps=2_000_000)
+    compiled = strict.evaluate(program, max_steps=2_000_000, engine="compiled")
+    assert answers_match(reference, compiled)
+
+
+@settings(max_examples=120, deadline=None)
+@given(closed_program())
+def test_monitored_answers_and_states_agree(program):
+    """Answer AND final monitor states agree under a composed stack."""
+    counter = LabelCounterMonitor()
+    tracer = TracerMonitor()
+    monitors = counter & tracer
+    ref, com = run_both(program, monitors)
+    assert answers_match(ref.answer, com.answer)
+    assert_monitor_states_match(ref, com, [counter, tracer])
+
+
+@settings(max_examples=60, deadline=None)
+@given(closed_program())
+def test_single_monitor_states_agree(program):
+    """The single-slot state-vector fast path is invisible to monitors."""
+    counter = LabelCounterMonitor()
+    ref, com = run_both(program, counter)
+    assert answers_match(ref.answer, com.answer)
+    assert ref.state_of("count") == com.state_of("count")
+
+
+# -- error parity ---------------------------------------------------------------
+
+
+def both_errors(source, exc_type):
+    program = parse(source)
+    with pytest.raises(exc_type) as ref_exc:
+        strict.evaluate(program)
+    with pytest.raises(exc_type) as com_exc:
+        strict.evaluate(program, engine="compiled")
+    return ref_exc.value, com_exc.value
+
+
+class TestErrorParity:
+    def test_unbound_identifier(self):
+        ref, com = both_errors("nosuch", UnboundIdentifierError)
+        assert str(ref) == str(com)
+        assert com.name == "nosuch"
+
+    def test_unbound_in_dead_branch_is_lazy(self):
+        # Reference semantics only fault on the branch actually taken;
+        # the compiler must not fault at compile time on dead code.
+        program = parse("if true then 1 else nosuch")
+        assert strict.evaluate(program, engine="compiled") == 1
+        ref, com = both_errors("if false then 1 else nosuch", UnboundIdentifierError)
+        assert str(ref) == str(com)
+
+    def test_apply_non_function(self):
+        ref, com = both_errors("3 4", NotAFunctionError)
+        assert str(ref) == str(com)
+
+    def test_apply_non_function_after_call(self):
+        ref, com = both_errors("(lambda x. x) 3 4", NotAFunctionError)
+        assert str(ref) == str(com)
+
+    def test_non_boolean_condition(self):
+        ref, com = both_errors("if 7 then 1 else 2", EvalError)
+        assert str(ref) == str(com)
+
+    def test_division_by_zero(self):
+        ref, com = both_errors("10 / 0", EvalError)
+        assert str(ref) == str(com)
+
+    def test_head_of_empty_list(self):
+        ref, com = both_errors("hd []", EvalError)
+        assert str(ref) == str(com)
+
+
+# -- resource semantics ---------------------------------------------------------
+
+
+LOOP = (
+    "letrec loop = lambda n. if n = 0 then 0 else loop (n - 1) "
+    "in loop {n}"
+)
+
+
+class TestResourceParity:
+    def test_compiled_runs_deep_recursion_in_constant_stack(self):
+        program = parse(LOOP.format(n=200_000))
+        assert strict.evaluate(program, engine="compiled") == 0
+
+    def test_step_limit_enforced_on_compiled_engine(self):
+        program = parse(LOOP.format(n=100_000))
+        with pytest.raises(StepLimitExceeded) as exc:
+            strict.evaluate(program, engine="compiled", max_steps=500)
+        assert exc.value.limit == 500
+        assert exc.value.consumed >= 500
+
+    def test_generous_step_limit_does_not_trip(self):
+        program = parse(LOOP.format(n=50))
+        assert strict.evaluate(program, engine="compiled", max_steps=1_000_000) == 0
+
+
+# -- observing monitors through the compiled engine ------------------------------
+
+
+def test_observing_monitor_sees_inner_state():
+    """A cascade where the outer monitor reads the inner one's state."""
+    watcher = FunctionSpec(
+        key="watch",
+        recognize=lambda a: untag(a, "watch"),
+        initial=list,
+        pre=lambda ann, term, ctx, state, inner: state + [dict(inner["count"])],
+        observes=("count",),
+    )
+    program = parse("({p0}: 1) + ({watch: w}: ({p1}: ({p0}: 2)))")
+    monitors = [LabelCounterMonitor(), watcher]
+    ref, com = run_both(program, monitors)
+    assert ref.answer == com.answer == 3
+    assert ref.state_of("count") == com.state_of("count")
+    assert ref.state_of("watch") == com.state_of("watch")
+    # The watcher fired exactly once, snapshotting the counter's state.
+    assert len(com.state_of("watch")) == 1
+
+
+def test_tracer_output_identical_on_paper_example(paper_tracer_program):
+    tracer = TracerMonitor()
+    ref, com = run_both(paper_tracer_program, tracer)
+    assert ref.answer == com.answer == 6
+    assert ref.report() == com.report()

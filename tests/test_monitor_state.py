@@ -3,7 +3,7 @@
 import pytest
 
 from repro.monitoring.spec import FunctionSpec, MonitorSpec
-from repro.monitoring.state import MonitorStateVector
+from repro.monitoring.state import MonitorStateVector, SingleSlotVector
 from repro.syntax.annotations import Label
 
 
@@ -41,6 +41,57 @@ class TestStateVector:
         d = vector.as_dict()
         d["a"] = 99
         assert vector.get("a") == 1
+
+
+class TestSingleSlotVector:
+    """The copy-free fast path ``initial`` picks for one-monitor stacks."""
+
+    def test_initial_picks_single_slot(self):
+        spec = FunctionSpec("a", lambda x: x, lambda: 0)
+        vector = MonitorStateVector.initial([spec])
+        assert type(vector) is SingleSlotVector
+        assert vector.get("a") == 0
+
+    def test_initial_keeps_dict_for_multiple_monitors(self):
+        specs = [
+            FunctionSpec("a", lambda x: x, lambda: 0),
+            FunctionSpec("b", lambda x: x, lambda: 1),
+        ]
+        vector = MonitorStateVector.initial(specs)
+        assert type(vector) is MonitorStateVector
+
+    def test_set_same_key_stays_single_slot(self):
+        vector = SingleSlotVector("a", 1)
+        updated = vector.set("a", 2)
+        assert type(updated) is SingleSlotVector
+        assert updated.get("a") == 2
+        assert vector.get("a") == 1  # persistent
+
+    def test_set_new_key_upgrades_to_dict(self):
+        vector = SingleSlotVector("a", 1)
+        upgraded = vector.set("b", 2)
+        assert type(upgraded) is MonitorStateVector
+        assert upgraded.get("a") == 1
+        assert upgraded.get("b") == 2
+
+    def test_get_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            SingleSlotVector("a", 1).get("zzz")
+
+    def test_mapping_protocol(self):
+        vector = SingleSlotVector("a", 1)
+        assert set(vector.keys()) == {"a"}
+        assert len(vector) == 1
+        assert "a" in vector
+        assert "b" not in vector
+        assert vector.as_dict() == {"a": 1}
+
+    def test_view_read_only(self):
+        vector = SingleSlotVector("a", 1)
+        view = vector.view(("a",))
+        assert view["a"] == 1
+        with pytest.raises(TypeError):
+            view["a"] = 5  # type: ignore[index]
 
 
 class TestMonitorSpecDefaults:

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import StepLimitExceeded
-from repro.semantics.trampoline import Bounce, Done, trampoline
+from repro.semantics.trampoline import (
+    STEP_BATCH,
+    Bounce,
+    Done,
+    KTail,
+    Tail,
+    trampoline,
+)
 
 
 def countdown(n):
@@ -44,3 +51,73 @@ class TestTrampoline:
     def test_repr(self):
         assert "countdown" in repr(Bounce(countdown, (1,)))
         assert "Done" in repr(Done(1))
+
+
+def tail_countdown(n, _b, _c):
+    if n == 0:
+        return Done("tail-done")
+    return Tail(tail_countdown, n - 1, None, None)
+
+
+def ktail_countdown(n, _b):
+    if n == 0:
+        return Done("ktail-done")
+    return KTail(ktail_countdown, n - 1, None)
+
+
+class TestSpecializedSteps:
+    """The Tail/KTail fast-path step variants drive like Bounce."""
+
+    def test_tail_chain(self):
+        assert trampoline(Tail(tail_countdown, 10_000, None, None)) == "tail-done"
+
+    def test_ktail_chain(self):
+        assert trampoline(KTail(ktail_countdown, 10_000, None)) == "ktail-done"
+
+    def test_mixed_chain(self):
+        def switch(n):
+            if n == 0:
+                return Done(n)
+            if n % 3 == 0:
+                return Bounce(switch, (n - 1,))
+            if n % 3 == 1:
+                return Tail(lambda a, b, c: switch(a), n - 1, None, None)
+            return KTail(lambda a, b: switch(a), n - 1, None)
+
+        assert trampoline(switch(999)) == 0
+
+    def test_tail_counts_against_step_limit(self):
+        with pytest.raises(StepLimitExceeded):
+            trampoline(Tail(tail_countdown, 100, None, None), max_steps=50)
+
+
+class TestBatchedStepLimit:
+    """Limits are exact even though the driver checks them in batches."""
+
+    def test_limit_exactly_at_batch_boundary(self):
+        assert trampoline(countdown(STEP_BATCH), max_steps=STEP_BATCH + 1) == "done"
+
+    def test_limit_one_below_needed_at_boundary(self):
+        with pytest.raises(StepLimitExceeded) as exc:
+            trampoline(countdown(STEP_BATCH + 1), max_steps=STEP_BATCH)
+        assert exc.value.limit == STEP_BATCH
+        assert exc.value.consumed == STEP_BATCH
+
+    def test_limit_spanning_multiple_batches(self):
+        n = 3 * STEP_BATCH + 17
+        assert trampoline(countdown(n), max_steps=n + 1) == "done"
+        with pytest.raises(StepLimitExceeded) as exc:
+            trampoline(countdown(n + 100), max_steps=n)
+        assert exc.value.consumed == n
+
+    def test_consumed_reported_on_small_limit(self):
+        with pytest.raises(StepLimitExceeded) as exc:
+            trampoline(countdown(100), max_steps=7)
+        assert exc.value.limit == 7
+        assert exc.value.consumed == 7
+        assert "7" in str(exc.value)
+
+    def test_consumed_defaults_to_limit(self):
+        exc = StepLimitExceeded(50)
+        assert exc.limit == 50
+        assert exc.consumed == 50
