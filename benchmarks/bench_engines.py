@@ -69,3 +69,78 @@ def test_compiled_is_faster_than_reference_on_fib():
     assert t_com < t_ref, (
         f"compiled engine slower than reference: {t_com:.4f}s vs {t_ref:.4f}s"
     )
+
+
+# -- fault-isolation overhead gate (T-FAULT) -------------------------------------
+
+#: The smoke-gate budget: quarantine may add at most 5% over propagate on
+#: the fast paths, plus a small absolute epsilon for timer granularity.
+QUARANTINE_BUDGET = 1.05
+TIMER_EPSILON = 1e-3  # seconds
+
+
+def _paired_min(thunk_a, thunk_b, repeats=9):
+    """Interleaved min-of-N timing for a fair A/B comparison.
+
+    Alternating the two thunks on every round exposes both to the same
+    machine-load drift; the minimum is the least noisy point estimate of
+    a deterministic workload's cost.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        thunk_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        thunk_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def _assert_within_budget(label, t_propagate, t_quarantine):
+    assert t_quarantine <= t_propagate * QUARANTINE_BUDGET + TIMER_EPSILON, (
+        f"quarantine overhead above 5% on {label}: "
+        f"propagate {t_propagate * 1e3:.2f} ms vs "
+        f"quarantine {t_quarantine * 1e3:.2f} ms "
+        f"({(t_quarantine / t_propagate - 1) * 100:.1f}%)"
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_quarantine_overhead_unmonitored_fast_path(engine):
+    """fault_policy='quarantine' with an empty monitor stack is free.
+
+    No monitors means no isolated derivation and nothing to disable —
+    the policy must not tax the plain evaluation fast path.
+    """
+    program = loop_with_trace_hits(1000, 0)
+    t_p, t_q = _paired_min(
+        lambda: run_monitored(strict, program, [], engine=engine),
+        lambda: run_monitored(
+            strict, program, [], engine=engine, fault_policy="quarantine"
+        ),
+    )
+    _assert_within_budget(f"unmonitored fast path ({engine})", t_p, t_q)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_quarantine_overhead_single_monitor_fast_path(engine):
+    """A healthy single monitor pays <5% for running isolated.
+
+    This is the single-slot state-vector fast path: the only extra work
+    per activation is the disabled-set membership test around pre/post.
+    """
+    tracer_runs = {
+        "propagate": lambda: run_monitored(
+            strict, TRACED, TracerMonitor(), engine=engine
+        ),
+        "quarantine": lambda: run_monitored(
+            strict,
+            TRACED,
+            TracerMonitor(),
+            engine=engine,
+            fault_policy="quarantine",
+        ),
+    }
+    t_p, t_q = _paired_min(tracer_runs["propagate"], tracer_runs["quarantine"])
+    _assert_within_budget(f"single-monitor fast path ({engine})", t_p, t_q)

@@ -94,6 +94,9 @@ def _print_reports(result) -> None:
         print(f"--- {key} ---")
         if isinstance(report, str):
             print(report, end="" if report.endswith("\n") else "\n")
+        elif key == "faults" and isinstance(report, (list, tuple)):
+            for line in report:
+                print(line)
         elif hasattr(report, "render"):
             print(report.render())
         else:
@@ -113,7 +116,12 @@ def cmd_run(args) -> int:
         print(_render_answer(answer))
         return 0
     result = run_monitored(
-        language, program, tools, max_steps=args.max_steps, engine=engine
+        language,
+        program,
+        tools,
+        max_steps=args.max_steps,
+        engine=engine,
+        fault_policy=getattr(args, "fault_policy", "propagate"),
     )
     print(_render_answer(result.answer))
     _print_reports(result)
@@ -138,6 +146,7 @@ def _annotated_run(args, tool_name: str, style: str) -> int:
         monitor,
         max_steps=args.max_steps,
         engine=getattr(args, "engine", "reference"),
+        fault_policy=getattr(args, "fault_policy", "propagate"),
     )
     print(_render_answer(result.answer))
     _print_reports(result)
@@ -192,6 +201,7 @@ def cmd_session(args) -> int:
         ),
         max_steps=args.max_steps,
         engine=getattr(args, "engine", "reference"),
+        fault_policy=getattr(args, "fault_policy", "propagate"),
     )
     print(_render_answer(result.answer))
     if result.monitored is not None:
@@ -210,6 +220,7 @@ def cmd_debug(args) -> int:
         language=_language(args),
         script=args.command or [],
         source=source or (lambda: None),
+        max_steps=args.max_steps,
     )
     print(f"=> {_render_answer(result.answer)}")
     return 0
@@ -224,6 +235,22 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
         choices=("reference", "compiled"),
         default="reference",
         help="execution engine (compiled = staged fast path; strict language only)",
+    )
+
+
+def _add_fault_policy_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.monitoring.faults import FAULT_POLICIES
+
+    parser.add_argument(
+        "--fault-policy",
+        dest="fault_policy",
+        choices=FAULT_POLICIES,
+        default="propagate",
+        help=(
+            "what a monitor exception does: propagate aborts the run "
+            "(default), quarantine disables the faulting monitor and keeps "
+            "the standard answer, log records faults and keeps monitoring"
+        ),
     )
 
 
@@ -253,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--tools", help="comma-separated toolbox monitors (profile,trace,...)"
     )
     _add_engine_argument(run_parser)
+    _add_fault_policy_argument(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
     trace_parser = subparsers.add_parser(
@@ -261,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_program_arguments(trace_parser)
     trace_parser.add_argument("--functions", help="comma-separated function names")
     _add_engine_argument(trace_parser)
+    _add_fault_policy_argument(trace_parser)
     trace_parser.set_defaults(handler=cmd_trace)
 
     profile_parser = subparsers.add_parser(
@@ -269,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_program_arguments(profile_parser)
     profile_parser.add_argument("--functions", help="comma-separated function names")
     _add_engine_argument(profile_parser)
+    _add_fault_policy_argument(profile_parser)
     profile_parser.set_defaults(handler=cmd_profile)
 
     spec_parser = subparsers.add_parser(
@@ -307,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     session_parser.add_argument("--max-steps", type=int, default=None)
     _add_engine_argument(session_parser)
+    _add_fault_policy_argument(session_parser)
     session_parser.set_defaults(handler=cmd_session)
 
     debug_parser = subparsers.add_parser("debug", help="scriptable/interactive debugger")

@@ -14,6 +14,14 @@ The pipeline mirrors Figure 1 of the paper:
 
 from repro.monitoring.compose import MonitorStack, compose, nested_answer
 from repro.monitoring.derive import MonitoredResult, derive_functional, run_monitored
+from repro.monitoring.faults import (
+    FAULT_POLICIES,
+    FaultLog,
+    FlakyMonitor,
+    InjectedFault,
+    MonitorFault,
+    check_fault_policy,
+)
 from repro.monitoring.spec import MonitorSpec
 from repro.monitoring.state import MonitorStateVector
 from repro.monitoring.transformers import (
@@ -25,11 +33,17 @@ from repro.monitoring.transformers import (
 )
 
 __all__ = [
+    "FAULT_POLICIES",
+    "FaultLog",
+    "FlakyMonitor",
+    "InjectedFault",
+    "MonitorFault",
     "MonitorSpec",
     "MonitorStack",
     "MonitorStateVector",
     "MonitoredResult",
     "bounded",
+    "check_fault_policy",
     "compose",
     "derive_functional",
     "filtered",

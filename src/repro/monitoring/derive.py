@@ -23,6 +23,7 @@ from functools import reduce
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import MonitorError
+from repro.monitoring.faults import FaultLog, MonitorFault, check_fault_policy
 from repro.monitoring.spec import MonitorSpec
 from repro.monitoring.state import MonitorStateVector
 from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
@@ -31,13 +32,26 @@ from repro.semantics.trampoline import Bounce, Step
 from repro.syntax.ast import Expr, annotations_in
 
 
-def derive_functional(base_functional: Functional, monitor: MonitorSpec) -> Functional:
+def derive_functional(
+    base_functional: Functional,
+    monitor: MonitorSpec,
+    *,
+    fault_log: Optional[FaultLog] = None,
+) -> Functional:
     """``M(G)`` instantiated with ``monitor`` — one cascade level.
 
     The returned functional expects the machine to thread a
     :class:`~repro.monitoring.state.MonitorStateVector` as its ``ms``
     argument, with a slot for ``monitor.key``.
+
+    When ``fault_log`` is supplied, the monitor's ``pre``/``post`` calls
+    are fault-isolated: an escaping exception is recorded on the log and
+    handled per its policy (quarantine or log) instead of aborting the
+    run.  With ``fault_log=None`` (the default, i.e. the ``propagate``
+    policy) the historical zero-overhead derivation is returned.
     """
+    if fault_log is not None:
+        return _derive_isolated(base_functional, monitor, fault_log)
     key = monitor.key
     observes = tuple(monitor.observes)
 
@@ -88,8 +102,91 @@ def derive_functional(base_functional: Functional, monitor: MonitorSpec) -> Func
     return functional
 
 
+def _derive_isolated(
+    base_functional: Functional, monitor: MonitorSpec, fault_log: FaultLog
+) -> Functional:
+    """The fault-isolated twin of :func:`derive_functional`.
+
+    Identical to the plain derivation except that
+
+    * a slot listed in ``fault_log.disabled`` is skipped outright — the
+      annotated term takes the base semantics' unclaimed-annotation path
+      (Definition 4.2), both at new activations and inside already-captured
+      ``post`` continuations;
+    * an exception escaping ``pre``/``post`` is recorded on the log; under
+      ``quarantine`` the slot is disabled for the rest of the run, under
+      ``log`` only that hook's state update is dropped.
+
+    Either way the program's value keeps flowing to the original
+    continuation, so the standard answer is preserved.
+    """
+    key = monitor.key
+    observes = tuple(monitor.observes)
+    disabled = fault_log.disabled
+
+    def functional(recur):
+        base_eval = base_functional(recur)
+
+        def eval_monitored(term, ctx, kont, ms) -> Step:
+            payload = getattr(term, "annotation", None)
+            if payload is not None:
+                annotation = monitor.recognize(payload)
+                if annotation is not None:
+                    if key in disabled:
+                        return base_eval(term, ctx, kont, ms)
+                    body = term.body
+                    state = ms.get(key)
+                    inner = ms.view(observes) if observes else None
+                    try:
+                        if observes:
+                            pre_state = monitor.pre(
+                                annotation, body, ctx, state, inner=inner
+                            )
+                        else:
+                            pre_state = monitor.pre(annotation, body, ctx, state)
+                    except Exception as exc:
+                        fault_log.record(key, "pre", exc)
+                        if key in disabled:  # quarantined just now
+                            return base_eval(term, ctx, kont, ms)
+                        pre_state = state  # log policy: drop the update
+                    ms_pre = ms.set(key, pre_state)
+
+                    def kont_post(result, ms_inner) -> Step:
+                        if key in disabled:
+                            return Bounce(kont, (result, ms_inner))
+                        post_state = ms_inner.get(key)
+                        try:
+                            if observes:
+                                post_state = monitor.post(
+                                    annotation,
+                                    body,
+                                    ctx,
+                                    result,
+                                    post_state,
+                                    inner=ms_inner.view(observes),
+                                )
+                            else:
+                                post_state = monitor.post(
+                                    annotation, body, ctx, result, post_state
+                                )
+                        except Exception as exc:
+                            fault_log.record(key, "post", exc)
+                            return Bounce(kont, (result, ms_inner))
+                        return Bounce(kont, (result, ms_inner.set(key, post_state)))
+
+                    return Bounce(recur, (body, ctx, kont_post, ms_pre))
+            return base_eval(term, ctx, kont, ms)
+
+        return eval_monitored
+
+    return functional
+
+
 def derive_all(
-    base_functional: Functional, monitors: Sequence[MonitorSpec]
+    base_functional: Functional,
+    monitors: Sequence[MonitorSpec],
+    *,
+    fault_log: Optional[FaultLog] = None,
 ) -> Functional:
     """Cascade the derivation over ``monitors`` (first monitor innermost).
 
@@ -97,9 +194,13 @@ def derive_all(
     derive for ``m1``, treat the result as a standard semantics, derive for
     ``m2``.  The outermost monitor therefore intercepts its annotations
     first, and — via ``observes`` — may watch the states of monitors before
-    it in the cascade.
+    it in the cascade.  ``fault_log`` (if any) is shared by every level.
     """
-    return reduce(derive_functional, monitors, base_functional)
+    return reduce(
+        lambda base, monitor: derive_functional(base, monitor, fault_log=fault_log),
+        monitors,
+        base_functional,
+    )
 
 
 def check_disjoint(monitors: Sequence[MonitorSpec], program: Expr) -> None:
@@ -129,11 +230,30 @@ class MonitoredResult:
     ``answer`` is the program's (standard) answer; ``states`` holds each
     monitor's final state, and :meth:`report` renders one monitor's state
     through its spec's ``report`` method.
+
+    ``faults`` records monitor failures captured under a non-``propagate``
+    fault policy (always ``()`` under the default policy, where a fault
+    aborts the run instead); :meth:`healthy` is the quick check that no
+    monitor faulted.  A quarantined monitor's final state is its last
+    state *before* the fault, so its report still covers everything it
+    observed up to that point.
     """
 
     answer: object
     states: MonitorStateVector
     monitors: Tuple[MonitorSpec, ...]
+    faults: Tuple[MonitorFault, ...] = ()
+    fault_policy: str = "propagate"
+
+    def healthy(self) -> bool:
+        """True when no monitor faulted during the run."""
+        return not self.faults
+
+    def quarantined_keys(self) -> Tuple[str, ...]:
+        """Keys of monitors disabled by quarantine, in first-fault order."""
+        if self.fault_policy != "quarantine":
+            return ()
+        return tuple(dict.fromkeys(f.monitor_key for f in self.faults))
 
     def state_of(self, monitor: "MonitorSpec | str"):
         key = monitor if isinstance(monitor, str) else monitor.key
@@ -152,7 +272,10 @@ class MonitoredResult:
         return monitor.report(self.states.get(monitor.key))
 
     def reports(self) -> Dict[str, object]:
-        return {m.key: m.report(self.states.get(m.key)) for m in self.monitors}
+        out = {m.key: m.report(self.states.get(m.key)) for m in self.monitors}
+        if self.faults:
+            out["faults"] = tuple(fault.render() for fault in self.faults)
+        return out
 
 
 def run_monitored(
@@ -164,6 +287,7 @@ def run_monitored(
     max_steps: Optional[int] = None,
     check_disjointness: bool = True,
     engine: str = "reference",
+    fault_policy: str = "propagate",
 ) -> MonitoredResult:
     """Evaluate ``program`` under ``language`` with ``monitors`` cascaded.
 
@@ -176,16 +300,24 @@ def run_monitored(
     semantics with respect to both the program and the monitor stack; it
     produces the same answers and final monitor states as the reference
     derivation (the parity property tests assert exactly this).
+
+    ``fault_policy`` controls what happens when a monitor's ``pre`` or
+    ``post`` raises: ``"propagate"`` (default) lets the exception abort
+    the run; ``"quarantine"`` records a :class:`MonitorFault`, disables
+    that monitor for the rest of the run and completes with the standard
+    answer; ``"log"`` records faults but keeps the monitor enabled.
     """
     from repro.languages.base import check_engine
     from repro.monitoring.compose import flatten_monitors, validate_observations
 
     check_engine(engine)
+    check_fault_policy(fault_policy)
     monitor_list: List[MonitorSpec] = flatten_monitors(monitors)
     validate_observations(monitor_list)
     if check_disjointness:
         check_disjoint(monitor_list, program)
 
+    fault_log = None if fault_policy == "propagate" else FaultLog(fault_policy)
     initial = MonitorStateVector.initial(monitor_list)
     if engine == "compiled":
         if getattr(language, "name", None) != "strict":
@@ -197,20 +329,31 @@ def run_monitored(
         from repro.semantics.compiled import compile_program
 
         compiled = compile_program(
-            program, monitors=monitor_list, env=language.initial_context()
+            program,
+            monitors=monitor_list,
+            env=language.initial_context(),
+            fault_log=fault_log,
         )
         answer, final_states = compiled.run(
             answers=answers, initial_ms=initial, max_steps=max_steps
         )
         return MonitoredResult(
-            answer=answer, states=final_states, monitors=tuple(monitor_list)
+            answer=answer,
+            states=final_states,
+            monitors=tuple(monitor_list),
+            faults=fault_log.snapshot() if fault_log is not None else (),
+            fault_policy=fault_policy,
         )
 
-    functional = derive_all(language.functional(), monitor_list)
+    functional = derive_all(language.functional(), monitor_list, fault_log=fault_log)
     eval_fn = fix(functional)
     answer, final_states = language.run_program(
         program, eval_fn, answers=answers, ms=initial, max_steps=max_steps
     )
     return MonitoredResult(
-        answer=answer, states=final_states, monitors=tuple(monitor_list)
+        answer=answer,
+        states=final_states,
+        monitors=tuple(monitor_list),
+        faults=fault_log.snapshot() if fault_log is not None else (),
+        fault_policy=fault_policy,
     )

@@ -56,12 +56,15 @@ def debug(
     source: Optional[Callable[[], Optional[str]]] = None,
     output: Callable[[str], None] = print,
     script: Sequence[str] = (),
+    max_steps: Optional[int] = None,
 ) -> MonitoredResult:
     """Run ``program`` under an interactive debugging session.
 
     ``script`` commands run first; when they are exhausted, ``source`` is
     consulted (default: the console).  ``output`` receives each transcript
-    line as it is produced.  Returns the full monitored result — including
+    line as it is produced.  ``max_steps`` bounds the underlying
+    trampoline exactly as in plain evaluation (the debugger adds no
+    budget of its own).  Returns the full monitored result — including
     the complete transcript — once the program finishes.
     """
     if source is None:
@@ -69,4 +72,4 @@ def debug(
     monitor = DebuggerMonitor(
         script, breakpoints=breakpoints, source=source, echo=output
     )
-    return run_monitored(language, program, monitor)
+    return run_monitored(language, program, monitor, max_steps=max_steps)

@@ -207,11 +207,21 @@ def _apply(fn_value, arg_value, kont, ms) -> Step:
 
 
 class _Compiler:
-    """One compilation unit: a program, a global env, a monitor stack."""
+    """One compilation unit: a program, a global env, a monitor stack.
 
-    def __init__(self, global_env: Environment, monitors: Tuple) -> None:
+    ``fault_log`` (a :class:`repro.monitoring.faults.FaultLog`, or ``None``
+    for the default ``propagate`` policy) is burned into the monitored
+    closures: when present, every ``updPre``/``updPost`` call site checks
+    the log's disabled set and routes escaping exceptions through
+    ``fault_log.record`` instead of letting them unwind the trampoline.
+    """
+
+    def __init__(
+        self, global_env: Environment, monitors: Tuple, fault_log=None
+    ) -> None:
         self.global_env = global_env
         self.monitors = monitors
+        self.fault_log = fault_log
 
     # -- the resolve pass's trivial-expression analysis -----------------------
 
@@ -603,6 +613,11 @@ class _Compiler:
         observes = tuple(spec.observes)
         pre, post = spec.pre, spec.post
 
+        if self.fault_log is not None:
+            return self._fault_isolated_annotated(
+                recognized, body_code, body_ast, addresses, key, observes, pre, post
+            )
+
         if observes:
 
             def code_observing(rib, kont, ms):
@@ -640,6 +655,68 @@ class _Compiler:
 
         return code_monitored
 
+    def _fault_isolated_annotated(
+        self, recognized, body_code, body_ast, addresses, key, observes, pre, post
+    ) -> Code:
+        """A claimed annotation under a non-``propagate`` fault policy.
+
+        Mirrors the reference derivation's fault-isolated path exactly: a
+        disabled slot falls through to the bare body code (the
+        unclaimed-annotation path, pre-dispatched), a ``pre``/``post``
+        exception is recorded on the fault log, and under ``quarantine``
+        the slot stays disabled for the rest of the run — including inside
+        ``post`` continuations captured before the fault.
+        """
+        fault_log = self.fault_log
+        disabled = fault_log.disabled
+        global_env = self.global_env
+
+        def code_isolated(rib, kont, ms):
+            if key in disabled:
+                return body_code(rib, kont, ms)
+            ctx = _CompiledContext(rib, addresses, global_env)
+            state = ms.get(key)
+            try:
+                if observes:
+                    pre_state = pre(
+                        recognized, body_ast, ctx, state, inner=ms.view(observes)
+                    )
+                else:
+                    pre_state = pre(recognized, body_ast, ctx, state)
+            except Exception as exc:
+                fault_log.record(key, "pre", exc)
+                if key in disabled:  # quarantined just now
+                    return body_code(rib, kont, ms)
+                pre_state = state  # log policy: drop the update
+            ms_pre = ms.set(key, pre_state)
+
+            def kont_post(result, ms_inner):
+                if key in disabled:
+                    return KTail(kont, result, ms_inner)
+                post_state = ms_inner.get(key)
+                try:
+                    if observes:
+                        post_state = post(
+                            recognized,
+                            body_ast,
+                            ctx,
+                            result,
+                            post_state,
+                            inner=ms_inner.view(observes),
+                        )
+                    else:
+                        post_state = post(
+                            recognized, body_ast, ctx, result, post_state
+                        )
+                except Exception as exc:
+                    fault_log.record(key, "post", exc)
+                    return KTail(kont, result, ms_inner)
+                return KTail(kont, result, ms_inner.set(key, post_state))
+
+            return body_code(rib, kont_post, ms_pre)
+
+        return code_isolated
+
     @staticmethod
     def _address_table(scope: Optional[_Scope]) -> Dict[str, Tuple[int, int]]:
         """Name -> lexical address for every visible binding, innermost wins."""
@@ -658,15 +735,25 @@ class CompiledProgram:
 
     Compilation is pure: running a compiled program builds fresh ribs and
     threads whatever monitor state the caller supplies, so one
-    ``CompiledProgram`` can be executed any number of times.
+    ``CompiledProgram`` can be executed any number of times.  The one
+    exception is ``fault_log``, which is per-run mutable bookkeeping;
+    :meth:`run` resets it so repeated (sequential) runs each start with
+    every monitor enabled and no recorded faults.
     """
 
-    __slots__ = ("code", "global_env", "monitors")
+    __slots__ = ("code", "global_env", "monitors", "fault_log")
 
-    def __init__(self, code: Code, global_env: Environment, monitors: Tuple) -> None:
+    def __init__(
+        self,
+        code: Code,
+        global_env: Environment,
+        monitors: Tuple,
+        fault_log=None,
+    ) -> None:
         self.code = code
         self.global_env = global_env
         self.monitors = monitors
+        self.fault_log = fault_log
 
     def run(
         self,
@@ -676,6 +763,8 @@ class CompiledProgram:
         max_steps: Optional[int] = None,
     ) -> Tuple[object, object]:
         """Execute, returning ``(answer, monitor_state)``."""
+        if self.fault_log is not None:
+            self.fault_log.reset()
         if initial_ms is None and self.monitors:
             from repro.monitoring.state import MonitorStateVector
 
@@ -694,18 +783,30 @@ def compile_program(
     *,
     monitors: Sequence = (),
     env: Optional[Environment] = None,
+    fault_log=None,
+    fault_policy: Optional[str] = None,
 ) -> CompiledProgram:
     """Stage ``program`` (and ``monitors``) into a :class:`CompiledProgram`.
 
     ``env`` is the global environment free identifiers resolve against; it
     defaults to the initial environment of primitives and must not change
     between runs (its bindings are burned into the compiled code).
+
+    Fault isolation: pass either a ready-made
+    :class:`~repro.monitoring.faults.FaultLog` (``fault_log``, shared with
+    a caller that wants to read the records back) or a ``fault_policy``
+    name (``"quarantine"``/``"log"``); omitting both compiles the
+    historical ``propagate`` behavior with zero added overhead.
     """
+    if fault_log is None and fault_policy not in (None, "propagate"):
+        from repro.monitoring.faults import FaultLog
+
+        fault_log = FaultLog(fault_policy)
     global_env = initial_environment() if env is None else env
     monitor_tuple = tuple(monitors)
-    compiler = _Compiler(global_env, monitor_tuple)
+    compiler = _Compiler(global_env, monitor_tuple, fault_log)
     code = compiler.compile(program, None)
-    return CompiledProgram(code, global_env, monitor_tuple)
+    return CompiledProgram(code, global_env, monitor_tuple, fault_log)
 
 
 def evaluate_compiled(

@@ -140,6 +140,7 @@ def evaluate(
     language: Optional[BaseLanguage] = None,
     max_steps: Optional[int] = None,
     engine: str = "reference",
+    fault_policy: str = "propagate",
 ) -> EvaluationResult:
     """The Section 9.2 entry point: ``evaluate(profile & trace & strict, prog)``.
 
@@ -148,7 +149,8 @@ def evaluate(
     ``"profile & trace & strict"``.  ``program`` may be surface syntax or
     an already-parsed expression.  ``engine`` selects the execution engine
     (``"reference"`` or ``"compiled"``) for both the plain and the
-    monitored run.
+    monitored run.  ``fault_policy`` selects how monitor failures are
+    handled (see :func:`repro.monitoring.derive.run_monitored`).
     """
     monitors, chain_language = _resolve_tools(tools)
     run_language = language or chain_language or strict
@@ -159,6 +161,11 @@ def evaluate(
         return EvaluationResult(answer=answer, monitored=None)
 
     result = run_monitored(
-        run_language, expr, list(monitors), max_steps=max_steps, engine=engine
+        run_language,
+        expr,
+        list(monitors),
+        max_steps=max_steps,
+        engine=engine,
+        fault_policy=fault_policy,
     )
     return EvaluationResult(answer=result.answer, monitored=result)

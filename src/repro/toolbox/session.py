@@ -19,6 +19,7 @@ environment").
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ReproError
@@ -93,17 +94,20 @@ class Session:
         functions: Optional[Sequence[str]] = None,
         max_steps: Optional[int] = None,
         engine: str = "reference",
+        fault_policy: str = "propagate",
     ) -> EvaluationResult:
         """Evaluate an expression over the session's definitions.
 
-        ``tools`` names toolbox monitors (``"profile & trace"``); for each
+        ``tools`` names toolbox monitors (``"profile & trace"`` or
+        ``"profile,trace"`` — both separators are accepted); for each
         named tool with an automatic annotation style the session
         annotates the definitions in that tool's own namespace, so any
         combination composes with disjoint syntaxes.  ``functions``
         restricts auto-annotation to the listed definitions ("trace calls
         to the function f").  ``engine`` picks the execution engine
         (``"reference"`` or ``"compiled"``) for both plain and monitored
-        evaluation.
+        evaluation; ``fault_policy`` selects monitor-fault handling
+        (``"propagate"``, ``"quarantine"`` or ``"log"``).
         """
         program = self.program_for(expr_source)
 
@@ -133,6 +137,7 @@ class Session:
             language=self.language,
             max_steps=max_steps,
             engine=engine,
+            fault_policy=fault_policy,
         )
 
     @staticmethod
@@ -140,7 +145,11 @@ class Session:
         tools: Union[str, Sequence[Union[str, MonitorSpec]]]
     ) -> List[Union[str, MonitorSpec]]:
         if isinstance(tools, str):
-            return [part.strip() for part in tools.split("&") if part.strip()]
+            # Accept both the ``&`` toolchain syntax and the CLI's
+            # comma-separated convention — every subcommand splits on
+            # commas, so a session invoked with ``--tools profile,trace``
+            # must mean the same two tools.
+            return [part.strip() for part in re.split(r"[&,]", tools) if part.strip()]
         if isinstance(tools, MonitorSpec):
             return [tools]
         return list(tools)

@@ -184,8 +184,126 @@ class TestSession:
         path.write_text("garbage")
         assert main(["session", str(path), "--eval", "1"]) == 1
 
+    def test_comma_separated_tools(self, capsys, tmp_path):
+        # Regression: every other subcommand splits --tools on commas, but
+        # Session.evaluate used to split only on '&', so
+        # ``--tools profile,trace`` died with an unknown-tool error.
+        from repro.toolbox.session import Session
+
+        session = Session()
+        session.define("fac", "lambda x. if x = 0 then 1 else x * fac (x - 1)")
+        path = tmp_path / "s.repro"
+        session.save(path)
+
+        assert (
+            main(
+                ["session", str(path), "--eval", "fac 4", "--tools", "profile,trace"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "24" in out
+        assert "'fac': 5" in out          # profiler fired
+        assert "[FAC receives (4)]" in out  # tracer fired too
+
+    def test_ampersand_tools_still_work(self, capsys, tmp_path):
+        from repro.toolbox.session import Session
+
+        session = Session()
+        session.define("fac", "lambda x. if x = 0 then 1 else x * fac (x - 1)")
+        path = tmp_path / "s.repro"
+        session.save(path)
+
+        assert (
+            main(
+                ["session", str(path), "--eval", "fac 3", "--tools", "profile & trace"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "'fac': 4" in out
+
+
+class TestFaultPolicy:
+    @pytest.fixture
+    def flaky_tool(self, monkeypatch):
+        # Register a deliberately faulty toolbox monitor so the CLI's
+        # fault path can be driven end-to-end.
+        from repro.monitoring.faults import FlakyMonitor
+        from repro.monitors import ProfilerMonitor
+        from repro.toolbox import registry
+
+        monkeypatch.setitem(
+            registry.TOOLBOX,
+            "flaky",
+            lambda namespace=None: FlakyMonitor(
+                ProfilerMonitor(namespace=namespace), fail_on=2
+            ),
+        )
+
+    def test_quarantine_keeps_answer_and_reports_fault(self, capsys, flaky_tool):
+        assert (
+            main(
+                [
+                    "run",
+                    "-e",
+                    FAC,
+                    "--tools",
+                    "flaky",
+                    "--fault-policy",
+                    "quarantine",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "24" in out  # the standard answer survived the fault
+        assert "--- faults ---" in out
+        assert "profile.pre raised InjectedFault" in out
+        assert "'fac': 1" in out  # calls counted before the fault
+
+    def test_propagate_still_aborts(self, flaky_tool):
+        from repro.monitoring.faults import InjectedFault
+
+        with pytest.raises(InjectedFault):
+            main(["run", "-e", FAC, "--tools", "flaky"])
+
+    def test_healthy_run_unchanged_under_quarantine(self, capsys):
+        assert (
+            main(
+                ["run", "-e", FAC, "--tools", "profile", "--fault-policy", "quarantine"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "'fac': 5" in out
+        assert "faults" not in out
+
+    def test_rejects_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "-e", "1", "--fault-policy", "retry"])
+
 
 class TestDebug:
+    def test_max_steps_enforced(self, capsys):
+        # Regression: cmd_debug used to drop --max-steps on the floor, so
+        # a divergent program under the debugger span forever.
+        assert (
+            main(
+                [
+                    "debug",
+                    "-e",
+                    "letrec loop = lambda x. loop x in loop 1",
+                    "--max-steps",
+                    "500",
+                    "--command",
+                    "quit",
+                ]
+            )
+            == 1
+        )
+        assert "step limit of 500" in capsys.readouterr().err
+
     def test_scripted_session(self, capsys):
         assert (
             main(

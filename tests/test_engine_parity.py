@@ -192,3 +192,33 @@ def test_tracer_output_identical_on_paper_example(paper_tracer_program):
     ref, com = run_both(paper_tracer_program, tracer)
     assert ref.answer == com.answer == 6
     assert ref.report() == com.report()
+
+
+# -- fault isolation: parity extends to injected monitor failures ----------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(closed_program())
+def test_quarantined_fault_parity(program):
+    """Answers, surviving states AND fault records agree under injected
+    failures — the fault-injection harness run as a parity property.
+    (The full suite lives in tests/test_fault_injection.py.)"""
+    from tests.fault_injection import flaky_counter
+
+    runs = {}
+    for engine in ("reference", "compiled"):
+        runs[engine] = run_monitored(
+            strict,
+            program,
+            flaky_counter(1),
+            engine=engine,
+            fault_policy="quarantine",
+            max_steps=2_000_000,
+        )
+    ref, com = runs["reference"], runs["compiled"]
+    assert answers_match(ref.answer, com.answer)
+    assert ref.faults == com.faults
+    assert ref.state_of("count") == com.state_of("count")
+    assert answers_match(
+        ref.answer, strict.evaluate(program, max_steps=2_000_000)
+    )

@@ -66,3 +66,27 @@ class TestLiveDebugging:
             output=lines.append,
         )
         assert result.answer == 6
+
+    def test_max_steps_threads_through(self):
+        import pytest
+
+        from repro.errors import StepLimitExceeded
+
+        with pytest.raises(StepLimitExceeded) as exc:
+            debug(
+                parse("letrec loop = lambda x. loop x in loop 1"),
+                source=IteratorSource([]),
+                output=lambda line: None,
+                max_steps=400,
+            )
+        assert exc.value.limit == 400
+
+    def test_generous_max_steps_is_harmless(self):
+        result = debug(
+            parse(FAC),
+            breakpoints=["fac"],
+            source=IteratorSource([]),
+            output=lambda line: None,
+            max_steps=1_000_000,
+        )
+        assert result.answer == 6

@@ -74,6 +74,18 @@ class TestSingleSlotVector:
         assert upgraded.get("a") == 1
         assert upgraded.get("b") == 2
 
+    def test_upgrade_is_persistent_and_composable(self):
+        # The original single-slot vector must be untouched by the
+        # upgrade, and the upgraded vector must keep behaving like a
+        # full state vector under further updates.
+        vector = SingleSlotVector("a", 1)
+        upgraded = vector.set("b", 2)
+        assert vector.as_dict() == {"a": 1}
+        assert len(vector) == 1
+        again = upgraded.set("a", 10).set("c", 3)
+        assert upgraded.as_dict() == {"a": 1, "b": 2}  # persistent too
+        assert again.as_dict() == {"a": 10, "b": 2, "c": 3}
+
     def test_get_missing_key_raises(self):
         with pytest.raises(KeyError):
             SingleSlotVector("a", 1).get("zzz")

@@ -178,6 +178,34 @@ class TestDeriveAll:
         functional = derive_all(strict.functional(), [])
         assert functional is strict.functional()
 
+    @pytest.mark.parametrize("engine", ["reference", "compiled"])
+    def test_empty_stack_run_equals_unmonitored(self, engine):
+        # run_monitored with no monitors is *exactly* unmonitored
+        # evaluation on both engines — same answer, empty state vector,
+        # no reports.
+        program = parse("{p}: 1 + {q}: 2")  # annotations all unclaimed
+        result = run_monitored(strict, program, [], engine=engine)
+        assert result.answer == strict.evaluate(program, engine=engine) == 3
+        assert len(result.states) == 0
+        assert result.reports() == {}
+        assert result.healthy()
+
+    @pytest.mark.parametrize("engine", ["reference", "compiled"])
+    def test_empty_stack_under_quarantine(self, engine):
+        # With nothing to fault, a non-default policy changes nothing.
+        program = parse("6 * 7")
+        result = run_monitored(
+            strict, program, [], engine=engine, fault_policy="quarantine"
+        )
+        assert result.answer == 42
+        assert result.faults == ()
+        assert result.fault_policy == "quarantine"
+
+    def test_initial_state_vector_of_empty_stack(self):
+        vector = MonitorStateVector.initial([])
+        assert len(vector) == 0
+        assert vector.as_dict() == {}
+
     def test_state_isolation(self):
         # Each monitor only ever sees (and updates) its own slot.
         program = parse("{p}: {q}: 1")

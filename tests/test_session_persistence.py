@@ -64,3 +64,58 @@ class TestRoundTrip:
         path.write_text(text)
         restored = Session.load(path)
         assert restored.evaluate("double 2").answer == 6
+
+    def test_label_and_header_annotations_round_trip(self, tmp_path):
+        # Annotated definitions must survive pretty() -> save -> parse():
+        # both bare labels and tracer headers come back firing.
+        from repro.monitors import TracerMonitor
+
+        s = Session()
+        s.define(
+            "fac",
+            "lambda x. {fac(x)}: {fac}: if x = 0 then 1 else x * fac (x - 1)",
+        )
+        path = tmp_path / "annotated.repro"
+        s.save(path)
+        restored = Session.load(path)
+        result = restored.evaluate("fac 4", tools=[TracerMonitor(), "count"])
+        assert result.answer == 24
+        assert result.report("count") == {"fac": 5}
+        assert "[FAC receives (4)]" in result.report("trace")
+
+
+class TestSessionFaultIsolation:
+    @pytest.fixture
+    def saved_session(self, tmp_path):
+        s = Session()
+        s.define("fac", "lambda x. {fac}: if x = 0 then 1 else x * fac (x - 1)")
+        path = tmp_path / "fault.repro"
+        s.save(path)
+        return Session.load(path)
+
+    @pytest.mark.parametrize("engine", ["reference", "compiled"])
+    def test_quarantined_profiler_reports_pre_fault_counts(
+        self, saved_session, engine
+    ):
+        # A profiler that dies on its third activation is quarantined,
+        # the answer stays standard, and its report still covers the
+        # calls it counted before the fault.
+        from repro.monitoring.faults import FlakyMonitor
+        from repro.monitors import ProfilerMonitor
+
+        flaky = FlakyMonitor(ProfilerMonitor(), fail_on=3)
+        result = saved_session.evaluate(
+            "fac 4", tools=[flaky], engine=engine, fault_policy="quarantine"
+        )
+        assert result.answer == 24
+        assert result.report("profile") == {"fac": 2}
+        assert result.monitored.quarantined_keys() == ("profile",)
+        assert not result.monitored.healthy()
+
+    def test_propagate_stays_default_through_session(self, saved_session):
+        from repro.monitoring.faults import FlakyMonitor, InjectedFault
+        from repro.monitors import ProfilerMonitor
+
+        flaky = FlakyMonitor(ProfilerMonitor(), fail_on=1)
+        with pytest.raises(InjectedFault):
+            saved_session.evaluate("fac 4", tools=[flaky])
