@@ -73,6 +73,27 @@ def _tools(names: Optional[str]) -> List:
     return [make_tool(name.strip()) for name in names.split(",") if name.strip()]
 
 
+def _telemetry_from(args):
+    """``(metrics, sink)`` from the ``--metrics``/``--trace-out`` flags."""
+    from repro.observability import JsonlSink, RunMetrics
+
+    metrics = RunMetrics() if getattr(args, "metrics", False) else None
+    trace_out = getattr(args, "trace_out", None)
+    sink = JsonlSink(trace_out, wants_steps=True) if trace_out else None
+    return metrics, sink
+
+
+def _close_sink(sink) -> None:
+    if sink is not None:
+        sink.close()
+
+
+def _print_metrics(metrics) -> None:
+    if metrics is not None:
+        print("--- metrics ---")
+        print(metrics.render())
+
+
 def _render_answer(answer) -> str:
     if isinstance(answer, tuple) and len(answer) == 2 and isinstance(answer[0], dict):
         bindings, output = answer  # L_imp result
@@ -111,20 +132,30 @@ def cmd_run(args) -> int:
     language = _language(args)
     tools = _tools(args.tools)
     engine = getattr(args, "engine", "reference")
-    if not tools:
-        answer = language.evaluate(program, max_steps=args.max_steps, engine=engine)
-        print(_render_answer(answer))
-        return 0
-    result = run_monitored(
-        language,
-        program,
-        tools,
-        max_steps=args.max_steps,
-        engine=engine,
-        fault_policy=getattr(args, "fault_policy", "propagate"),
-    )
+    metrics, sink = _telemetry_from(args)
+    try:
+        if not tools and metrics is None and sink is None:
+            answer = language.evaluate(
+                program, max_steps=args.max_steps, engine=engine
+            )
+            print(_render_answer(answer))
+            return 0
+        result = run_monitored(
+            language,
+            program,
+            tools,
+            max_steps=args.max_steps,
+            engine=engine,
+            fault_policy=getattr(args, "fault_policy", "propagate"),
+            metrics=metrics,
+            event_sink=sink,
+        )
+    finally:
+        _close_sink(sink)
     print(_render_answer(result.answer))
-    _print_reports(result)
+    if tools:
+        _print_reports(result)
+    _print_metrics(metrics)
     return 0
 
 
@@ -140,16 +171,23 @@ def _annotated_run(args, tool_name: str, style: str) -> int:
         program, functions, style=style, namespace=tool_name
     )
     monitor = make_tool(tool_name, namespace=tool_name)
-    result = run_monitored(
-        language,
-        annotated,
-        monitor,
-        max_steps=args.max_steps,
-        engine=getattr(args, "engine", "reference"),
-        fault_policy=getattr(args, "fault_policy", "propagate"),
-    )
+    metrics, sink = _telemetry_from(args)
+    try:
+        result = run_monitored(
+            language,
+            annotated,
+            monitor,
+            max_steps=args.max_steps,
+            engine=getattr(args, "engine", "reference"),
+            fault_policy=getattr(args, "fault_policy", "propagate"),
+            metrics=metrics,
+            event_sink=sink,
+        )
+    finally:
+        _close_sink(sink)
     print(_render_answer(result.answer))
     _print_reports(result)
+    _print_metrics(metrics)
     return 0
 
 
@@ -191,21 +229,28 @@ def cmd_session(args) -> int:
     from repro.toolbox.session import Session
 
     session = Session.load(args.session_file, language=_language(args))
-    result = session.evaluate(
-        args.eval,
-        tools=args.tools,
-        functions=(
-            [name.strip() for name in args.functions.split(",")]
-            if args.functions
-            else None
-        ),
-        max_steps=args.max_steps,
-        engine=getattr(args, "engine", "reference"),
-        fault_policy=getattr(args, "fault_policy", "propagate"),
-    )
+    metrics, sink = _telemetry_from(args)
+    try:
+        result = session.evaluate(
+            args.eval,
+            tools=args.tools,
+            functions=(
+                [name.strip() for name in args.functions.split(",")]
+                if args.functions
+                else None
+            ),
+            max_steps=args.max_steps,
+            engine=getattr(args, "engine", "reference"),
+            fault_policy=getattr(args, "fault_policy", "propagate"),
+            metrics=metrics,
+            event_sink=sink,
+        )
+    finally:
+        _close_sink(sink)
     print(_render_answer(result.answer))
     if result.monitored is not None:
         _print_reports(result.monitored)
+    _print_metrics(metrics)
     return 0
 
 
@@ -214,15 +259,25 @@ def cmd_debug(args) -> int:
 
     program = _load_program(args)
     source = None if args.command else ConsoleSource()
-    result = debug(
-        program,
-        breakpoints=args.breakpoints or None,
-        language=_language(args),
-        script=args.command or [],
-        source=source or (lambda: None),
-        max_steps=args.max_steps,
-    )
+    metrics, sink = _telemetry_from(args)
+    try:
+        result = debug(
+            program,
+            breakpoints=args.breakpoints or None,
+            language=_language(args),
+            script=args.command or [],
+            source=source or (lambda: None),
+            max_steps=args.max_steps,
+            fault_policy=getattr(args, "fault_policy", "propagate"),
+            metrics=metrics,
+            event_sink=sink,
+        )
+    finally:
+        _close_sink(sink)
     print(f"=> {_render_answer(result.answer)}")
+    for fault in result.faults:
+        print(f"monitor fault: {fault}", file=sys.stderr)
+    _print_metrics(metrics)
     return 0
 
 
@@ -254,6 +309,21 @@ def _add_fault_policy_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect run telemetry and print a metrics summary after the answer",
+    )
+    parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        metavar="FILE",
+        default=None,
+        help="write the telemetry event stream to FILE as JSON lines",
+    )
+
+
 def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("program", nargs="?", help="program file")
     parser.add_argument("-e", "--expression", help="program text inline")
@@ -281,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_argument(run_parser)
     _add_fault_policy_argument(run_parser)
+    _add_telemetry_arguments(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
     trace_parser = subparsers.add_parser(
@@ -290,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--functions", help="comma-separated function names")
     _add_engine_argument(trace_parser)
     _add_fault_policy_argument(trace_parser)
+    _add_telemetry_arguments(trace_parser)
     trace_parser.set_defaults(handler=cmd_trace)
 
     profile_parser = subparsers.add_parser(
@@ -299,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--functions", help="comma-separated function names")
     _add_engine_argument(profile_parser)
     _add_fault_policy_argument(profile_parser)
+    _add_telemetry_arguments(profile_parser)
     profile_parser.set_defaults(handler=cmd_profile)
 
     spec_parser = subparsers.add_parser(
@@ -338,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     session_parser.add_argument("--max-steps", type=int, default=None)
     _add_engine_argument(session_parser)
     _add_fault_policy_argument(session_parser)
+    _add_telemetry_arguments(session_parser)
     session_parser.set_defaults(handler=cmd_session)
 
     debug_parser = subparsers.add_parser("debug", help="scriptable/interactive debugger")
@@ -355,6 +429,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CMD",
         help="debugger command to run at stops (repeatable); omit for a console",
     )
+    _add_fault_policy_argument(debug_parser)
+    _add_telemetry_arguments(debug_parser)
     debug_parser.set_defaults(handler=cmd_debug)
 
     return parser

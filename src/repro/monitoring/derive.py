@@ -20,12 +20,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import reduce
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import MonitorError
 from repro.monitoring.faults import FaultLog, MonitorFault, check_fault_policy
 from repro.monitoring.spec import MonitorSpec
 from repro.monitoring.state import MonitorStateVector
+from repro.observability.instrument import (
+    Telemetry,
+    instrument_functional,
+    instrument_monitors,
+)
+from repro.observability.metrics import RunMetrics
 from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
 from repro.semantics.machine import Functional, fix
 from repro.semantics.trampoline import Bounce, Step
@@ -237,6 +244,10 @@ class MonitoredResult:
     monitor faulted.  A quarantined monitor's final state is its last
     state *before* the fault, so its report still covers everything it
     observed up to that point.
+
+    ``metrics`` carries the run's :class:`~repro.observability.metrics.
+    RunMetrics` when telemetry was requested (``metrics=`` or a real
+    ``event_sink=`` passed to :func:`run_monitored`); otherwise ``None``.
     """
 
     answer: object
@@ -244,6 +255,7 @@ class MonitoredResult:
     monitors: Tuple[MonitorSpec, ...]
     faults: Tuple[MonitorFault, ...] = ()
     fault_policy: str = "propagate"
+    metrics: "Optional[RunMetrics]" = None
 
     def healthy(self) -> bool:
         """True when no monitor faulted during the run."""
@@ -288,6 +300,8 @@ def run_monitored(
     check_disjointness: bool = True,
     engine: str = "reference",
     fault_policy: str = "propagate",
+    metrics: Optional[RunMetrics] = None,
+    event_sink=None,
 ) -> MonitoredResult:
     """Evaluate ``program`` under ``language`` with ``monitors`` cascaded.
 
@@ -306,6 +320,16 @@ def run_monitored(
     the run; ``"quarantine"`` records a :class:`MonitorFault`, disables
     that monitor for the rest of the run and completes with the standard
     answer; ``"log"`` records faults but keeps the monitor enabled.
+
+    ``metrics`` / ``event_sink`` opt the run into telemetry
+    (:mod:`repro.observability`): pass a
+    :class:`~repro.observability.metrics.RunMetrics` to collect counters
+    (also returned as ``result.metrics``), and/or an event sink to
+    receive the typed event stream.  With neither (or a ``NullSink``)
+    the historical uninstrumented fast path runs.  Counters are
+    engine-independent: both engines count expression-node evaluations
+    at the reference interpreter's granularity (the compiled engine
+    disables its collapse optimizations while counting).
     """
     from repro.languages.base import check_engine
     from repro.monitoring.compose import flatten_monitors, validate_observations
@@ -317,43 +341,56 @@ def run_monitored(
     if check_disjointness:
         check_disjoint(monitor_list, program)
 
-    fault_log = None if fault_policy == "propagate" else FaultLog(fault_policy)
-    initial = MonitorStateVector.initial(monitor_list)
-    if engine == "compiled":
-        if getattr(language, "name", None) != "strict":
-            raise MonitorError(
-                "engine='compiled' currently supports the strict language "
-                f"only, not {getattr(language, 'name', language)!r}; "
-                "use engine='reference'"
-            )
-        from repro.semantics.compiled import compile_program
-
-        compiled = compile_program(
-            program,
-            monitors=monitor_list,
-            env=language.initial_context(),
-            fault_log=fault_log,
-        )
-        answer, final_states = compiled.run(
-            answers=answers, initial_ms=initial, max_steps=max_steps
-        )
-        return MonitoredResult(
-            answer=answer,
-            states=final_states,
-            monitors=tuple(monitor_list),
-            faults=fault_log.snapshot() if fault_log is not None else (),
-            fault_policy=fault_policy,
-        )
-
-    functional = derive_all(language.functional(), monitor_list, fault_log=fault_log)
-    eval_fn = fix(functional)
-    answer, final_states = language.run_program(
-        program, eval_fn, answers=answers, ms=initial, max_steps=max_steps
+    telemetry = Telemetry.create(metrics, event_sink)
+    observer = telemetry.fault_observer if telemetry is not None else None
+    fault_log = (
+        None
+        if fault_policy == "propagate"
+        else FaultLog(fault_policy, observer=observer)
     )
+    # The *instrumented* specs drive derivation/compilation (so hook calls
+    # are counted and timed); the result reports through the originals.
+    active_list = instrument_monitors(monitor_list, telemetry)
+    initial = MonitorStateVector.initial(active_list)
+    start = perf_counter() if telemetry is not None else 0.0
+    try:
+        if engine == "compiled":
+            if getattr(language, "name", None) != "strict":
+                raise MonitorError(
+                    "engine='compiled' currently supports the strict language "
+                    f"only, not {getattr(language, 'name', language)!r}; "
+                    "use engine='reference'"
+                )
+            from repro.semantics.compiled import compile_program
+
+            compiled = compile_program(
+                program,
+                monitors=active_list,
+                env=language.initial_context(),
+                fault_log=fault_log,
+                telemetry=telemetry,
+            )
+            answer, final_states = compiled.run(
+                answers=answers, initial_ms=initial, max_steps=max_steps
+            )
+        else:
+            functional = derive_all(
+                language.functional(), active_list, fault_log=fault_log
+            )
+            if telemetry is not None:
+                functional = instrument_functional(functional, telemetry)
+            eval_fn = fix(functional)
+            answer, final_states = language.run_program(
+                program, eval_fn, answers=answers, ms=initial, max_steps=max_steps
+            )
+    finally:
+        if telemetry is not None:
+            telemetry.metrics.wall_time += perf_counter() - start
     return MonitoredResult(
         answer=answer,
         states=final_states,
         monitors=tuple(monitor_list),
         faults=fault_log.snapshot() if fault_log is not None else (),
         fault_policy=fault_policy,
+        metrics=telemetry.metrics if telemetry is not None else None,
     )

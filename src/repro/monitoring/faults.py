@@ -91,11 +91,16 @@ class FaultLog:
     machine state, and must survive continuation capture.  One log is
     created per ``run_monitored`` call (or per ``CompiledProgram.run``)
     and shared by every derivation level.
+
+    ``observer`` (if supplied) is called as ``observer(fault,
+    quarantined)`` after each record — the telemetry layer hooks in here,
+    so fault counts and fault events agree across engines for free.
+    The observer survives :meth:`reset`.
     """
 
-    __slots__ = ("policy", "disabled", "faults")
+    __slots__ = ("policy", "disabled", "faults", "observer")
 
-    def __init__(self, policy: str) -> None:
+    def __init__(self, policy: str, observer=None) -> None:
         check_fault_policy(policy)
         if policy == "propagate":
             raise MonitorError(
@@ -105,6 +110,7 @@ class FaultLog:
         self.policy = policy
         self.disabled: Set[str] = set()
         self.faults: List[MonitorFault] = []
+        self.observer = observer
 
     def reset(self) -> None:
         """Forget all faults and re-enable every slot (a fresh run)."""
@@ -121,8 +127,11 @@ class FaultLog:
             error=exc,
         )
         self.faults.append(fault)
+        quarantined = self.policy == "quarantine" and key not in self.disabled
         if self.policy == "quarantine":
             self.disabled.add(key)
+        if self.observer is not None:
+            self.observer(fault, quarantined)
         return fault
 
     def snapshot(self) -> Tuple[MonitorFault, ...]:

@@ -57,6 +57,9 @@ def debug(
     output: Callable[[str], None] = print,
     script: Sequence[str] = (),
     max_steps: Optional[int] = None,
+    fault_policy: str = "propagate",
+    metrics=None,
+    event_sink=None,
 ) -> MonitoredResult:
     """Run ``program`` under an interactive debugging session.
 
@@ -64,12 +67,24 @@ def debug(
     consulted (default: the console).  ``output`` receives each transcript
     line as it is produced.  ``max_steps`` bounds the underlying
     trampoline exactly as in plain evaluation (the debugger adds no
-    budget of its own).  Returns the full monitored result — including
-    the complete transcript — once the program finishes.
+    budget of its own).  ``fault_policy`` governs debugger-monitor
+    failures like any other monitor's (``"quarantine"`` finishes the
+    program with the transcript collected so far);
+    ``metrics``/``event_sink`` request run telemetry
+    (:mod:`repro.observability`).  Returns the full monitored result —
+    including the complete transcript — once the program finishes.
     """
     if source is None:
         source = ConsoleSource()
     monitor = DebuggerMonitor(
         script, breakpoints=breakpoints, source=source, echo=output
     )
-    return run_monitored(language, program, monitor, max_steps=max_steps)
+    return run_monitored(
+        language,
+        program,
+        monitor,
+        max_steps=max_steps,
+        fault_policy=fault_policy,
+        metrics=metrics,
+        event_sink=event_sink,
+    )

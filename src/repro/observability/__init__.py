@@ -1,0 +1,66 @@
+"""Run telemetry: structured metrics and event streams for the runtime.
+
+The monitors of the paper observe *programs*; this package observes the
+*runtime* that runs them.  It has two faces sharing one instrumentation
+point (the generic-trace architecture of Jahier & Ducassé, PAPERS.md):
+
+* :class:`RunMetrics` — cheap aggregate counters (steps, applications,
+  per-slot monitor activations, hook calls, state transitions, faults,
+  wall-clock split into standard-eval vs. monitoring time), identical
+  across the reference and compiled engines by construction.
+* A typed event stream (:class:`Event`, :data:`EVENT_TYPES`) emitted to
+  pluggable sinks (:class:`InMemorySink`, :class:`JsonlSink`,
+  :class:`CallbackSink`, :class:`NullSink`); :func:`replay` folds a
+  captured stream back into the aggregates.
+
+Entry points: ``run_monitored(..., metrics=..., event_sink=...)``,
+``toolbox.evaluate``/``Session.evaluate`` with the same keywords, and the
+CLI flags ``--metrics`` / ``--trace-out FILE``.  Telemetry is strictly
+opt-in: with no metrics object and no sink (or a :class:`NullSink`), the
+engines run their historical uninstrumented fast paths — the <2% overhead
+gate in ``benchmarks/bench_engines.py`` holds the runtime to that.
+"""
+
+from repro.observability.events import (
+    EVENT_TYPES,
+    Event,
+    ReplaySummary,
+    fault_tuples,
+    read_events,
+    replay,
+)
+from repro.observability.instrument import (
+    InstrumentedSpec,
+    Telemetry,
+    instrument_functional,
+    instrument_monitors,
+)
+from repro.observability.metrics import RunMetrics
+from repro.observability.sinks import (
+    CallbackSink,
+    EventSink,
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    is_null_sink,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "CallbackSink",
+    "Event",
+    "EventSink",
+    "InMemorySink",
+    "InstrumentedSpec",
+    "JsonlSink",
+    "NullSink",
+    "ReplaySummary",
+    "RunMetrics",
+    "Telemetry",
+    "fault_tuples",
+    "instrument_functional",
+    "instrument_monitors",
+    "is_null_sink",
+    "read_events",
+    "replay",
+]

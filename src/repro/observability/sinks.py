@@ -1,0 +1,125 @@
+"""Event sinks: where the telemetry stream goes.
+
+A sink is anything with ``emit(event)`` and ``close()``; the runtime emits
+:class:`~repro.observability.events.Event` objects in execution order and
+closes nothing it did not open.  Four sinks cover the common cases:
+
+* :class:`NullSink` — the *disabled* sink.  The runtime special-cases it:
+  passing a ``NullSink`` (or no sink at all) compiles/derives the
+  completely uninstrumented fast path, so disabled telemetry costs
+  nothing measurable (<2%, gated in ``benchmarks/bench_engines.py``).
+* :class:`InMemorySink` — appends to a list; the test-suite workhorse.
+* :class:`JsonlSink` — one JSON object per line to a file or file-like
+  object; the CLI's ``--trace-out FILE`` uses it, and
+  :func:`repro.observability.events.read_events` reads it back.
+* :class:`CallbackSink` — hands each event to a callable; the extension
+  point for live dashboards or custom aggregations.
+
+Per-``step`` events are high-volume, so sinks opt in via ``wants_steps``;
+all other event types are always delivered.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional
+
+from repro.observability.events import Event
+
+
+class EventSink:
+    """Base class / protocol for event sinks."""
+
+    #: Opt-in to one event per expression-node evaluation.
+    wants_steps: bool = False
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; emitting after close is undefined."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """The disabled sink: recognized by the runtime, costs nothing.
+
+    ``run_monitored(..., event_sink=NullSink())`` takes the identical code
+    path as passing no sink at all — no instrumentation is compiled in.
+    It exists so callers can thread a sink unconditionally and disable
+    telemetry by configuration.
+    """
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - never wired
+        pass
+
+
+class InMemorySink(EventSink):
+    """Collects events in :attr:`events` (a plain list)."""
+
+    def __init__(self, *, wants_steps: bool = False) -> None:
+        self.wants_steps = wants_steps
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def of_type(self, kind: str) -> List[Event]:
+        return [event for event in self.events if event.type == kind]
+
+
+class CallbackSink(EventSink):
+    """Invokes ``callback(event)`` for every event."""
+
+    def __init__(
+        self, callback: Callable[[Event], None], *, wants_steps: bool = False
+    ) -> None:
+        self.callback = callback
+        self.wants_steps = wants_steps
+
+    def emit(self, event: Event) -> None:
+        self.callback(event)
+
+
+class JsonlSink(EventSink):
+    """Writes one JSON object per event line (the ``--trace-out`` format)."""
+
+    def __init__(self, path_or_file, *, wants_steps: bool = False) -> None:
+        self.wants_steps = wants_steps
+        if hasattr(path_or_file, "write"):
+            self._handle = path_or_file
+            self._owned = False
+        else:
+            self._handle = open(path_or_file, "w", encoding="utf-8")
+            self._owned = True
+
+    def emit(self, event: Event) -> None:
+        self._handle.write(json.dumps(event.to_dict(), default=str))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._owned and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        elif self._handle is not None and hasattr(self._handle, "flush"):
+            self._handle.flush()
+
+
+def is_null_sink(sink: Optional[EventSink]) -> bool:
+    """True when ``sink`` disables event emission entirely."""
+    return sink is None or isinstance(sink, NullSink)
+
+
+__all__ = [
+    "CallbackSink",
+    "EventSink",
+    "InMemorySink",
+    "JsonlSink",
+    "NullSink",
+    "is_null_sink",
+]

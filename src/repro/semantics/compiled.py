@@ -214,14 +214,30 @@ class _Compiler:
     closures: when present, every ``updPre``/``updPost`` call site checks
     the log's disabled set and routes escaping exceptions through
     ``fault_log.record`` instead of letting them unwind the trampoline.
+
+    ``telemetry`` (a :class:`repro.observability.instrument.Telemetry`, or
+    ``None`` for the uninstrumented fast path) switches the compiler into
+    **counted mode**: every collapse optimization is disabled (trivial
+    expressions, fused primitive applications, immediate-lambda beta), and
+    :meth:`compile` wraps each node's code with the step/application
+    counters.  The compiled engine then counts exactly one step per
+    expression-node evaluation — the reference interpreter's granularity —
+    so :class:`~repro.observability.metrics.RunMetrics` compares equal
+    across engines.  Counted mode trades the fast path for comparability;
+    that is the point.
     """
 
     def __init__(
-        self, global_env: Environment, monitors: Tuple, fault_log=None
+        self,
+        global_env: Environment,
+        monitors: Tuple,
+        fault_log=None,
+        telemetry=None,
     ) -> None:
         self.global_env = global_env
         self.monitors = monitors
         self.fault_log = fault_log
+        self.telemetry = telemetry
 
     # -- the resolve pass's trivial-expression analysis -----------------------
 
@@ -234,7 +250,13 @@ class _Compiler:
         trivial operands.  Operand order inside compound trivials matches
         the reference semantics (argument before operator, outermost
         first), so primitive errors surface at the same point.
+
+        Counted mode (telemetry active) reports *nothing* as trivial:
+        collapsing nodes would make the step counters incomparable with
+        the reference engine's.
         """
+        if self.telemetry is not None:
+            return None
         cls = type(expr)
         if cls is Const:
             value = expr.value
@@ -286,6 +308,52 @@ class _Compiler:
     # -- compilation proper ---------------------------------------------------
 
     def compile(self, expr: Expr, scope: Optional[_Scope]) -> Code:
+        """Compile ``expr``; in counted mode, wrap it with step counting.
+
+        The wrapper charges one ``step`` (and one ``application`` for
+        ``App`` nodes) per entry into the node's code — the same quantity
+        :func:`repro.observability.instrument.instrument_functional`
+        counts per ``recur`` on the reference engine.
+        """
+        code = self._compile_node(expr, scope)
+        telemetry = self.telemetry
+        if telemetry is None:
+            return code
+        metrics = telemetry.metrics
+        step_hook = telemetry.step_hook
+        if type(expr) is App:
+            if step_hook is None:
+
+                def code_counted_app(rib, kont, ms):
+                    metrics.steps += 1
+                    metrics.applications += 1
+                    return code(rib, kont, ms)
+
+                return code_counted_app
+
+            def code_counted_app_hook(rib, kont, ms):
+                metrics.steps += 1
+                metrics.applications += 1
+                step_hook()
+                return code(rib, kont, ms)
+
+            return code_counted_app_hook
+        if step_hook is None:
+
+            def code_counted(rib, kont, ms):
+                metrics.steps += 1
+                return code(rib, kont, ms)
+
+            return code_counted
+
+        def code_counted_hook(rib, kont, ms):
+            metrics.steps += 1
+            step_hook()
+            return code(rib, kont, ms)
+
+        return code_counted_hook
+
+    def _compile_node(self, expr: Expr, scope: Optional[_Scope]) -> Code:
         cls = type(expr)
         if cls is Const:
             value = expr.value
@@ -408,9 +476,11 @@ class _Compiler:
             return code_trivial
 
         fn_node, arg_node = expr.fn, expr.arg
+        counted = self.telemetry is not None
 
         # Saturated binary primitive with at most one trivial operand.
-        if type(fn_node) is App:
+        # (Counted mode compiles every fused form node-by-node instead.)
+        if not counted and type(fn_node) is App:
             prim = self._global_prim(fn_node.fn, scope, 2)
             if prim is not None:
                 fn2 = prim.fn
@@ -454,7 +524,7 @@ class _Compiler:
                 return code_binop
 
         # Saturated unary primitive over a general operand.
-        prim = self._global_prim(fn_node, scope, 1)
+        prim = None if counted else self._global_prim(fn_node, scope, 1)
         if prim is not None:
             fn1 = prim.fn
             arg_code = self.compile(arg_node, scope)
@@ -470,7 +540,7 @@ class _Compiler:
         # Immediate lambda application ((lambda x. body) arg) — evaluate
         # like let, skipping the closure allocation.  Safe because a bare
         # Lam in operator position is unobservable (no annotation layer).
-        if type(fn_node) is Lam:
+        if not counted and type(fn_node) is Lam:
             body_code = self.compile(fn_node.body, _Scope((fn_node.param,), scope))
             get_arg = self.trivial(arg_node, scope)
             if get_arg is not None:
@@ -785,6 +855,7 @@ def compile_program(
     env: Optional[Environment] = None,
     fault_log=None,
     fault_policy: Optional[str] = None,
+    telemetry=None,
 ) -> CompiledProgram:
     """Stage ``program`` (and ``monitors``) into a :class:`CompiledProgram`.
 
@@ -797,6 +868,13 @@ def compile_program(
     a caller that wants to read the records back) or a ``fault_policy``
     name (``"quarantine"``/``"log"``); omitting both compiles the
     historical ``propagate`` behavior with zero added overhead.
+
+    ``telemetry`` (from :mod:`repro.observability`) compiles the program
+    in counted mode — step counters at reference-interpreter granularity
+    burned into every node — at the cost of the collapse optimizations.
+    ``run_monitored(..., engine="compiled", metrics=...)`` is the
+    friendly entry point; pass it here only when driving the compiler
+    directly.
     """
     if fault_log is None and fault_policy not in (None, "propagate"):
         from repro.monitoring.faults import FaultLog
@@ -804,7 +882,7 @@ def compile_program(
         fault_log = FaultLog(fault_policy)
     global_env = initial_environment() if env is None else env
     monitor_tuple = tuple(monitors)
-    compiler = _Compiler(global_env, monitor_tuple, fault_log)
+    compiler = _Compiler(global_env, monitor_tuple, fault_log, telemetry)
     code = compiler.compile(program, None)
     return CompiledProgram(code, global_env, monitor_tuple, fault_log)
 

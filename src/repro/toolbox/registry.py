@@ -20,6 +20,8 @@ from repro.languages.strict import strict
 from repro.monitoring.compose import MonitorStack, flatten_monitors
 from repro.monitoring.derive import MonitoredResult, run_monitored
 from repro.monitoring.spec import MonitorSpec
+from repro.observability.metrics import RunMetrics
+from repro.observability.sinks import is_null_sink
 from repro.monitors import (
     CallGraphMonitor,
     CollectingMonitor,
@@ -116,10 +118,16 @@ def _resolve_tools(tools: ToolsLike) -> Tuple[Tuple[MonitorSpec, ...], Optional[
 
 @dataclass
 class EvaluationResult:
-    """What ``evaluate`` hands back: the answer plus every tool's report."""
+    """What ``evaluate`` hands back: the answer plus every tool's report.
+
+    ``metrics`` is the run's telemetry counters when requested (the
+    ``metrics=``/``event_sink=`` keywords of :func:`evaluate`), else
+    ``None``.
+    """
 
     answer: object
     monitored: Optional[MonitoredResult]
+    metrics: Optional["RunMetrics"] = None
 
     @property
     def reports(self) -> Dict[str, object]:
@@ -141,6 +149,8 @@ def evaluate(
     max_steps: Optional[int] = None,
     engine: str = "reference",
     fault_policy: str = "propagate",
+    metrics: Optional[RunMetrics] = None,
+    event_sink=None,
 ) -> EvaluationResult:
     """The Section 9.2 entry point: ``evaluate(profile & trace & strict, prog)``.
 
@@ -151,12 +161,19 @@ def evaluate(
     (``"reference"`` or ``"compiled"``) for both the plain and the
     monitored run.  ``fault_policy`` selects how monitor failures are
     handled (see :func:`repro.monitoring.derive.run_monitored`).
+
+    ``metrics``/``event_sink`` request run telemetry
+    (:mod:`repro.observability`); they work with or without tools
+    attached — an unmonitored evaluation with telemetry runs through the
+    monitoring pipeline with an empty stack, which denotes the standard
+    semantics (Definition 4.2's fall-through everywhere).
     """
     monitors, chain_language = _resolve_tools(tools)
     run_language = language or chain_language or strict
     expr = parse(program) if isinstance(program, str) else program
 
-    if not monitors:
+    wants_telemetry = metrics is not None or not is_null_sink(event_sink)
+    if not monitors and not wants_telemetry:
         answer = run_language.evaluate(expr, max_steps=max_steps, engine=engine)
         return EvaluationResult(answer=answer, monitored=None)
 
@@ -167,5 +184,11 @@ def evaluate(
         max_steps=max_steps,
         engine=engine,
         fault_policy=fault_policy,
+        metrics=metrics,
+        event_sink=event_sink,
     )
-    return EvaluationResult(answer=result.answer, monitored=result)
+    return EvaluationResult(
+        answer=result.answer,
+        monitored=result if monitors else None,
+        metrics=result.metrics,
+    )

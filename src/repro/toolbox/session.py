@@ -95,6 +95,8 @@ class Session:
         max_steps: Optional[int] = None,
         engine: str = "reference",
         fault_policy: str = "propagate",
+        metrics=None,
+        event_sink=None,
     ) -> EvaluationResult:
         """Evaluate an expression over the session's definitions.
 
@@ -107,15 +109,22 @@ class Session:
         to the function f").  ``engine`` picks the execution engine
         (``"reference"`` or ``"compiled"``) for both plain and monitored
         evaluation; ``fault_policy`` selects monitor-fault handling
-        (``"propagate"``, ``"quarantine"`` or ``"log"``).
+        (``"propagate"``, ``"quarantine"`` or ``"log"``);
+        ``metrics``/``event_sink`` request run telemetry
+        (:mod:`repro.observability`), with or without tools attached.
         """
         program = self.program_for(expr_source)
 
         if tools is None:
-            answer = self.language.evaluate(
-                program, max_steps=max_steps, engine=engine
+            return evaluate(
+                (),
+                program,
+                language=self.language,
+                max_steps=max_steps,
+                engine=engine,
+                metrics=metrics,
+                event_sink=event_sink,
             )
-            return EvaluationResult(answer=answer, monitored=None)
 
         tool_items = self._normalize_tools(tools)
         monitors: List[MonitorSpec] = []
@@ -138,6 +147,8 @@ class Session:
             max_steps=max_steps,
             engine=engine,
             fault_policy=fault_policy,
+            metrics=metrics,
+            event_sink=event_sink,
         )
 
     @staticmethod

@@ -2,10 +2,55 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.languages import imperative, lazy, strict
 from repro.syntax.parser import parse
+
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/* from current output instead of comparing",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Compare ``actual`` against a golden file (or rewrite it).
+
+    Usage: ``golden("tracer_report.txt", rendered)``.  With
+    ``pytest --update-goldens`` the file is (re)written and the test
+    passes; otherwise a missing or mismatched golden fails with a hint.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, actual: str) -> None:
+        if not actual.endswith("\n"):
+            actual += "\n"
+        path = GOLDENS_DIR / name
+        if update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(actual, encoding="utf-8")
+            return
+        assert path.exists(), (
+            f"golden file {path} missing — run "
+            f"`pytest --update-goldens` to create it"
+        )
+        expected = path.read_text(encoding="utf-8")
+        assert actual == expected, (
+            f"output differs from golden {name} — if the change is "
+            f"intentional, refresh with `pytest --update-goldens`.\n"
+            f"--- expected ---\n{expected}--- actual ---\n{actual}"
+        )
+
+    return check
 
 # ----------------------------------------------------------------- the corpus
 # (name, source, expected standard answer) — used by semantics, soundness,

@@ -284,6 +284,123 @@ class TestFaultPolicy:
             main(["run", "-e", "1", "--fault-policy", "retry"])
 
 
+class TestTelemetryFlags:
+    def test_run_metrics_summary(self, capsys):
+        assert main(["run", "-e", FAC, "--tools", "profile", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "--- metrics ---" in out
+        assert "steps:" in out
+        assert "activations:       profile=5" in out
+
+    def test_run_metrics_without_tools(self, capsys):
+        assert main(["run", "-e", "6 * 7", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "42"
+        assert "activations:       none" in out
+
+    def test_run_metrics_compiled_engine(self, capsys):
+        assert (
+            main(["run", "-e", FAC, "--tools", "profile", "--metrics",
+                  "--engine", "compiled"])
+            == 0
+        )
+        assert "activations:       profile=5" in capsys.readouterr().out
+
+    def test_trace_out_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        assert (
+            main(["run", "-e", FAC, "--tools", "profile",
+                  "--trace-out", str(path)])
+            == 0
+        )
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(e["type"] == "monitor-pre" for e in events)
+        assert any(e["type"] == "step" for e in events)
+
+    def test_trace_out_replays_to_profiler_counts(self, capsys, tmp_path):
+        from repro.observability import read_events, replay
+
+        path = tmp_path / "events.jsonl"
+        assert (
+            main(["profile", "-e", PLAIN_FAC, "--trace-out", str(path)]) == 0
+        )
+        summary = replay(read_events(path))
+        assert summary.pre_counts["profile"] == {"fac": 5}
+
+    def test_profile_subcommand_metrics(self, capsys):
+        assert main(["profile", "-e", PLAIN_FAC, "--metrics"]) == 0
+        assert "pre calls:         profile=5" in capsys.readouterr().out
+
+    def test_trace_subcommand_metrics(self, capsys):
+        assert main(["trace", "-e", PLAIN_FAC, "--metrics"]) == 0
+        assert "--- metrics ---" in capsys.readouterr().out
+
+    def test_session_metrics(self, capsys, tmp_path):
+        from repro.toolbox.session import Session
+
+        session = Session()
+        session.define("fac", "lambda x. if x = 0 then 1 else x * fac (x - 1)")
+        path = tmp_path / "s.repro"
+        session.save(path)
+        assert (
+            main(["session", str(path), "--eval", "fac 5", "--tools",
+                  "profile", "--metrics"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "120" in out and "--- metrics ---" in out
+
+    def test_debug_metrics(self, capsys):
+        assert (
+            main(["debug", "-e", FAC, "--command", "continue", "--metrics"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "=> 24" in out
+        assert "activations:       debug=5" in out
+
+
+class TestDebugFaultPolicy:
+    """Regression: ``debug`` lacked ``--fault-policy`` entirely, so a
+    buggy debugger monitor always aborted the program being debugged."""
+
+    @pytest.fixture
+    def flaky_debugger(self, monkeypatch):
+        from repro.monitoring.faults import FlakyMonitor
+        from repro.monitors import interactive
+        from repro.monitors.debugger import DebuggerMonitor
+
+        def make(*args, **kwargs):
+            return FlakyMonitor(DebuggerMonitor(*args, **kwargs), fail_on=1)
+
+        monkeypatch.setattr(interactive, "DebuggerMonitor", make)
+
+    def test_quarantine_keeps_answer_and_reports_fault(
+        self, capsys, flaky_debugger
+    ):
+        assert (
+            main(["debug", "-e", FAC, "--command", "continue",
+                  "--fault-policy", "quarantine"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "=> 24" in captured.out
+        assert "monitor fault: debug.pre raised InjectedFault" in captured.err
+
+    def test_propagate_still_aborts(self, flaky_debugger):
+        from repro.monitoring.faults import InjectedFault
+
+        with pytest.raises(InjectedFault):
+            main(["debug", "-e", FAC, "--command", "continue"])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["debug", "-e", "1", "--command", "quit",
+                  "--fault-policy", "retry"])
+
+
 class TestDebug:
     def test_max_steps_enforced(self, capsys):
         # Regression: cmd_debug used to drop --max-steps on the floor, so

@@ -197,6 +197,71 @@ def test_tracer_output_identical_on_paper_example(paper_tracer_program):
 # -- fault isolation: parity extends to injected monitor failures ----------------
 
 
+# -- telemetry: RunMetrics counters are engine-independent -----------------------
+
+
+@settings(max_examples=60, deadline=None)
+@pytest.mark.parametrize("fault_policy", ["propagate", "quarantine", "log"])
+@given(closed_program())
+def test_metrics_parity(fault_policy, program):
+    """Steps, applications, per-slot activations, hook calls, state
+    transitions and fault counts agree across engines — under every fault
+    policy.  The compiled engine's counted mode counts at the reference
+    interpreter's node granularity, so RunMetrics (whose equality ignores
+    wall-clock fields) must compare equal outright."""
+    from repro.observability import RunMetrics
+
+    monitors = lambda: LabelCounterMonitor() & TracerMonitor()
+    collected = {}
+    for engine in ("reference", "compiled"):
+        metrics = RunMetrics()
+        result = run_monitored(
+            strict,
+            program,
+            monitors(),
+            engine=engine,
+            fault_policy=fault_policy,
+            metrics=metrics,
+            max_steps=2_000_000,
+        )
+        collected[engine] = (result, metrics)
+    ref, ref_metrics = collected["reference"]
+    com, com_metrics = collected["compiled"]
+    assert answers_match(ref.answer, com.answer)
+    assert ref_metrics == com_metrics
+
+
+@settings(max_examples=40, deadline=None)
+@pytest.mark.parametrize("fault_policy", ["quarantine", "log"])
+@given(closed_program())
+def test_metrics_parity_under_injected_faults(fault_policy, program):
+    """Fault counts ride the shared FaultLog observer, so they agree
+    across engines by construction — this asserts the whole metrics
+    object anyway, catching any counter the fault paths might skew."""
+    from repro.observability import RunMetrics
+
+    from tests.fault_injection import flaky_counter
+
+    collected = {}
+    for engine in ("reference", "compiled"):
+        metrics = RunMetrics()
+        result = run_monitored(
+            strict,
+            program,
+            flaky_counter(1),
+            engine=engine,
+            fault_policy=fault_policy,
+            metrics=metrics,
+            max_steps=2_000_000,
+        )
+        collected[engine] = (result, metrics)
+    ref, ref_metrics = collected["reference"]
+    com, com_metrics = collected["compiled"]
+    assert answers_match(ref.answer, com.answer)
+    assert ref.faults == com.faults
+    assert ref_metrics == com_metrics
+
+
 @settings(max_examples=60, deadline=None)
 @given(closed_program())
 def test_quarantined_fault_parity(program):

@@ -23,6 +23,11 @@ PACKAGES = [
     "repro.monitors.interactive",
     "repro.monitors.statistics",
     "repro.monitors.unwind",
+    "repro.observability",
+    "repro.observability.events",
+    "repro.observability.instrument",
+    "repro.observability.metrics",
+    "repro.observability.sinks",
     "repro.partial_eval",
     "repro.partial_eval.bta",
     "repro.partial_eval.codegen",
@@ -55,7 +60,13 @@ def test_top_level_all_resolvable():
 
 @pytest.mark.parametrize(
     "module_name",
-    ["repro.monitors", "repro.monitoring", "repro.languages", "repro.syntax"],
+    [
+        "repro.monitors",
+        "repro.monitoring",
+        "repro.languages",
+        "repro.observability",
+        "repro.syntax",
+    ],
 )
 def test_package_all_resolvable(module_name):
     module = importlib.import_module(module_name)
