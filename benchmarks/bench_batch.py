@@ -1,0 +1,217 @@
+"""Benchmark the batched serving runtime: cache + pool vs sequential.
+
+Run:  python benchmarks/bench_batch.py            # full matrix -> stdout
+      python benchmarks/bench_batch.py --quick    # CI smoke (smaller workload)
+
+Measures the T-BATCH matrix for EXPERIMENTS.md: throughput (requests per
+second) for sequential vs pooled execution, cold vs warm compilation
+cache, over a compile-dominated workload — a handful of distinct large
+mostly-static programs, each requested many times, the shape the
+:class:`repro.runtime.CompilationCache` is built for.
+
+Programs are parsed once up front: the cache keys compiled *programs*,
+not source text, and a serving layer would hold parsed ASTs anyway.
+Because monitored evaluation is pure Python, the thread pool cannot buy
+CPU parallelism (the GIL); the headline win is the warm cache amortizing
+compilation, which is why the gated comparison is **pooled warm cache vs
+sequential cold compiles** (the ISSUE PR 4 acceptance bar: >= 3x).
+
+The script merges a ``"batch"`` section into ``BENCH_report.json``
+(preserving whatever ``report.py --json`` wrote there) and exits
+non-zero if the warm-cache speedup falls below the CI gate (2x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from statistics import median
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _REPO_ROOT)
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.languages.strict import strict
+from repro.monitoring.derive import run_monitored
+from repro.runtime import CompilationCache, RunConfig, RunRequest, run_batch
+from repro.syntax.parser import parse
+
+WORKERS = 4
+REPEATS = 3
+GATE_SPEEDUP = 2.0   # CI fails below this
+TARGET_SPEEDUP = 3.0  # the acceptance bar recorded in the report
+
+
+def best_time(thunk, repeats: int = REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        thunk()
+        times.append(time.perf_counter() - start)
+    return median(times)
+
+
+def _balanced_sum(lo: int, hi: int, salt: int) -> str:
+    """A balanced static arithmetic tree: wide, shallow, compile-heavy."""
+    if lo == hi:
+        return str((lo * 31 + salt) % 97 + 1)
+    mid = (lo + hi) // 2
+    return "(%s + %s)" % (_balanced_sum(lo, mid, salt), _balanced_sum(mid + 1, hi, salt))
+
+
+def make_program(salt: int, leaves: int):
+    """One compile-dominated program: a big static base plus a tiny call.
+
+    The static subtree collapses at compile time, so compilation costs
+    O(leaves) while the run is nearly free — the serving-cache sweet spot.
+    """
+    source = (
+        "let base = %s in let f = lambda x. x + base in f %d"
+        % (_balanced_sum(0, leaves - 1, salt), salt)
+    )
+    return parse(source)
+
+
+def build_workload(quick: bool):
+    """``total`` requests cycling over a few distinct parsed programs."""
+    distinct = 4 if quick else 6
+    leaves = 400 if quick else 1200
+    total = 32 if quick else 96
+    programs = [make_program(salt, leaves) for salt in range(distinct)]
+    config = RunConfig(engine="compiled")
+    requests = [
+        RunRequest(program=programs[n % distinct], config=config)
+        for n in range(total)
+    ]
+    return programs, requests
+
+
+def sequential_cold(requests) -> None:
+    """The baseline: each request compiles its program from scratch."""
+    for request in requests:
+        run_monitored(strict, request.program, [], engine="compiled")
+
+
+def run_matrix(quick: bool) -> dict:
+    programs, requests = build_workload(quick)
+    total = len(requests)
+
+    t_seq_cold = best_time(lambda: sequential_cold(requests))
+
+    # Cold pooled: a fresh cache per timing run — distinct programs still
+    # compile exactly once each inside the batch (within-batch sharing).
+    t_pool_cold = best_time(
+        lambda: run_batch(requests, workers=WORKERS, cache=CompilationCache(32))
+    )
+
+    # Warm arms share one pre-warmed cache: steady-state serving traffic.
+    warm_cache = CompilationCache(32)
+    run_batch(requests, workers=WORKERS, cache=warm_cache)
+    t_seq_warm = best_time(lambda: run_batch(requests, workers=1, cache=warm_cache))
+    t_pool_warm = best_time(
+        lambda: run_batch(requests, workers=WORKERS, cache=warm_cache)
+    )
+
+    stats = warm_cache.stats()
+    speedup = t_seq_cold / t_pool_warm
+    return {
+        "quick": quick,
+        "requests": total,
+        "distinct_programs": len(programs),
+        "workers": WORKERS,
+        "repeats": REPEATS,
+        "seconds": {
+            "sequential_cold": t_seq_cold,
+            "sequential_warm": t_seq_warm,
+            "pooled_cold": t_pool_cold,
+            "pooled_warm": t_pool_warm,
+        },
+        "throughput_rps": {
+            "sequential_cold": total / t_seq_cold,
+            "sequential_warm": total / t_seq_warm,
+            "pooled_cold": total / t_pool_cold,
+            "pooled_warm": total / t_pool_warm,
+        },
+        "warm_speedup": speedup,
+        "cache": {"hits": stats.hits, "misses": stats.misses},
+        "target_speedup": TARGET_SPEEDUP,
+        "target_met": speedup >= TARGET_SPEEDUP,
+        "gate_speedup": GATE_SPEEDUP,
+        "gate_met": speedup >= GATE_SPEEDUP,
+    }
+
+
+def print_matrix(result: dict) -> None:
+    total = result["requests"]
+    print("=" * 72)
+    print(
+        "T-BATCH  (%d requests over %d distinct programs, %d workers)"
+        % (total, result["distinct_programs"], result["workers"])
+    )
+    print("=" * 72)
+    rows = [
+        ("sequential, cold cache (baseline)", "sequential_cold"),
+        ("pooled,     cold cache", "pooled_cold"),
+        ("sequential, warm cache", "sequential_warm"),
+        ("pooled,     warm cache", "pooled_warm"),
+    ]
+    for label, key in rows:
+        seconds = result["seconds"][key]
+        rps = result["throughput_rps"][key]
+        print(f"{label:38s} {seconds * 1000:9.1f} ms  {rps:9.1f} req/s")
+    print(
+        "\nwarm-cache speedup (pooled warm vs sequential cold): "
+        f"{result['warm_speedup']:.1f}x  "
+        f"(target >= {result['target_speedup']:.0f}x, "
+        f"CI gate >= {result['gate_speedup']:.0f}x)"
+    )
+    cache = result["cache"]
+    print(f"warm cache counters: {cache['hits']} hits, {cache['misses']} misses")
+
+
+def merge_into_report(result: dict, path: str) -> None:
+    """Add/replace the ``batch`` section without clobbering report.py's."""
+    report: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+        except (OSError, ValueError):
+            report = {}
+    report["batch"] = result
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller workload for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(_REPO_ROOT, "BENCH_report.json"),
+        help="report file to merge the 'batch' section into",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_matrix(args.quick)
+    print_matrix(result)
+    merge_into_report(result, args.output)
+    print(f"\nmerged 'batch' section into {args.output}")
+    if not result["gate_met"]:
+        print(
+            "FAIL: warm-cache speedup %.2fx below the %.1fx gate"
+            % (result["warm_speedup"], GATE_SPEEDUP),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

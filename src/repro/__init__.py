@@ -14,7 +14,10 @@ continuation semantics:
 * compose monitors with ``&`` and run them through the programming
   environment (:mod:`repro.toolbox`);
 * remove the interpretive overhead with partial evaluation
-  (:mod:`repro.partial_eval`), producing instrumented programs.
+  (:mod:`repro.partial_eval`), producing instrumented programs;
+* serve batches of requests concurrently behind one
+  :class:`~repro.runtime.RunConfig`, with a compiled-program cache
+  (:mod:`repro.runtime` — ``run_batch``, ``Runtime``).
 
 Quickstart::
 
@@ -59,18 +62,33 @@ from repro.partial_eval import (
 )
 from repro.partial_eval.codegen import generate_program
 from repro.prelude import prelude_session, with_prelude
+from repro.runtime import (
+    BatchRunner,
+    CompilationCache,
+    RunConfig,
+    RunRequest,
+    RunResult,
+    Runtime,
+    run_batch,
+)
 from repro.syntax import parse, pretty
 from repro.toolbox import Session, evaluate
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchRunner",
+    "CompilationCache",
     "EvalError",
     "LexError",
     "MonitorError",
     "MonitorSpec",
     "ParseError",
     "ReproError",
+    "RunConfig",
+    "RunRequest",
+    "RunResult",
+    "Runtime",
     "Session",
     "SpecializationError",
     "assert_sound",
@@ -89,6 +107,7 @@ __all__ = [
     "parse_imp",
     "prelude_session",
     "pretty",
+    "run_batch",
     "run_monitored",
     "simplify",
     "specialize",

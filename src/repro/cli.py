@@ -8,6 +8,7 @@
     python -m repro specialize prog.lam --static n=3
     python -m repro emit prog.lam --tools profile     # residual Python
     python -m repro debug prog.lam --break fac --command "print x" --command continue
+    python -m repro batch requests.jsonl --workers 4 --engine compiled --stats
 
 Programs are ``L_lambda`` surface syntax (``--language imperative``
 switches to the ``L_imp`` grammar).  Every subcommand is a thin shell over
@@ -73,14 +74,28 @@ def _tools(names: Optional[str]) -> List:
     return [make_tool(name.strip()) for name in names.split(",") if name.strip()]
 
 
-def _telemetry_from(args):
-    """``(metrics, sink)`` from the ``--metrics``/``--trace-out`` flags."""
+def run_config_from_args(args):
+    """Build the run's :class:`repro.runtime.RunConfig` from parsed flags.
+
+    The one place CLI flags become run options: every evaluating
+    subcommand (run/trace/profile/session/debug/batch) routes through
+    here, so a flag means the same thing everywhere.  The caller owns the
+    config's ``event_sink`` and must ``_close_sink`` it when done.
+    """
     from repro.observability import JsonlSink, RunMetrics
+    from repro.runtime import RunConfig
 
     metrics = RunMetrics() if getattr(args, "metrics", False) else None
     trace_out = getattr(args, "trace_out", None)
     sink = JsonlSink(trace_out, wants_steps=True) if trace_out else None
-    return metrics, sink
+    return RunConfig(
+        engine=getattr(args, "engine", "reference"),
+        fault_policy=getattr(args, "fault_policy", "propagate"),
+        max_steps=getattr(args, "max_steps", None),
+        metrics=metrics,
+        event_sink=sink,
+        timeout=getattr(args, "timeout", None),
+    ).validate()
 
 
 def _close_sink(sink) -> None:
@@ -131,31 +146,24 @@ def cmd_run(args) -> int:
     program = _load_program(args)
     language = _language(args)
     tools = _tools(args.tools)
-    engine = getattr(args, "engine", "reference")
-    metrics, sink = _telemetry_from(args)
+    config = run_config_from_args(args)
     try:
-        if not tools and metrics is None and sink is None:
+        if not tools and not config.wants_telemetry():
             answer = language.evaluate(
-                program, max_steps=args.max_steps, engine=engine
+                program,
+                max_steps=config.max_steps,
+                engine=config.engine,
+                deadline=config.deadline(),
             )
             print(_render_answer(answer))
             return 0
-        result = run_monitored(
-            language,
-            program,
-            tools,
-            max_steps=args.max_steps,
-            engine=engine,
-            fault_policy=getattr(args, "fault_policy", "propagate"),
-            metrics=metrics,
-            event_sink=sink,
-        )
+        result = run_monitored(language, program, tools, config=config)
     finally:
-        _close_sink(sink)
+        _close_sink(config.event_sink)
     print(_render_answer(result.answer))
     if tools:
         _print_reports(result)
-    _print_metrics(metrics)
+    _print_metrics(config.metrics)
     return 0
 
 
@@ -171,23 +179,14 @@ def _annotated_run(args, tool_name: str, style: str) -> int:
         program, functions, style=style, namespace=tool_name
     )
     monitor = make_tool(tool_name, namespace=tool_name)
-    metrics, sink = _telemetry_from(args)
+    config = run_config_from_args(args)
     try:
-        result = run_monitored(
-            language,
-            annotated,
-            monitor,
-            max_steps=args.max_steps,
-            engine=getattr(args, "engine", "reference"),
-            fault_policy=getattr(args, "fault_policy", "propagate"),
-            metrics=metrics,
-            event_sink=sink,
-        )
+        result = run_monitored(language, annotated, monitor, config=config)
     finally:
-        _close_sink(sink)
+        _close_sink(config.event_sink)
     print(_render_answer(result.answer))
     _print_reports(result)
-    _print_metrics(metrics)
+    _print_metrics(config.metrics)
     return 0
 
 
@@ -229,7 +228,7 @@ def cmd_session(args) -> int:
     from repro.toolbox.session import Session
 
     session = Session.load(args.session_file, language=_language(args))
-    metrics, sink = _telemetry_from(args)
+    config = run_config_from_args(args)
     try:
         result = session.evaluate(
             args.eval,
@@ -239,18 +238,14 @@ def cmd_session(args) -> int:
                 if args.functions
                 else None
             ),
-            max_steps=args.max_steps,
-            engine=getattr(args, "engine", "reference"),
-            fault_policy=getattr(args, "fault_policy", "propagate"),
-            metrics=metrics,
-            event_sink=sink,
+            config=config,
         )
     finally:
-        _close_sink(sink)
+        _close_sink(config.event_sink)
     print(_render_answer(result.answer))
     if result.monitored is not None:
         _print_reports(result.monitored)
-    _print_metrics(metrics)
+    _print_metrics(config.metrics)
     return 0
 
 
@@ -259,7 +254,7 @@ def cmd_debug(args) -> int:
 
     program = _load_program(args)
     source = None if args.command else ConsoleSource()
-    metrics, sink = _telemetry_from(args)
+    config = run_config_from_args(args)
     try:
         result = debug(
             program,
@@ -267,21 +262,99 @@ def cmd_debug(args) -> int:
             language=_language(args),
             script=args.command or [],
             source=source or (lambda: None),
-            max_steps=args.max_steps,
-            fault_policy=getattr(args, "fault_policy", "propagate"),
-            metrics=metrics,
-            event_sink=sink,
+            config=config,
         )
     finally:
-        _close_sink(sink)
+        _close_sink(config.event_sink)
     print(f"=> {_render_answer(result.answer)}")
     for fault in result.faults:
         print(f"monitor fault: {fault}", file=sys.stderr)
-    _print_metrics(metrics)
+    _print_metrics(config.metrics)
     return 0
 
 
+def cmd_batch(args) -> int:
+    import json
+
+    from repro.runtime import BatchRunner, CompilationCache, RunRequest
+
+    config = run_config_from_args(args)
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.requests, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    requests = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            requests.append(RunRequest.from_dict(json.loads(line), base=config))
+        except (ValueError, ReproError) as exc:
+            raise ReproError(f"{args.requests}:{lineno}: {exc}") from None
+
+    cache = CompilationCache(args.cache_size, event_sink=config.event_sink)
+    runner = BatchRunner(
+        workers=args.workers,
+        config=config,
+        cache=cache,
+        event_sink=config.event_sink,
+    )
+    try:
+        results = runner.run(requests)
+    finally:
+        _close_sink(config.event_sink)
+
+    out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+    try:
+        for result in results:
+            record = result.to_dict()
+            if result.metrics is not None:
+                record["metrics"] = result.metrics.to_dict()
+            print(json.dumps(record), file=out)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    failed = sum(1 for result in results if not result.ok)
+    if args.stats:
+        stats = cache.stats()
+        print(
+            f"batch: {len(results)} requests, {len(results) - failed} ok, "
+            f"{failed} failed; cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.evictions} evictions",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
 # Argument parsing ------------------------------------------------------------------
+
+
+def add_run_flags(parser: argparse.ArgumentParser, *, engine: bool = True) -> None:
+    """Declare the shared run-option flags on ``parser``.
+
+    One source of truth for ``--max-steps``, ``--engine``,
+    ``--fault-policy``, ``--timeout``, ``--metrics`` and ``--trace-out``:
+    every evaluating subcommand calls this, and
+    :func:`run_config_from_args` turns the parsed result into the
+    :class:`repro.runtime.RunConfig` the library consumes — so the flags
+    cannot drift between subcommands.
+    """
+    parser.add_argument(
+        "--max-steps", type=int, default=None, help="evaluation step budget"
+    )
+    if engine:
+        _add_engine_argument(parser)
+    _add_fault_policy_argument(parser)
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per evaluation (cooperative)",
+    )
+    _add_telemetry_arguments(parser)
 
 
 def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
@@ -333,9 +406,6 @@ def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
         default="strict",
         help="language module (default: strict)",
     )
-    parser.add_argument(
-        "--max-steps", type=int, default=None, help="evaluation step budget"
-    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -349,9 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--tools", help="comma-separated toolbox monitors (profile,trace,...)"
     )
-    _add_engine_argument(run_parser)
-    _add_fault_policy_argument(run_parser)
-    _add_telemetry_arguments(run_parser)
+    add_run_flags(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
     trace_parser = subparsers.add_parser(
@@ -359,9 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_program_arguments(trace_parser)
     trace_parser.add_argument("--functions", help="comma-separated function names")
-    _add_engine_argument(trace_parser)
-    _add_fault_policy_argument(trace_parser)
-    _add_telemetry_arguments(trace_parser)
+    add_run_flags(trace_parser)
     trace_parser.set_defaults(handler=cmd_trace)
 
     profile_parser = subparsers.add_parser(
@@ -369,9 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_program_arguments(profile_parser)
     profile_parser.add_argument("--functions", help="comma-separated function names")
-    _add_engine_argument(profile_parser)
-    _add_fault_policy_argument(profile_parser)
-    _add_telemetry_arguments(profile_parser)
+    add_run_flags(profile_parser)
     profile_parser.set_defaults(handler=cmd_profile)
 
     spec_parser = subparsers.add_parser(
@@ -408,11 +472,44 @@ def build_parser() -> argparse.ArgumentParser:
     session_parser.add_argument(
         "--language", choices=sorted(LANGUAGES), default="strict"
     )
-    session_parser.add_argument("--max-steps", type=int, default=None)
-    _add_engine_argument(session_parser)
-    _add_fault_policy_argument(session_parser)
-    _add_telemetry_arguments(session_parser)
+    add_run_flags(session_parser)
     session_parser.set_defaults(handler=cmd_session)
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="run many requests concurrently from a JSONL file"
+    )
+    batch_parser.add_argument(
+        "requests",
+        help="JSONL file of requests ('-' for stdin); each line is an object "
+        "with 'program' plus optional tools/language/engine/fault_policy/"
+        "max_steps/timeout/tag",
+    )
+    batch_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads (default 4; 1 = sequential)",
+    )
+    batch_parser.add_argument(
+        "--cache-size",
+        dest="cache_size",
+        type=int,
+        default=128,
+        help="compiled-program cache capacity (LRU entries)",
+    )
+    batch_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write result JSONL to FILE instead of stdout",
+    )
+    batch_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print batch and cache statistics to stderr",
+    )
+    add_run_flags(batch_parser)
+    batch_parser.set_defaults(handler=cmd_batch)
 
     debug_parser = subparsers.add_parser("debug", help="scriptable/interactive debugger")
     _add_program_arguments(debug_parser)
@@ -429,8 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CMD",
         help="debugger command to run at stops (repeatable); omit for a console",
     )
-    _add_fault_policy_argument(debug_parser)
-    _add_telemetry_arguments(debug_parser)
+    add_run_flags(debug_parser)
     debug_parser.set_defaults(handler=cmd_debug)
 
     return parser

@@ -104,6 +104,24 @@ class StepLimitExceeded(EvalError):
         self.consumed = consumed
 
 
+class EvaluationTimeout(EvalError):
+    """Evaluation ran past its wall-clock deadline.
+
+    The trampoline checks the deadline once per step batch, so the
+    overshoot is bounded by the cost of :data:`~repro.semantics.
+    trampoline.STEP_BATCH` bounces.  ``timeout`` is the requested budget
+    in seconds (``None`` when the caller supplied a raw deadline).
+    """
+
+    def __init__(self, timeout: "float | None" = None) -> None:
+        if timeout is None:
+            message = "evaluation exceeded its wall-clock deadline"
+        else:
+            message = f"evaluation exceeded its wall-clock timeout of {timeout:g}s"
+        super().__init__(message)
+        self.timeout = timeout
+
+
 class MonitorError(ReproError):
     """Raised when a monitor specification is malformed or misused.
 

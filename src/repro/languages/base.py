@@ -50,11 +50,17 @@ class BaseLanguage:
         answers: AnswerAlgebra = STANDARD_ANSWERS,
         ms=None,
         max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
     ):
-        """Drive ``eval_fn`` over ``program`` and return ``(answer, ms)``."""
+        """Drive ``eval_fn`` over ``program`` and return ``(answer, ms)``.
+
+        ``deadline`` is an optional ``perf_counter`` timestamp enforced
+        cooperatively by the trampoline (per-request timeouts in the batch
+        runtime).
+        """
         ctx = self.initial_context()
         step = eval_fn(program, ctx, final_kont(answers), ms)
-        return trampoline(step, max_steps=max_steps)
+        return trampoline(step, max_steps=max_steps, deadline=deadline)
 
     def evaluate(
         self,
@@ -63,6 +69,7 @@ class BaseLanguage:
         answers: AnswerAlgebra = STANDARD_ANSWERS,
         max_steps: Optional[int] = None,
         engine: str = "reference",
+        deadline: Optional[float] = None,
     ):
         """Evaluate under this language's *standard* semantics.
 
@@ -74,11 +81,11 @@ class BaseLanguage:
         check_engine(engine)
         if engine == "compiled":
             return self.evaluate_compiled(
-                program, answers=answers, max_steps=max_steps
+                program, answers=answers, max_steps=max_steps, deadline=deadline
             )
         eval_fn = fix(self.functional())
         answer, _ = self.run_program(
-            program, eval_fn, answers=answers, max_steps=max_steps
+            program, eval_fn, answers=answers, max_steps=max_steps, deadline=deadline
         )
         return answer
 
@@ -88,6 +95,7 @@ class BaseLanguage:
         *,
         answers: AnswerAlgebra = STANDARD_ANSWERS,
         max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
     ):
         """Evaluate on the compiled engine; overridden by supporting languages."""
         raise ReproError(

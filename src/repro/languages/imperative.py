@@ -414,6 +414,7 @@ class ImperativeLanguage(BaseLanguage):
         answers: AnswerAlgebra = STANDARD_ANSWERS,
         ms=None,
         max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
     ):
         def final_command_kont(final_store: Store, ms_final) -> Step:
             bindings = {
@@ -425,7 +426,7 @@ class ImperativeLanguage(BaseLanguage):
             return Done((answers.phi((bindings, output)), ms_final))
 
         step = eval_fn(program, self.initial_context(), final_command_kont, ms)
-        return trampoline(step, max_steps=max_steps)
+        return trampoline(step, max_steps=max_steps, deadline=deadline)
 
     def run_to_store(
         self, program: Cmd, *, max_steps: Optional[int] = None

@@ -36,11 +36,14 @@ class StrictLanguage(BaseLanguage):
         *,
         answers: AnswerAlgebra = STANDARD_ANSWERS,
         max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
     ):
         from repro.semantics.compiled import compile_program
 
         compiled = compile_program(program, env=self.initial_context())
-        answer, _ = compiled.run(answers=answers, max_steps=max_steps)
+        answer, _ = compiled.run(
+            answers=answers, max_steps=max_steps, deadline=deadline
+        )
         return answer
 
 

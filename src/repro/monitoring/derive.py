@@ -220,6 +220,8 @@ def check_disjoint(monitors: Sequence[MonitorSpec], program: Expr) -> None:
     keys = [monitor.key for monitor in monitors]
     if len(set(keys)) != len(keys):
         raise MonitorError(f"duplicate monitor keys in stack: {keys}")
+    if len(monitors) < 2:
+        return  # one claimant at most — skip the O(program) annotation walk
     for annotation in set(annotations_in(program)):
         claimed = [m.key for m in monitors if m.recognize(annotation) is not None]
         if len(claimed) > 1:
@@ -302,6 +304,9 @@ def run_monitored(
     fault_policy: str = "propagate",
     metrics: Optional[RunMetrics] = None,
     event_sink=None,
+    timeout: Optional[float] = None,
+    config=None,
+    cache=None,
 ) -> MonitoredResult:
     """Evaluate ``program`` under ``language`` with ``monitors`` cascaded.
 
@@ -330,31 +335,56 @@ def run_monitored(
     engine-independent: both engines count expression-node evaluations
     at the reference interpreter's granularity (the compiled engine
     disables its collapse optimizations while counting).
-    """
-    from repro.languages.base import check_engine
-    from repro.monitoring.compose import flatten_monitors, validate_observations
 
-    check_engine(engine)
-    check_fault_policy(fault_policy)
+    ``timeout`` bounds the run's wall-clock time in seconds (enforced
+    cooperatively by the trampoline; overrunning raises
+    :class:`repro.errors.EvaluationTimeout`).
+
+    ``config`` (a :class:`repro.runtime.RunConfig`) bundles every option
+    above into one reusable value; the loose keyword arguments keep
+    working, but combining ``config`` with a keyword explicitly changed
+    from its default raises ``TypeError``.
+
+    ``cache`` (a :class:`repro.runtime.CompilationCache`) memoizes staged
+    compilation for ``engine="compiled"``: identical (program, monitor
+    stack, fault policy) requests reuse the compiled code.  Telemetry
+    runs bypass the cache — counted-mode code burns in the run's own
+    metrics accumulator.
+    """
+    from repro.monitoring.compose import flatten_monitors, validate_observations
+    from repro.runtime.config import RunConfig
+
+    cfg = RunConfig.resolve(
+        config,
+        engine=engine,
+        fault_policy=fault_policy,
+        max_steps=max_steps,
+        metrics=metrics,
+        event_sink=event_sink,
+        answers=answers,
+        check_disjointness=check_disjointness,
+        timeout=timeout,
+    )
     monitor_list: List[MonitorSpec] = flatten_monitors(monitors)
     validate_observations(monitor_list)
-    if check_disjointness:
+    if cfg.check_disjointness:
         check_disjoint(monitor_list, program)
 
-    telemetry = Telemetry.create(metrics, event_sink)
+    telemetry = Telemetry.create(cfg.metrics, cfg.event_sink)
     observer = telemetry.fault_observer if telemetry is not None else None
     fault_log = (
         None
-        if fault_policy == "propagate"
-        else FaultLog(fault_policy, observer=observer)
+        if cfg.fault_policy == "propagate"
+        else FaultLog(cfg.fault_policy, observer=observer)
     )
     # The *instrumented* specs drive derivation/compilation (so hook calls
     # are counted and timed); the result reports through the originals.
     active_list = instrument_monitors(monitor_list, telemetry)
     initial = MonitorStateVector.initial(active_list)
+    deadline = cfg.deadline()
     start = perf_counter() if telemetry is not None else 0.0
     try:
-        if engine == "compiled":
+        if cfg.engine == "compiled":
             if getattr(language, "name", None) != "strict":
                 raise MonitorError(
                     "engine='compiled' currently supports the strict language "
@@ -363,15 +393,27 @@ def run_monitored(
                 )
             from repro.semantics.compiled import compile_program
 
-            compiled = compile_program(
-                program,
-                monitors=active_list,
-                env=language.initial_context(),
-                fault_log=fault_log,
-                telemetry=telemetry,
-            )
+            if cache is not None and telemetry is None:
+                compiled = cache.get_or_compile(
+                    language,
+                    program,
+                    active_list,
+                    fault_policy=cfg.fault_policy,
+                )
+            else:
+                compiled = compile_program(
+                    program,
+                    monitors=active_list,
+                    env=language.initial_context(),
+                    fault_log=fault_log,
+                    telemetry=telemetry,
+                )
             answer, final_states = compiled.run(
-                answers=answers, initial_ms=initial, max_steps=max_steps
+                answers=cfg.answers,
+                initial_ms=initial,
+                max_steps=cfg.max_steps,
+                fault_log=fault_log,
+                deadline=deadline,
             )
         else:
             functional = derive_all(
@@ -381,7 +423,12 @@ def run_monitored(
                 functional = instrument_functional(functional, telemetry)
             eval_fn = fix(functional)
             answer, final_states = language.run_program(
-                program, eval_fn, answers=answers, ms=initial, max_steps=max_steps
+                program,
+                eval_fn,
+                answers=cfg.answers,
+                ms=initial,
+                max_steps=cfg.max_steps,
+                deadline=deadline,
             )
     finally:
         if telemetry is not None:
@@ -391,6 +438,6 @@ def run_monitored(
         states=final_states,
         monitors=tuple(monitor_list),
         faults=fault_log.snapshot() if fault_log is not None else (),
-        fault_policy=fault_policy,
+        fault_policy=cfg.fault_policy,
         metrics=telemetry.metrics if telemetry is not None else None,
     )

@@ -106,6 +106,27 @@ class MonitorSpec:
 
     # Conveniences -------------------------------------------------------------
 
+    def cache_identity(self) -> Tuple:
+        """A hashable identity for compiled-program caching.
+
+        Two specs with equal identities must compile to interchangeable
+        monitored code: same ``recognize`` behavior and same (pure)
+        ``pre``/``post`` functions.  The default captures the concrete
+        class plus every *scalar* configuration attribute (strings,
+        numbers, tuples of scalars, nested specs); any attribute it cannot
+        prove inert — a callable, a mutable object — degrades to the
+        instance's ``id``, which is always sound (a fresh instance simply
+        never shares cache entries).  Specs carrying behavior-affecting
+        state the default cannot see must override this.
+        """
+        parts: list = [type(self).__module__, type(self).__qualname__]
+        attrs = getattr(self, "__dict__", None)
+        if attrs is None:  # __slots__ classes carry opaque state
+            return (*parts, "id", id(self))
+        for name in sorted(attrs):
+            parts.append((name, _attr_identity(attrs[name])))
+        return tuple(parts)
+
     def __and__(self, other):
         """Monitor composition: ``profiler & tracer`` builds a stack (Section 6)."""
         from repro.monitoring.compose import compose
@@ -114,6 +135,23 @@ class MonitorSpec:
 
     def __repr__(self) -> str:
         return f"<monitor {self.key}>"
+
+
+def _attr_identity(value: object) -> object:
+    """The cache-identity projection of one configuration attribute."""
+    if value is None or isinstance(value, (str, int, float, bool, bytes)):
+        return value
+    if isinstance(value, MonitorSpec):
+        return value.cache_identity()
+    if isinstance(value, type):
+        return (value.__module__, value.__qualname__)
+    if isinstance(value, (tuple, frozenset)):
+        try:
+            items = tuple(_attr_identity(item) for item in value)
+        except Exception:
+            return ("id", id(value))
+        return (type(value).__name__, items)
+    return ("id", id(value))
 
 
 class FunctionSpec(MonitorSpec):

@@ -57,9 +57,12 @@ def debug(
     output: Callable[[str], None] = print,
     script: Sequence[str] = (),
     max_steps: Optional[int] = None,
+    engine: str = "reference",
     fault_policy: str = "propagate",
     metrics=None,
     event_sink=None,
+    timeout: Optional[float] = None,
+    config=None,
 ) -> MonitoredResult:
     """Run ``program`` under an interactive debugging session.
 
@@ -71,8 +74,12 @@ def debug(
     failures like any other monitor's (``"quarantine"`` finishes the
     program with the transcript collected so far);
     ``metrics``/``event_sink`` request run telemetry
-    (:mod:`repro.observability`).  Returns the full monitored result —
-    including the complete transcript — once the program finishes.
+    (:mod:`repro.observability`).  ``engine`` selects the execution
+    engine, ``timeout`` bounds wall-clock seconds, and ``config`` (a
+    :class:`repro.runtime.RunConfig`) bundles every run option — all
+    forwarded to :func:`~repro.monitoring.derive.run_monitored`.
+    Returns the full monitored result — including the complete
+    transcript — once the program finishes.
     """
     if source is None:
         source = ConsoleSource()
@@ -84,7 +91,10 @@ def debug(
         program,
         monitor,
         max_steps=max_steps,
+        engine=engine,
         fault_policy=fault_policy,
         metrics=metrics,
         event_sink=event_sink,
+        timeout=timeout,
+        config=config,
     )

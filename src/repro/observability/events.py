@@ -24,6 +24,15 @@ Event types (:data:`EVENT_TYPES`):
 * ``fault`` — a monitor exception was captured by the fault log
   (``payload``: ``phase``, ``error_type``, ``message``).
 * ``quarantine`` — the faulting slot was disabled for the rest of the run.
+* ``cache-hit`` / ``cache-miss`` / ``cache-evict`` — the serving runtime's
+  compiled-program cache (:mod:`repro.runtime`) looked up a program.
+  ``payload["key"]`` is a short digest of the cache key; ``cache-miss``
+  carries ``payload["compile_time"]`` (seconds spent compiling) and
+  ``cache-evict`` names the evicted entry.
+* ``batch-start`` / ``batch-request`` / ``batch-end`` — one ``run_batch``
+  call began, finished one request (``payload``: ``index``, ``ok``,
+  ``duration``), or completed (``payload``: ``total``, ``succeeded``,
+  ``failed``, ``duration``).
 
 Event payloads are JSON-safe by construction (names and scalars, never
 monitor states or program values), so any event can be written to a
@@ -45,6 +54,12 @@ EVENT_TYPES: Tuple[str, ...] = (
     "state-update",
     "fault",
     "quarantine",
+    "cache-hit",
+    "cache-miss",
+    "cache-evict",
+    "batch-start",
+    "batch-request",
+    "batch-end",
 )
 
 
@@ -104,6 +119,10 @@ class ReplaySummary:
     state_transitions: int = 0
     faults: List[Tuple[str, str, str, str]] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    batch_requests: int = 0
 
     def feed(self, event: Event) -> None:
         kind = event.type
@@ -133,6 +152,14 @@ class ReplaySummary:
             )
         elif kind == "quarantine":
             self.quarantined.append(slot)
+        elif kind == "cache-hit":
+            self.cache_hits += 1
+        elif kind == "cache-miss":
+            self.cache_misses += 1
+        elif kind == "cache-evict":
+            self.cache_evictions += 1
+        elif kind == "batch-request":
+            self.batch_requests += 1
 
 
 def replay(events: Iterable[Event]) -> ReplaySummary:

@@ -1,0 +1,49 @@
+"""The serving runtime: run configuration, compilation cache, batching.
+
+This package is the system's "many requests" layer, sitting above the
+single-run monitoring pipeline:
+
+* :mod:`repro.runtime.config` — :class:`RunConfig`, the one frozen value
+  consolidating every run option (``engine``, ``fault_policy``,
+  ``max_steps``, telemetry, ``answers``, ``check_disjointness``,
+  ``timeout``), accepted as ``config=`` by every entry point;
+* :mod:`repro.runtime.cache` — :class:`CompilationCache`, a thread-safe
+  LRU over staged-compiled programs keyed by (program hash, language,
+  monitor-stack identity, fault policy, counted flag);
+* :mod:`repro.runtime.batch` — :class:`BatchRunner`/:func:`run_batch`
+  executing :class:`RunRequest` batches over a worker pool with
+  per-request isolation and timeouts, and the :class:`Runtime` facade
+  tying config + cache + pool together.
+
+Import order matters here: ``config`` has no dependency on the rest of
+the package and is imported first; ``batch`` reaches back into
+``monitoring``/``toolbox`` lazily (inside functions) so that those
+modules may in turn lazily import :class:`RunConfig` without a cycle.
+"""
+
+from repro.runtime.config import RunConfig
+from repro.runtime.cache import CacheStats, CompilationCache, cache_key, program_fingerprint
+from repro.runtime.batch import (
+    DEFAULT_WORKERS,
+    BatchRunner,
+    RunRequest,
+    RunResult,
+    Runtime,
+    language_by_name,
+    run_batch,
+)
+
+__all__ = [
+    "DEFAULT_WORKERS",
+    "BatchRunner",
+    "CacheStats",
+    "CompilationCache",
+    "RunConfig",
+    "RunRequest",
+    "RunResult",
+    "Runtime",
+    "cache_key",
+    "language_by_name",
+    "program_fingerprint",
+    "run_batch",
+]

@@ -1,0 +1,255 @@
+"""A thread-safe LRU cache for staged-compiled programs.
+
+Staged compilation (:mod:`repro.semantics.compiled`) pays its cost once
+per (program, monitor stack) and amortizes it over runs — but only if
+someone holds on to the :class:`~repro.semantics.compiled.CompiledProgram`.
+In a serving setting the "someone" is this cache: requests arrive as
+(program, tools) pairs, most of them repeats, and the cache turns the
+steady state into pure execution with zero compilation.
+
+The key (:func:`cache_key`) captures everything that affects the compiled
+code:
+
+* the **program fingerprint** — a SHA-256 of the AST's canonical ``repr``;
+* the **language** name (compiled code bakes in the language's initial
+  environment);
+* the **monitor-stack identity** — each spec's
+  :meth:`~repro.monitoring.spec.MonitorSpec.cache_identity`, which is
+  structural for scalar-configured specs and degrades to object identity
+  for anything it cannot prove inert (always sound, sometimes a missed
+  hit);
+* the **fault policy** (non-``propagate`` policies compile isolation
+  checks into every monitored node);
+* the **counted-mode flag** (counted code burns in a telemetry object, so
+  such entries are never produced by :meth:`CompilationCache.get_or_compile`
+  — telemetry runs bypass the cache — but the flag keeps the keyspace
+  honest).
+
+Cached programs are **thread-reusable**: per-run mutable state (the fault
+log) travels through a thread-local run context set by
+``CompiledProgram.run``, never through the compiled closures.
+
+Hits, misses and evictions are counted (:meth:`CompilationCache.stats`)
+and — when the cache is built with an ``event_sink`` — surfaced on the
+observability event stream as ``cache-hit``/``cache-miss``/``cache-evict``
+events carrying a short key digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from time import perf_counter
+from typing import Dict, Optional, Sequence, Tuple
+
+# Digest memo keyed by id(): AST __eq__/__hash__ are structural (and thus
+# O(tree)), so a WeakKeyDictionary would cost as much as the digest it
+# saves.  The weakref finalizer evicts on collection; the identity check
+# on lookup guards against id reuse beating the finalizer.
+_fingerprints: Dict[int, Tuple[weakref.ref, str]] = {}
+
+
+def program_fingerprint(program) -> str:
+    """A stable content digest of a program AST.
+
+    AST nodes are frozen dataclasses whose ``repr`` spells out the whole
+    tree, so equal programs — even separately parsed — share a
+    fingerprint, while any structural difference (including annotations)
+    changes it.  Digests are memoized per AST *object* (serving traffic
+    re-submits the same parsed program many times), which never changes
+    the result: the nodes are immutable.
+    """
+    memo_key = id(program)
+    entry = _fingerprints.get(memo_key)
+    if entry is not None and entry[0]() is program:
+        return entry[1]
+    digest = hashlib.sha256(repr(program).encode("utf-8")).hexdigest()
+    try:
+        ref = weakref.ref(
+            program, lambda _, k=memo_key: _fingerprints.pop(k, None)
+        )
+    except TypeError:
+        pass  # not weakref-able: still correct, just unmemoized
+    else:
+        _fingerprints[memo_key] = (ref, digest)
+    return digest
+
+
+def cache_key(
+    language,
+    program,
+    monitors: Sequence,
+    *,
+    fault_policy: str = "propagate",
+    counted: bool = False,
+) -> Tuple:
+    """The full cache key for one compilation request (hashable)."""
+    return (
+        program_fingerprint(program),
+        getattr(language, "name", str(language)),
+        tuple(monitor.cache_identity() for monitor in monitors),
+        fault_policy,
+        counted,
+    )
+
+
+def _key_digest(key: Tuple) -> str:
+    """A short JSON-safe digest of a cache key, for event payloads."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class CacheStats:
+    """A point-in-time snapshot of a cache's counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    compile_seconds: float = 0.0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        out = asdict(self)
+        out["hit_rate"] = self.hit_rate
+        return out
+
+
+class CompilationCache:
+    """An LRU mapping from :func:`cache_key` to compiled programs.
+
+    All operations are guarded by one lock; compilation itself runs under
+    the lock too, which both guarantees each key is compiled at most once
+    and costs nothing in practice (the GIL serializes the CPU-bound
+    compiler anyway).  ``maxsize`` bounds memory: inserting beyond it
+    evicts the least-recently-used entry.
+    """
+
+    def __init__(self, maxsize: int = 128, *, event_sink=None) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        from repro.observability.sinks import is_null_sink
+
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._compile_seconds = 0.0
+        self._event_sink = None if is_null_sink(event_sink) else event_sink
+        self._seq = 0
+
+    # -- observability -------------------------------------------------------
+
+    def _emit(self, event_type: str, payload: Dict[str, object]) -> None:
+        """Emit one cache event (caller holds the lock)."""
+        if self._event_sink is None:
+            return
+        from repro.observability.events import Event
+
+        self._seq += 1
+        self._event_sink.emit(Event(seq=self._seq, type=event_type, payload=payload))
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                compile_seconds=self._compile_seconds,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )
+
+    # -- the cache proper ----------------------------------------------------
+
+    def get_or_compile(
+        self,
+        language,
+        program,
+        monitors: Sequence,
+        *,
+        fault_policy: str = "propagate",
+        counted: bool = False,
+    ):
+        """Return the compiled program for this request, compiling on miss.
+
+        ``counted=True`` is rejected: counted-mode code burns the run's own
+        telemetry accumulator into every node, so telemetry runs must
+        compile fresh (callers bypass the cache for them).
+        """
+        if counted:
+            raise ValueError(
+                "counted-mode programs are not cacheable: counted code burns "
+                "in a per-run telemetry object; compile fresh for telemetry runs"
+            )
+        key = cache_key(
+            language, program, monitors, fault_policy=fault_policy, counted=False
+        )
+        digest = _key_digest(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                self._emit("cache-hit", {"key": digest})
+                return entry
+            from repro.semantics.compiled import compile_program
+
+            start = perf_counter()
+            compiled = compile_program(
+                program,
+                monitors=monitors,
+                env=language.initial_context(),
+                fault_policy=fault_policy,
+            )
+            elapsed = perf_counter() - start
+            self._misses += 1
+            self._compile_seconds += elapsed
+            self._emit("cache-miss", {"key": digest, "compile_time": elapsed})
+            self._entries[key] = compiled
+            while len(self._entries) > self.maxsize:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._evictions += 1
+                self._emit("cache-evict", {"key": _key_digest(evicted_key)})
+            return compiled
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"<CompilationCache size={stats.size}/{stats.maxsize} "
+            f"hits={stats.hits} misses={stats.misses}>"
+        )
+
+
+__all__ = [
+    "CacheStats",
+    "CompilationCache",
+    "cache_key",
+    "program_fingerprint",
+]

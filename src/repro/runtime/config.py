@@ -1,0 +1,143 @@
+"""``RunConfig``: one frozen value for every run option the system takes.
+
+Before the serving runtime existed, the options controlling a single run —
+``engine``, ``fault_policy``, ``max_steps``, ``metrics``, ``event_sink``,
+``answers``, ``check_disjointness`` — were re-declared as keyword
+arguments on five different entry points (``run_monitored``, the toolbox
+``evaluate``, ``Session.evaluate``, ``compile_program``, and every CLI
+subcommand), and they drifted: ``debug`` shipped without ``--fault-policy``
+until PR 3 caught it.  :class:`RunConfig` is the consolidation: build the
+options once, pass ``config=`` anywhere, reuse it for a thousand requests.
+
+Legacy keyword arguments keep working on every entry point.  The merge
+rule (:meth:`RunConfig.resolve`) is:
+
+* no ``config`` — the legacy kwargs (with their historical defaults)
+  build a fresh ``RunConfig``;
+* ``config`` given — it wins, and a legacy kwarg *explicitly changed from
+  its default* that disagrees with the config raises ``TypeError`` with
+  both values spelled out.  (A kwarg left at its default is
+  indistinguishable from "not passed" and is ignored.)
+
+``timeout`` is the one field beyond the historical kwargs: a per-run
+wall-clock budget in seconds, enforced cooperatively by the trampoline
+(see :func:`repro.semantics.trampoline.trampoline`) and used by the batch
+runtime for per-request timeouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from time import perf_counter
+from typing import Dict, Optional
+
+from repro.monitoring.faults import check_fault_policy
+from repro.observability.metrics import RunMetrics
+from repro.observability.sinks import EventSink
+from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """The options governing one (or many identical) monitored runs.
+
+    Frozen so a config can be shared across threads and reused as a
+    default for a whole batch without aliasing surprises.  Note that
+    ``metrics`` is a *mutable accumulator*: sharing one config across
+    concurrent runs shares the counters too, which is why the batch
+    runner swaps in a fresh ``RunMetrics`` per request
+    (:meth:`with_fresh_metrics`).
+    """
+
+    engine: str = "reference"
+    fault_policy: str = "propagate"
+    max_steps: Optional[int] = None
+    metrics: Optional[RunMetrics] = None
+    event_sink: Optional[EventSink] = None
+    answers: AnswerAlgebra = STANDARD_ANSWERS
+    check_disjointness: bool = True
+    timeout: Optional[float] = None
+
+    def validate(self) -> "RunConfig":
+        """Check the enumerated fields; returns ``self`` for chaining."""
+        from repro.languages.base import check_engine
+
+        check_engine(self.engine)
+        check_fault_policy(self.fault_policy)
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout!r}")
+        return self
+
+    def deadline(self) -> Optional[float]:
+        """The ``perf_counter`` deadline this run must finish by, or ``None``."""
+        if self.timeout is None:
+            return None
+        return perf_counter() + self.timeout
+
+    def wants_telemetry(self) -> bool:
+        from repro.observability.sinks import is_null_sink
+
+        return self.metrics is not None or not is_null_sink(self.event_sink)
+
+    def with_fresh_metrics(self) -> "RunConfig":
+        """A copy whose ``metrics`` is a new accumulator (if metrics are on).
+
+        The batch runner calls this per request so concurrent runs never
+        share counters (per-request isolation).
+        """
+        if self.metrics is None:
+            return self
+        return replace(self, metrics=RunMetrics())
+
+    @classmethod
+    def resolve(
+        cls, config: "Optional[RunConfig]", **legacy: object
+    ) -> "RunConfig":
+        """Merge an optional ``config`` with legacy keyword arguments.
+
+        ``legacy`` maps field names to the values the caller's keyword
+        arguments currently hold.  See the module docstring for the merge
+        rule; the result is always validated.
+        """
+        defaults = _field_defaults()
+        unknown = set(legacy) - set(defaults)
+        if unknown:
+            raise TypeError(f"unknown run option(s): {sorted(unknown)}")
+        if config is None:
+            return cls(**legacy).validate()  # type: ignore[arg-type]
+        if not isinstance(config, cls):
+            raise TypeError(
+                f"config must be a RunConfig, got {type(config).__name__}"
+            )
+        conflicts = []
+        for name, value in legacy.items():
+            if _differs(value, defaults[name]) and _differs(
+                value, getattr(config, name)
+            ):
+                conflicts.append(
+                    f"{name}={value!r} (config has {getattr(config, name)!r})"
+                )
+        if conflicts:
+            raise TypeError(
+                "got both config= and conflicting legacy keyword(s): "
+                + ", ".join(conflicts)
+                + " — set the option on the RunConfig instead"
+            )
+        return config.validate()
+
+
+def _field_defaults() -> Dict[str, object]:
+    return {f.name: f.default for f in fields(RunConfig)}
+
+
+def _differs(a: object, b: object) -> bool:
+    """Inequality that never raises (sinks and algebras may lack ``__eq__``)."""
+    if a is b:
+        return False
+    try:
+        return bool(a != b)
+    except Exception:
+        return True
+
+
+__all__ = ["RunConfig"]

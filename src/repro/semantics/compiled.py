@@ -42,6 +42,7 @@ random programs.  Tail calls use the ``__slots__`` step variants
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.errors import (
@@ -70,6 +71,16 @@ from repro.syntax.ast import (
 #: A compiled expression: called with the current rib, continuation and
 #: monitor state, returns the next machine step.
 Code = Callable[[list, Callable, object], Step]
+
+#: Per-thread run context.  Fault-isolated code needs the *current run's*
+#: :class:`~repro.monitoring.faults.FaultLog`; burning the log into the
+#: compiled closures (the pre-PR-4 design) made a ``CompiledProgram``
+#: single-run property, which the compilation cache cannot share across
+#: concurrent requests.  A trampoline run happens entirely on one thread,
+#: so :meth:`CompiledProgram.run` parks the run's log here and the
+#: isolated closures read it back at each activation — one thread-local
+#: attribute read, paid only on the (already slow) isolated path.
+_RUN_STATE = threading.local()
 
 
 class CompiledClosure:
@@ -210,10 +221,13 @@ class _Compiler:
     """One compilation unit: a program, a global env, a monitor stack.
 
     ``fault_log`` (a :class:`repro.monitoring.faults.FaultLog`, or ``None``
-    for the default ``propagate`` policy) is burned into the monitored
-    closures: when present, every ``updPre``/``updPost`` call site checks
-    the log's disabled set and routes escaping exceptions through
-    ``fault_log.record`` instead of letting them unwind the trampoline.
+    for the default ``propagate`` policy) switches the monitored closures
+    onto the fault-isolated path: every ``updPre``/``updPost`` call site
+    checks the current run's disabled set and routes escaping exceptions
+    through ``FaultLog.record`` instead of letting them unwind the
+    trampoline.  The log itself is *not* burned in — isolated closures
+    read the per-run log from :data:`_RUN_STATE`, so one compilation can
+    serve many (concurrent) runs, each with its own log.
 
     ``telemetry`` (a :class:`repro.observability.instrument.Telemetry`, or
     ``None`` for the uninstrumented fast path) switches the compiler into
@@ -736,12 +750,16 @@ class _Compiler:
         exception is recorded on the fault log, and under ``quarantine``
         the slot stays disabled for the rest of the run — including inside
         ``post`` continuations captured before the fault.
+
+        The log is fetched from the per-thread run context at every
+        activation (see :data:`_RUN_STATE`), so the compiled code is
+        reusable across runs and threads with distinct logs.
         """
-        fault_log = self.fault_log
-        disabled = fault_log.disabled
         global_env = self.global_env
 
         def code_isolated(rib, kont, ms):
+            fault_log = _RUN_STATE.fault_log
+            disabled = fault_log.disabled
             if key in disabled:
                 return body_code(rib, kont, ms)
             ctx = _CompiledContext(rib, addresses, global_env)
@@ -805,13 +823,22 @@ class CompiledProgram:
 
     Compilation is pure: running a compiled program builds fresh ribs and
     threads whatever monitor state the caller supplies, so one
-    ``CompiledProgram`` can be executed any number of times.  The one
-    exception is ``fault_log``, which is per-run mutable bookkeeping;
-    :meth:`run` resets it so repeated (sequential) runs each start with
-    every monitor enabled and no recorded faults.
+    ``CompiledProgram`` can be executed any number of times — and, when
+    compiled without telemetry, from any number of threads *concurrently*
+    (the serving runtime's compilation cache relies on this).  The two
+    qualifications:
+
+    * ``fault_log`` is per-run mutable bookkeeping.  Sequential callers
+      may keep using the compile-time default log (it is reset at each
+      :meth:`run`); concurrent callers pass a fresh log per run via
+      ``run(fault_log=...)`` and the isolated closures pick it up through
+      the per-thread run context.
+    * a program compiled in counted mode (``telemetry=``) has that run's
+      counters burned into its code, so it is bound to one telemetry
+      object and is not shareable; ``counted`` flags this.
     """
 
-    __slots__ = ("code", "global_env", "monitors", "fault_log")
+    __slots__ = ("code", "global_env", "monitors", "fault_log", "counted")
 
     def __init__(
         self,
@@ -819,11 +846,18 @@ class CompiledProgram:
         global_env: Environment,
         monitors: Tuple,
         fault_log=None,
+        counted: bool = False,
     ) -> None:
         self.code = code
         self.global_env = global_env
         self.monitors = monitors
         self.fault_log = fault_log
+        self.counted = counted
+
+    @property
+    def isolated(self) -> bool:
+        """True when this program was compiled with fault-isolated hooks."""
+        return self.fault_log is not None
 
     def run(
         self,
@@ -831,10 +865,19 @@ class CompiledProgram:
         answers: AnswerAlgebra = STANDARD_ANSWERS,
         initial_ms=None,
         max_steps: Optional[int] = None,
+        fault_log=None,
+        deadline: Optional[float] = None,
     ) -> Tuple[object, object]:
-        """Execute, returning ``(answer, monitor_state)``."""
-        if self.fault_log is not None:
-            self.fault_log.reset()
+        """Execute, returning ``(answer, monitor_state)``.
+
+        ``fault_log`` supplies this run's fault log (fault-isolated
+        programs only); omitting it reuses the compile-time default log,
+        reset first — the historical sequential behavior.  ``deadline``
+        is a ``perf_counter`` timestamp enforced by the trampoline.
+        """
+        log = fault_log if fault_log is not None else self.fault_log
+        if log is not None and fault_log is None:
+            log.reset()
         if initial_ms is None and self.monitors:
             from repro.monitoring.state import MonitorStateVector
 
@@ -844,8 +887,13 @@ class CompiledProgram:
         def final_kont(value, ms) -> Step:
             return Done((phi(value), ms))
 
-        step = self.code([None], final_kont, initial_ms)
-        return trampoline(step, max_steps=max_steps)
+        previous = getattr(_RUN_STATE, "fault_log", None)
+        _RUN_STATE.fault_log = log
+        try:
+            step = self.code([None], final_kont, initial_ms)
+            return trampoline(step, max_steps=max_steps, deadline=deadline)
+        finally:
+            _RUN_STATE.fault_log = previous
 
 
 def compile_program(
@@ -856,6 +904,7 @@ def compile_program(
     fault_log=None,
     fault_policy: Optional[str] = None,
     telemetry=None,
+    config=None,
 ) -> CompiledProgram:
     """Stage ``program`` (and ``monitors``) into a :class:`CompiledProgram`.
 
@@ -875,7 +924,25 @@ def compile_program(
     ``run_monitored(..., engine="compiled", metrics=...)`` is the
     friendly entry point; pass it here only when driving the compiler
     directly.
+
+    ``config`` (a :class:`repro.runtime.config.RunConfig`) is the unified
+    alternative: its ``fault_policy`` selects isolation and its
+    ``metrics``/``event_sink`` build the telemetry.  Combining ``config``
+    with ``fault_log``/``fault_policy``/``telemetry`` raises ``TypeError``
+    — the config is meant to *replace* the loose knobs.
     """
+    if config is not None:
+        if fault_log is not None or fault_policy is not None or telemetry is not None:
+            raise TypeError(
+                "compile_program: pass either config= or the legacy "
+                "fault_log=/fault_policy=/telemetry= knobs, not both"
+            )
+        from repro.observability.instrument import Telemetry
+        from repro.runtime.config import RunConfig
+
+        RunConfig.resolve(config)  # validates
+        fault_policy = config.fault_policy
+        telemetry = Telemetry.create(config.metrics, config.event_sink)
     if fault_log is None and fault_policy not in (None, "propagate"):
         from repro.monitoring.faults import FaultLog
 
@@ -884,7 +951,9 @@ def compile_program(
     monitor_tuple = tuple(monitors)
     compiler = _Compiler(global_env, monitor_tuple, fault_log, telemetry)
     code = compiler.compile(program, None)
-    return CompiledProgram(code, global_env, monitor_tuple, fault_log)
+    return CompiledProgram(
+        code, global_env, monitor_tuple, fault_log, counted=telemetry is not None
+    )
 
 
 def evaluate_compiled(

@@ -27,9 +27,10 @@ pays only one extra integer compare per step.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Optional, Tuple
 
-from repro.errors import StepLimitExceeded
+from repro.errors import EvaluationTimeout, StepLimitExceeded
 
 #: How many bounces the driver executes between step-limit checks.  The
 #: inner loop's chunk is clamped to the remaining budget, so limits are
@@ -109,13 +110,24 @@ class Done(Step):
         return f"Done({self.payload!r})"
 
 
-def trampoline(step: Step, max_steps: Optional[int] = None):
+def trampoline(
+    step: Step,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+):
     """Run ``step`` to completion and return the :class:`Done` payload.
 
     ``max_steps`` bounds the number of bounces, allowing the test suite to
     execute possibly-divergent programs; exceeding it raises
     :class:`repro.errors.StepLimitExceeded` carrying both the limit and the
     number of steps actually consumed.
+
+    ``deadline`` is a ``time.perf_counter()`` timestamp; passing one
+    enforces a cooperative wall-clock budget (the batch runtime's
+    per-request timeouts).  The clock is consulted once per step batch —
+    one comparison every :data:`STEP_BATCH` bounces, so the unlimited
+    fast path is untouched — and overrunning raises
+    :class:`repro.errors.EvaluationTimeout`.
     """
     consumed = 0
     while True:
@@ -147,3 +159,5 @@ def trampoline(step: Step, max_steps: Optional[int] = None):
             )
         if max_steps is not None and consumed >= max_steps:
             raise StepLimitExceeded(max_steps, consumed=consumed)
+        if deadline is not None and perf_counter() >= deadline:
+            raise EvaluationTimeout()

@@ -21,7 +21,6 @@ from repro.monitoring.compose import MonitorStack, flatten_monitors
 from repro.monitoring.derive import MonitoredResult, run_monitored
 from repro.monitoring.spec import MonitorSpec
 from repro.observability.metrics import RunMetrics
-from repro.observability.sinks import is_null_sink
 from repro.monitors import (
     CallGraphMonitor,
     CollectingMonitor,
@@ -151,6 +150,9 @@ def evaluate(
     fault_policy: str = "propagate",
     metrics: Optional[RunMetrics] = None,
     event_sink=None,
+    timeout: Optional[float] = None,
+    config=None,
+    cache=None,
 ) -> EvaluationResult:
     """The Section 9.2 entry point: ``evaluate(profile & trace & strict, prog)``.
 
@@ -167,25 +169,49 @@ def evaluate(
     attached — an unmonitored evaluation with telemetry runs through the
     monitoring pipeline with an empty stack, which denotes the standard
     semantics (Definition 4.2's fall-through everywhere).
+
+    ``timeout`` bounds the run's wall-clock seconds; ``config`` (a
+    :class:`repro.runtime.RunConfig`) bundles every option above into one
+    reusable value (conflicting explicit keywords raise ``TypeError``);
+    ``cache`` (a :class:`repro.runtime.CompilationCache`) memoizes staged
+    compilation for ``engine="compiled"``.
     """
+    from repro.runtime.config import RunConfig
+
+    cfg = RunConfig.resolve(
+        config,
+        engine=engine,
+        fault_policy=fault_policy,
+        max_steps=max_steps,
+        metrics=metrics,
+        event_sink=event_sink,
+        timeout=timeout,
+    )
     monitors, chain_language = _resolve_tools(tools)
     run_language = language or chain_language or strict
     expr = parse(program) if isinstance(program, str) else program
 
-    wants_telemetry = metrics is not None or not is_null_sink(event_sink)
-    if not monitors and not wants_telemetry:
-        answer = run_language.evaluate(expr, max_steps=max_steps, engine=engine)
+    if not monitors and not cfg.wants_telemetry():
+        if cache is not None and cfg.engine == "compiled":
+            # Tool-less compiled runs still deserve the compilation cache:
+            # the empty monitor stack denotes the standard semantics.
+            result = run_monitored(run_language, expr, [], config=cfg, cache=cache)
+            return EvaluationResult(answer=result.answer, monitored=None)
+        answer = run_language.evaluate(
+            expr,
+            answers=cfg.answers,
+            max_steps=cfg.max_steps,
+            engine=cfg.engine,
+            deadline=cfg.deadline(),
+        )
         return EvaluationResult(answer=answer, monitored=None)
 
     result = run_monitored(
         run_language,
         expr,
         list(monitors),
-        max_steps=max_steps,
-        engine=engine,
-        fault_policy=fault_policy,
-        metrics=metrics,
-        event_sink=event_sink,
+        config=cfg,
+        cache=cache,
     )
     return EvaluationResult(
         answer=result.answer,

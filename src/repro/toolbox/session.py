@@ -97,6 +97,9 @@ class Session:
         fault_policy: str = "propagate",
         metrics=None,
         event_sink=None,
+        timeout: Optional[float] = None,
+        config=None,
+        cache=None,
     ) -> EvaluationResult:
         """Evaluate an expression over the session's definitions.
 
@@ -111,7 +114,12 @@ class Session:
         evaluation; ``fault_policy`` selects monitor-fault handling
         (``"propagate"``, ``"quarantine"`` or ``"log"``);
         ``metrics``/``event_sink`` request run telemetry
-        (:mod:`repro.observability`), with or without tools attached.
+        (:mod:`repro.observability`), with or without tools attached;
+        ``timeout`` bounds wall-clock seconds; ``config`` (a
+        :class:`repro.runtime.RunConfig`) bundles every run option into
+        one value and ``cache`` (a
+        :class:`repro.runtime.CompilationCache`) memoizes staged
+        compilation — both are forwarded to the toolbox ``evaluate``.
         """
         program = self.program_for(expr_source)
 
@@ -124,6 +132,9 @@ class Session:
                 engine=engine,
                 metrics=metrics,
                 event_sink=event_sink,
+                timeout=timeout,
+                config=config,
+                cache=cache,
             )
 
         tool_items = self._normalize_tools(tools)
@@ -149,6 +160,9 @@ class Session:
             fault_policy=fault_policy,
             metrics=metrics,
             event_sink=event_sink,
+            timeout=timeout,
+            config=config,
+            cache=cache,
         )
 
     @staticmethod

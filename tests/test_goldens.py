@@ -109,3 +109,26 @@ def test_metrics_output_golden(golden, capsys, engine):
 def test_metrics_output_unmonitored_golden(golden, capsys):
     assert main(["run", "-e", PLAIN_FAC, "--metrics"]) == 0
     golden("cli_metrics_unmonitored.txt", _normalize_times(capsys.readouterr().out))
+
+
+BATCH_REQUESTS = [
+    '{"program": "let f = lambda x. x + 1 in f 41", "engine": "compiled", "tag": "plain"}',
+    '{"program": "%s", "tools": "profile", "engine": "compiled", "tag": "profiled"}' % FAC,
+    '{"program": "let f = lambda x. x + 1 in f 41", "engine": "compiled", "tag": "repeat"}',
+    '{"program": "1 +", "tag": "broken"}',
+]
+
+
+def test_batch_output_golden(golden, capsys, tmp_path):
+    """The ``repro batch`` JSONL surface: results on stdout, stats on stderr.
+
+    Answers, reports, error records and the cache counters are all
+    deterministic (durations are deliberately omitted from the JSONL);
+    the one failing request also pins the non-zero exit code.
+    """
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text("\n".join(BATCH_REQUESTS) + "\n", encoding="utf-8")
+    assert main(["batch", str(requests), "--workers", "2", "--stats"]) == 1
+    captured = capsys.readouterr()
+    golden("cli_batch.jsonl", captured.out)
+    golden("cli_batch_stats.txt", captured.err)

@@ -38,6 +38,10 @@ PACKAGES = [
     "repro.partial_eval.online",
     "repro.partial_eval.postprocess",
     "repro.prelude",
+    "repro.runtime",
+    "repro.runtime.batch",
+    "repro.runtime.cache",
+    "repro.runtime.config",
     "repro.semantics",
     "repro.semantics.denotational",
     "repro.semantics.monadic",
@@ -65,6 +69,7 @@ def test_top_level_all_resolvable():
         "repro.monitoring",
         "repro.languages",
         "repro.observability",
+        "repro.runtime",
         "repro.syntax",
     ],
 )
@@ -72,6 +77,21 @@ def test_package_all_resolvable(module_name):
     module = importlib.import_module(module_name)
     for name in module.__all__:
         assert hasattr(module, name), f"{module_name}.__all__ lists {name!r}"
+
+
+def test_runtime_exports_at_top_level():
+    """The serving runtime's facade is part of the one-import surface."""
+    for name in (
+        "RunConfig",
+        "RunRequest",
+        "RunResult",
+        "Runtime",
+        "BatchRunner",
+        "CompilationCache",
+        "run_batch",
+    ):
+        assert hasattr(repro, name), f"repro.{name} missing"
+        assert name in repro.__all__, f"repro.__all__ misses {name!r}"
 
 
 def test_version():

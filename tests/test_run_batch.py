@@ -1,0 +1,252 @@
+"""The batch runner: parity with sequential runs, isolation, ordering.
+
+The serving layer's central promise (ISSUE PR 4 acceptance): a
+``run_batch`` over many mixed requests — different programs, tools,
+engines, fault policies — produces results identical to running each
+request alone through the single-run pipeline.  Concurrency, the shared
+compilation cache, and per-request timeouts must all be invisible in the
+answers, reports and fault records.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationTimeout
+from repro.languages.strict import strict
+from repro.monitoring.derive import run_monitored
+from repro.monitoring.faults import FlakyMonitor
+from repro.monitors import ProfilerMonitor
+from repro.observability import InMemorySink, replay
+from repro.runtime import (
+    BatchRunner,
+    CompilationCache,
+    RunConfig,
+    RunRequest,
+    RunResult,
+    Runtime,
+    run_batch,
+)
+from repro.toolbox.registry import evaluate
+from tests.generators import closed_program
+
+FAC = "letrec fac = lambda x. {fac}: if x = 0 then 1 else x * fac (x - 1) in fac %d"
+TRACE_FIB = (
+    "letrec fib = lambda n. {trace: fib}: "
+    "if n < 2 then n else fib (n - 1) + fib (n - 2) in fib %d"
+)
+PLAIN = "let f = lambda x. x * x in f %d"
+
+
+def _mixed_requests(count):
+    """``count`` requests cycling programs, tools, engines, policies."""
+    requests = []
+    for n in range(count):
+        which = n % 5
+        if which == 0:
+            requests.append(
+                RunRequest(program=PLAIN % n, config=RunConfig(engine="compiled"))
+            )
+        elif which == 1:
+            requests.append(
+                RunRequest(
+                    program=FAC % (n % 7),
+                    tools="profile",
+                    config=RunConfig(engine="compiled"),
+                )
+            )
+        elif which == 2:
+            requests.append(
+                RunRequest(program=TRACE_FIB % (n % 6), tools="trace", tag=f"t{n}")
+            )
+        elif which == 3:
+            requests.append(
+                RunRequest(
+                    program=FAC % 5,
+                    tools=FlakyMonitor(ProfilerMonitor(), fail_on=2),
+                    config=RunConfig(engine="compiled", fault_policy="quarantine"),
+                )
+            )
+        else:
+            requests.append(RunRequest(program=PLAIN % n, tools="profile"))
+    return requests
+
+
+def _oracle(request):
+    """One request through the plain single-run pipeline (no pool, no cache)."""
+    cfg = request.config if request.config is not None else RunConfig()
+    outcome = evaluate(
+        request.tools, request.program, language=request.language, config=cfg
+    )
+    reports = outcome.monitored.reports() if outcome.monitored is not None else {}
+    faults = (
+        tuple(
+            (f.monitor_key, f.phase, f.error_type, f.message)
+            for f in outcome.monitored.faults
+        )
+        if outcome.monitored is not None
+        else ()
+    )
+    return outcome.answer, reports, faults
+
+
+class TestBatchParity:
+    def test_hundred_mixed_requests_match_sequential(self):
+        """The acceptance criterion: >=100 mixed requests, identical output."""
+        requests = _mixed_requests(100)
+        expected = [_oracle(request) for request in requests]
+        results = run_batch(requests, workers=4)
+        assert len(results) == 100
+        for request, result, (answer, reports, faults) in zip(
+            requests, results, expected
+        ):
+            assert result.ok, result.error
+            assert result.answer == answer
+            assert result.reports == reports
+            assert result.faults == faults
+            assert result.tag == request.tag
+
+    def test_pooled_matches_single_worker(self):
+        requests = _mixed_requests(40)
+        sequential = run_batch(requests, workers=1)
+        pooled = run_batch(requests, workers=8)
+        for a, b in zip(sequential, pooled):
+            assert (a.ok, a.answer, a.reports, a.faults) == (
+                b.ok,
+                b.answer,
+                b.reports,
+                b.faults,
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(closed_program(), min_size=1, max_size=6))
+    def test_property_batch_equals_sequential(self, programs):
+        requests = [
+            RunRequest(program=program, config=RunConfig(engine="compiled"))
+            for program in programs
+        ]
+        pooled = run_batch(requests, workers=4)
+        solo = [
+            run_monitored(strict, program, [], engine="compiled").answer
+            for program in programs
+        ]
+        assert [result.answer for result in pooled] == solo
+
+
+class TestOrderingAndIsolation:
+    def test_results_in_submission_order(self):
+        requests = [RunRequest(program=PLAIN % n, tag=str(n)) for n in range(32)]
+        results = run_batch(requests, workers=8)
+        assert [result.index for result in results] == list(range(32))
+        assert [result.tag for result in results] == [str(n) for n in range(32)]
+
+    def test_one_failure_does_not_contaminate_others(self):
+        requests = [
+            RunRequest(program=PLAIN % 1),
+            RunRequest(program="1 +"),          # parse error
+            RunRequest(program="f 1"),          # unbound identifier
+            RunRequest(program=PLAIN % 2),
+        ]
+        results = run_batch(requests, workers=4)
+        assert [result.ok for result in results] == [True, False, False, True]
+        assert results[1].error_type == "ParseError"
+        assert results[2].error_type == "UnboundIdentifierError"
+        assert results[0].answer == 1 and results[3].answer == 4
+
+    def test_timeout_bounds_one_request_only(self):
+        requests = [
+            RunRequest(program=PLAIN % 3),
+            RunRequest(
+                program="letrec loop = lambda x. loop x in loop 1",
+                timeout=0.1,
+                config=RunConfig(engine="compiled"),
+            ),
+            RunRequest(program=PLAIN % 4),
+        ]
+        results = run_batch(requests, workers=2)
+        assert results[1].ok is False and results[1].timed_out is True
+        assert results[1].error_type == "EvaluationTimeout"
+        assert results[0].ok and results[2].ok
+
+    def test_metrics_are_per_request(self):
+        from repro.observability import RunMetrics
+
+        shared = RunConfig(metrics=RunMetrics())
+        requests = [
+            RunRequest(program=FAC % 3, tools="profile"),
+            RunRequest(program=FAC % 6, tools="profile"),
+        ]
+        results = run_batch(requests, workers=2, config=shared)
+        a, b = (result.metrics for result in results)
+        assert a is not None and b is not None and a is not b
+        assert a.steps != b.steps  # each counted its own run, not the sum
+        assert shared.metrics.steps == 0  # the template never accumulated
+
+    def test_batch_never_raises_for_request_failures(self):
+        results = run_batch([RunRequest(program="(((")], workers=1)
+        assert results[0].ok is False and results[0].error
+
+
+class TestBatchSurface:
+    def test_dict_requests_accepted(self):
+        results = run_batch(
+            [{"program": PLAIN % 5, "engine": "compiled", "tag": "x"}], workers=1
+        )
+        assert results[0].answer == 25 and results[0].tag == "x"
+
+    def test_from_dict_merges_base_config(self):
+        base = RunConfig(engine="compiled", fault_policy="log", max_steps=9999)
+        request = RunRequest.from_dict({"program": "1", "engine": "reference"}, base=base)
+        assert request.config.engine == "reference"
+        assert request.config.fault_policy == "log"       # kept from base
+        assert request.config.max_steps == 9999           # kept from base
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown batch request key"):
+            RunRequest.from_dict({"program": "1", "engin": "compiled"})
+
+    def test_from_dict_requires_program(self):
+        with pytest.raises(ValueError, match="program"):
+            RunRequest.from_dict({"tools": "profile"})
+
+    def test_result_to_dict_is_json_safe(self):
+        results = run_batch(
+            [RunRequest(program=FAC % 4, tools="profile", tag="j")], workers=1
+        )
+        record = results[0].to_dict()
+        json.dumps(record)  # must not raise
+        assert record["ok"] is True and record["tag"] == "j"
+        assert record["reports"]["profile"] == {"fac": 5}
+
+    def test_batch_events_on_the_stream(self):
+        sink = InMemorySink()
+        requests = [RunRequest(program=PLAIN % n) for n in range(5)]
+        run_batch(requests, workers=2, event_sink=sink)
+        kinds = [event.type for event in sink.events]
+        assert kinds[0] == "batch-start" and kinds[-1] == "batch-end"
+        assert kinds.count("batch-request") == 5
+        summary = replay(sink.events)
+        assert summary.batch_requests == 5
+        end = sink.of_type("batch-end")[0]
+        assert end.payload["succeeded"] == 5 and end.payload["failed"] == 0
+
+    def test_runtime_facade_shares_cache(self):
+        runtime = Runtime(config=RunConfig(engine="compiled"), workers=2)
+        single = runtime.run((), PLAIN % 7)
+        assert single.answer == 49
+        batch = runtime.run_batch([{"program": PLAIN % 7}])
+        assert batch[0].answer == 49
+        stats = runtime.cache_stats()
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_shared_cache_warms_across_batches(self):
+        cache = CompilationCache(16)
+        cfg = RunConfig(engine="compiled")
+        requests = [RunRequest(program=FAC % 5, tools="profile") for _ in range(10)]
+        first = run_batch(requests, workers=4, config=cfg, cache=cache)
+        second = run_batch(requests, workers=4, config=cfg, cache=cache)
+        assert all(result.ok for result in first + second)
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.hits == 19
