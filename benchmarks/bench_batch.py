@@ -35,14 +35,18 @@ sys.path.insert(0, _REPO_ROOT)
 sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
 from repro.languages.strict import strict
-from repro.monitoring.derive import run_monitored
+from repro.monitoring.derive import check_disjoint, run_monitored
 from repro.runtime import CompilationCache, RunConfig, RunRequest, run_batch
 from repro.syntax.parser import parse
+from repro.toolbox.registry import make_tool
 
 WORKERS = 4
 REPEATS = 3
 GATE_SPEEDUP = 2.0   # CI fails below this
 TARGET_SPEEDUP = 3.0  # the acceptance bar recorded in the report
+#: The cached disjointness admission must never be slower than the
+#: legacy per-run annotation walk it replaces (ratio cached/legacy).
+DISJOINT_GATE_RATIO = 1.0
 
 
 def best_time(thunk, repeats: int = REPEATS) -> float:
@@ -95,6 +99,56 @@ def sequential_cold(requests) -> None:
         run_monitored(strict, request.program, [], engine="compiled")
 
 
+def _annotated_program(labels: int) -> str:
+    """A program whose admission walk has real work: ``labels`` annotations."""
+    terms = " + ".join("{p%d}: %d" % (n, n % 7 + 1) for n in range(labels))
+    return parse("let f = lambda x. x + (%s) in f 1" % terms)
+
+
+def bench_disjoint_admission(quick: bool) -> dict:
+    """Cached static-disjointness admission vs the legacy per-run walk.
+
+    Both arms admit the same (program, stack) pair ``admissions`` times —
+    the warm-batch shape, where every request re-checks a program the
+    cache has already judged.  The gate is a *ratio*: the memoized check
+    must cost no more than the O(program) walk it subsumes.
+    """
+    labels = 60 if quick else 200
+    admissions = 200 if quick else 1000
+    program = _annotated_program(labels)
+    monitors = [
+        make_tool("profile", namespace="profile"),
+        make_tool("count", namespace="count"),
+        make_tool("trace", namespace="trace"),
+    ]
+
+    def legacy():
+        for _ in range(admissions):
+            check_disjoint(monitors, program)
+
+    cache = CompilationCache(32)
+    cache.check_disjoint(monitors, program)  # warm the verdict
+
+    def cached():
+        for _ in range(admissions):
+            cache.check_disjoint(monitors, program)
+
+    t_legacy = best_time(legacy)
+    t_cached = best_time(cached)
+    ratio = t_cached / t_legacy
+    stats = cache.disjoint_stats()
+    return {
+        "labels": labels,
+        "admissions": admissions,
+        "stack": [monitor.key for monitor in monitors],
+        "seconds": {"legacy_walk": t_legacy, "cached_verdict": t_cached},
+        "ratio": ratio,
+        "gate_ratio": DISJOINT_GATE_RATIO,
+        "gate_met": ratio <= DISJOINT_GATE_RATIO,
+        "memo": {"hits": stats["hits"], "misses": stats["misses"]},
+    }
+
+
 def run_matrix(quick: bool) -> dict:
     programs, requests = build_workload(quick)
     total = len(requests)
@@ -141,6 +195,7 @@ def run_matrix(quick: bool) -> dict:
         "target_met": speedup >= TARGET_SPEEDUP,
         "gate_speedup": GATE_SPEEDUP,
         "gate_met": speedup >= GATE_SPEEDUP,
+        "disjoint_admission": bench_disjoint_admission(quick),
     }
 
 
@@ -170,6 +225,20 @@ def print_matrix(result: dict) -> None:
     )
     cache = result["cache"]
     print(f"warm cache counters: {cache['hits']} hits, {cache['misses']} misses")
+    disjoint = result["disjoint_admission"]
+    print(
+        "\ndisjointness admission (%d annotations, %d admissions): "
+        "legacy walk %.1f ms, cached verdict %.1f ms — ratio %.2fx "
+        "(gate <= %.1fx)"
+        % (
+            disjoint["labels"],
+            disjoint["admissions"],
+            disjoint["seconds"]["legacy_walk"] * 1000,
+            disjoint["seconds"]["cached_verdict"] * 1000,
+            disjoint["ratio"],
+            disjoint["gate_ratio"],
+        )
+    )
 
 
 def merge_into_report(result: dict, path: str) -> None:
@@ -207,6 +276,15 @@ def main(argv=None) -> int:
         print(
             "FAIL: warm-cache speedup %.2fx below the %.1fx gate"
             % (result["warm_speedup"], GATE_SPEEDUP),
+            file=sys.stderr,
+        )
+        return 1
+    disjoint = result["disjoint_admission"]
+    if not disjoint["gate_met"]:
+        print(
+            "FAIL: cached disjointness admission %.2fx slower than the "
+            "legacy walk (gate <= %.1fx)"
+            % (disjoint["ratio"], disjoint["gate_ratio"]),
             file=sys.stderr,
         )
         return 1

@@ -17,7 +17,10 @@ continuation semantics:
   (:mod:`repro.partial_eval`), producing instrumented programs;
 * serve batches of requests concurrently behind one
   :class:`~repro.runtime.RunConfig`, with a compiled-program cache
-  (:mod:`repro.runtime` — ``run_batch``, ``Runtime``).
+  (:mod:`repro.runtime` — ``run_batch``, ``Runtime``);
+* statically analyze programs and monitor stacks before running them
+  (:mod:`repro.analysis` — ``analyze``, ``repro check``, the
+  ``RunConfig.lint`` gate).
 
 Quickstart::
 
@@ -34,6 +37,12 @@ Quickstart::
     result.report()    # {'fac': 6} — the monitoring information
 """
 
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    StaticAnalysisError,
+    analyze,
+)
 from repro.errors import (
     EvalError,
     LexError,
@@ -77,8 +86,10 @@ from repro.toolbox import Session, evaluate
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisReport",
     "BatchRunner",
     "CompilationCache",
+    "Diagnostic",
     "EvalError",
     "LexError",
     "MonitorError",
@@ -91,6 +102,8 @@ __all__ = [
     "Runtime",
     "Session",
     "SpecializationError",
+    "StaticAnalysisError",
+    "analyze",
     "assert_sound",
     "assert_valid_monitor",
     "check_soundness",

@@ -1,0 +1,232 @@
+"""The diagnostic model shared by every static-analysis pass.
+
+The paper gets well-formedness for free from Haskell's type system
+(Section 9.2); our Python reproduction moves the same guarantees *before
+execution* with a conventional linter architecture: passes emit
+:class:`Diagnostic` values carrying a stable code (``REP101``), a
+severity, and a :class:`~repro.errors.SourceLocation` span, and the
+renderers below turn a batch of them into caret-underlined text or a
+JSON document.  ``docs/ANALYSIS.md`` catalogues every code.
+
+Code ranges:
+
+* ``REP0xx`` — syntax (parse/lex errors surfaced by ``repro check``);
+* ``REP1xx`` — program scope/binding analysis;
+* ``REP2xx`` — annotation and monitor-stack lint;
+* ``REP30x`` — monitor-spec static inspection;
+* ``REP31x`` — monitor-spec probe findings (``monitoring/validate``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import NO_LOCATION, ReproError, SourceLocation
+
+#: Valid values for ``RunConfig.lint`` / the ``--lint`` CLI flag.
+LINT_LEVELS = ("off", "warn", "error")
+
+#: Diagnostic severities, most severe first.
+SEVERITIES = ("error", "warning")
+
+
+def check_lint_level(level: str) -> None:
+    """Reject unknown lint levels with an actionable error."""
+    if level not in LINT_LEVELS:
+        raise ReproError(
+            f"unknown lint level {level!r}; choose one of "
+            + ", ".join(map(repr, LINT_LEVELS))
+        )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    ``code`` is stable across releases (tools may match on it); ``span``
+    is the number of source characters the finding underlines, starting
+    at ``location``.  ``subject`` names the non-source artifact a finding
+    is about (e.g. the monitor key for spec findings, which have no
+    object-language location).  ``hint`` is an optional remediation note.
+    """
+
+    code: str
+    severity: str
+    message: str
+    location: SourceLocation = NO_LOCATION
+    span: int = 1
+    subject: Optional[str] = None
+    hint: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def sort_key(self) -> Tuple:
+        located = self.location is not NO_LOCATION and self.location.line > 0
+        return (
+            0 if located else 1,
+            self.location.line,
+            self.location.column,
+            self.code,
+            self.subject or "",
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.location.line,
+            "column": self.location.column,
+            "offset": self.location.offset,
+            "span": self.span,
+        }
+        if self.subject is not None:
+            out["subject"] = self.subject
+        if self.hint is not None:
+            out["hint"] = self.hint
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Diagnostic":
+        """Rebuild a diagnostic from its :meth:`to_dict` projection."""
+        location = SourceLocation(
+            line=int(data.get("line", 0)),
+            column=int(data.get("column", 0)),
+            offset=int(data.get("offset", -1)),
+        )
+        if location == NO_LOCATION:
+            location = NO_LOCATION
+        return cls(
+            code=str(data["code"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+            location=location,
+            span=int(data.get("span", 1)),
+            subject=data.get("subject"),  # type: ignore[arg-type]
+            hint=data.get("hint"),  # type: ignore[arg-type]
+        )
+
+    def render(self, source: Optional[str] = None) -> str:
+        """One diagnostic as text: a headline plus an optional caret frame."""
+        located = self.location is not NO_LOCATION and self.location.line > 0
+        if located:
+            where = str(self.location)
+        elif self.subject is not None:
+            where = f"<{self.subject}>"
+        else:
+            where = "-"
+        lines = [f"{self.severity}[{self.code}] {where}: {self.message}"]
+        if located and source:
+            context = _source_context(source, self.location, self.span)
+            if context:
+                lines.append(context)
+        if self.hint is not None:
+            lines.append(f"    help: {self.hint}")
+        return "\n".join(lines)
+
+
+def _source_context(source: str, location: SourceLocation, span: int) -> str:
+    """The source line at ``location`` with ``span`` carets underneath."""
+    source_lines = source.splitlines()
+    if not (1 <= location.line <= len(source_lines)):
+        return ""
+    line = source_lines[location.line - 1]
+    column = max(1, location.column)
+    width = max(1, min(span, max(1, len(line) - column + 1)))
+    caret = " " * (column - 1) + "^" * width
+    return f"    {line}\n    {caret}"
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Every diagnostic one :func:`repro.analysis.analyze` call produced.
+
+    ``source`` (when known) lets :meth:`render` frame each located
+    diagnostic with its source line and a caret underline.
+    """
+
+    diagnostics: Tuple[Diagnostic, ...]
+    source: Optional[str] = None
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if not d.is_error)
+
+    def ok(self) -> bool:
+        """True when no *error*-severity diagnostic was produced."""
+        return not self.errors
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(d.code for d in self.diagnostics))
+
+    def merged(self, extra: Iterable[Diagnostic]) -> "AnalysisReport":
+        combined = sorted(
+            tuple(self.diagnostics) + tuple(extra), key=Diagnostic.sort_key
+        )
+        return AnalysisReport(tuple(combined), self.source)
+
+    def render(self, source: Optional[str] = None) -> str:
+        """All diagnostics as text, one block per finding."""
+        text = source if source is not None else self.source
+        return "\n".join(d.render(text) for d in self.diagnostics)
+
+    def summary(self) -> str:
+        return f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok(),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def render_text(report: AnalysisReport, source: Optional[str] = None) -> str:
+    """The text renderer: diagnostics plus a one-line summary."""
+    body = report.render(source)
+    summary = report.summary() if report.diagnostics else "no issues found"
+    return f"{body}\n{summary}" if body else summary
+
+
+def render_json(report: AnalysisReport) -> str:
+    """The JSON renderer: a single document, round-trips ``json.loads``."""
+    return json.dumps(report.to_json(), indent=2)
+
+
+class StaticAnalysisError(ReproError):
+    """Raised when ``lint="error"`` rejects a program before execution.
+
+    Carries the full report so embedders (the batch admission path, the
+    CLI) can surface structured diagnostics rather than one string.
+    """
+
+    def __init__(self, report: AnalysisReport) -> None:
+        errors = report.errors
+        headline = (
+            f"static analysis rejected this program: {len(errors)} error(s)"
+        )
+        detail = "\n".join(d.render() for d in errors)
+        super().__init__(f"{headline}\n{detail}" if detail else headline)
+        self.report = report
+        self.diagnostics = report.diagnostics
+
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "LINT_LEVELS",
+    "SEVERITIES",
+    "StaticAnalysisError",
+    "check_lint_level",
+    "render_json",
+    "render_text",
+]

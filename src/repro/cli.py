@@ -43,20 +43,27 @@ LANGUAGES = {
 }
 
 
-def _load_program(args) -> object:
+def _read_source(args) -> str:
     if args.expression is not None:
-        source = args.expression
-    else:
-        if args.program is None:
-            raise ReproError("provide a program file or -e EXPRESSION")
-        with open(args.program, "r", encoding="utf-8") as handle:
-            source = handle.read()
+        return args.expression
+    if args.program is None:
+        raise ReproError("provide a program file or -e EXPRESSION")
+    with open(args.program, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _parse_source(source: str, language: str) -> object:
+    if language == "imperative":
+        return parse_imp(source)
+    if language == "exceptions":
+        return parse_exc(source)
+    return parse(source)
+
+
+def _load_program(args) -> object:
+    source = _read_source(args)
     try:
-        if args.language == "imperative":
-            return parse_imp(source)
-        if args.language == "exceptions":
-            return parse_exc(source)
-        return parse(source)
+        return _parse_source(source, args.language)
     except (LexError, ParseError) as exc:
         context = format_source_context(source, exc.location)
         if context:
@@ -95,6 +102,7 @@ def run_config_from_args(args):
         metrics=metrics,
         event_sink=sink,
         timeout=getattr(args, "timeout", None),
+        lint=getattr(args, "lint", "off"),
     ).validate()
 
 
@@ -148,7 +156,7 @@ def cmd_run(args) -> int:
     tools = _tools(args.tools)
     config = run_config_from_args(args)
     try:
-        if not tools and not config.wants_telemetry():
+        if not tools and not config.wants_telemetry() and config.lint == "off":
             answer = language.evaluate(
                 program,
                 max_steps=config.max_steps,
@@ -273,6 +281,47 @@ def cmd_debug(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Static analysis only: parse, analyze, render, exit 1 on errors."""
+    from repro.analysis import AnalysisReport, Diagnostic, analyze, render_json, render_text
+
+    source = _read_source(args)
+    monitors = _tools(args.monitors)
+    try:
+        program = _parse_source(source, args.language)
+    except (LexError, ParseError) as exc:
+        # Syntax errors become diagnostics too, so `check --format json`
+        # is machine-readable even for unparseable input.
+        code = "REP002" if isinstance(exc, LexError) else "REP001"
+        message = str(exc)
+        if ": " in message:
+            message = message.split(": ", 1)[1]
+        report = AnalysisReport(
+            (
+                Diagnostic(
+                    code=code,
+                    severity="error",
+                    message=message,
+                    location=exc.location,
+                ),
+            ),
+            source,
+        )
+    else:
+        report = analyze(
+            program,
+            monitors,
+            language=_language(args),
+            source=source,
+            probe=args.probe and bool(monitors),
+        )
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok() else 1
+
+
 def cmd_batch(args) -> int:
     import json
 
@@ -353,6 +402,13 @@ def add_run_flags(parser: argparse.ArgumentParser, *, engine: bool = True) -> No
         default=None,
         metavar="SECONDS",
         help="wall-clock budget per evaluation (cooperative)",
+    )
+    parser.add_argument(
+        "--lint",
+        choices=("off", "warn", "error"),
+        default="off",
+        help="run the static analyzer before executing: warn prints "
+        "diagnostics, error rejects programs with error-severity findings",
     )
     _add_telemetry_arguments(parser)
 
@@ -475,6 +531,32 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_flags(session_parser)
     session_parser.set_defaults(handler=cmd_session)
 
+    check_parser = subparsers.add_parser(
+        "check", help="statically analyze a program (no execution)"
+    )
+    _add_program_arguments(check_parser)
+    check_parser.add_argument(
+        "--monitors",
+        "--tools",
+        dest="monitors",
+        help="comma-separated toolbox monitors the program will run under "
+        "(enables the annotation/stack and monitor-spec passes)",
+    )
+    check_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic rendering (default: text with caret underlines)",
+    )
+    check_parser.add_argument(
+        "--no-probe",
+        dest="probe",
+        action="store_false",
+        default=True,
+        help="skip the dynamic probe pass over the monitor specs",
+    )
+    check_parser.set_defaults(handler=cmd_check)
+
     batch_parser = subparsers.add_parser(
         "batch", help="run many requests concurrently from a JSONL file"
     )
@@ -482,7 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
         "requests",
         help="JSONL file of requests ('-' for stdin); each line is an object "
         "with 'program' plus optional tools/language/engine/fault_policy/"
-        "max_steps/timeout/tag",
+        "max_steps/timeout/lint/tag",
     )
     batch_parser.add_argument(
         "--workers",

@@ -210,6 +210,35 @@ def derive_all(
     )
 
 
+def disjoint_verdict(
+    monitors: Sequence[MonitorSpec], program: Expr
+) -> Optional[str]:
+    """The Section 6 disjointness verdict for ``(program, stack)``.
+
+    Returns ``None`` when the stack is safe to cascade over ``program``,
+    otherwise the error message :func:`check_disjoint` would raise with.
+    The verdict is a pure function of the program's annotations and the
+    monitors' ``recognize`` predicates, which is what lets
+    :meth:`repro.runtime.cache.CompilationCache.check_disjoint` memoize it
+    once per (program fingerprint, stack identity) instead of re-walking
+    the program on every run.
+    """
+    keys = [monitor.key for monitor in monitors]
+    if len(set(keys)) != len(keys):
+        return f"duplicate monitor keys in stack: {keys}"
+    if len(monitors) < 2:
+        return None  # one claimant at most — skip the O(program) walk
+    for annotation in set(annotations_in(program)):
+        claimed = [m.key for m in monitors if m.recognize(annotation) is not None]
+        if len(claimed) > 1:
+            return (
+                f"annotation {annotation!r} is recognized by multiple monitors: "
+                f"{claimed} — cascaded monitors must have disjoint annotation "
+                f"syntaxes (Section 6)"
+            )
+    return None
+
+
 def check_disjoint(monitors: Sequence[MonitorSpec], program: Expr) -> None:
     """Enforce Section 6's constraint that annotation syntaxes are disjoint.
 
@@ -217,19 +246,9 @@ def check_disjoint(monitors: Sequence[MonitorSpec], program: Expr) -> None:
     we check it on the annotations that actually occur in ``program``:
     no annotation may be recognized by more than one monitor in the stack.
     """
-    keys = [monitor.key for monitor in monitors]
-    if len(set(keys)) != len(keys):
-        raise MonitorError(f"duplicate monitor keys in stack: {keys}")
-    if len(monitors) < 2:
-        return  # one claimant at most — skip the O(program) annotation walk
-    for annotation in set(annotations_in(program)):
-        claimed = [m.key for m in monitors if m.recognize(annotation) is not None]
-        if len(claimed) > 1:
-            raise MonitorError(
-                f"annotation {annotation!r} is recognized by multiple monitors: "
-                f"{claimed} — cascaded monitors must have disjoint annotation "
-                f"syntaxes (Section 6)"
-            )
+    verdict = disjoint_verdict(monitors, program)
+    if verdict is not None:
+        raise MonitorError(verdict)
 
 
 @dataclass
@@ -250,6 +269,11 @@ class MonitoredResult:
     ``metrics`` carries the run's :class:`~repro.observability.metrics.
     RunMetrics` when telemetry was requested (``metrics=`` or a real
     ``event_sink=`` passed to :func:`run_monitored`); otherwise ``None``.
+
+    ``diagnostics`` holds the static analyzer's findings when the run was
+    configured with ``lint="warn"`` (under ``lint="error"`` a failing
+    program never produces a result — :class:`repro.analysis.
+    StaticAnalysisError` is raised at admission instead).
     """
 
     answer: object
@@ -258,6 +282,7 @@ class MonitoredResult:
     faults: Tuple[MonitorFault, ...] = ()
     fault_policy: str = "propagate"
     metrics: "Optional[RunMetrics]" = None
+    diagnostics: Tuple = ()
 
     def healthy(self) -> bool:
         """True when no monitor faulted during the run."""
@@ -305,6 +330,7 @@ def run_monitored(
     metrics: Optional[RunMetrics] = None,
     event_sink=None,
     timeout: Optional[float] = None,
+    lint: str = "off",
     config=None,
     cache=None,
 ) -> MonitoredResult:
@@ -349,7 +375,15 @@ def run_monitored(
     compilation for ``engine="compiled"``: identical (program, monitor
     stack, fault policy) requests reuse the compiled code.  Telemetry
     runs bypass the cache — counted-mode code burns in the run's own
-    metrics accumulator.
+    metrics accumulator.  A cache also memoizes the Section 6
+    disjointness verdict, so warm runs skip the per-run annotation walk.
+
+    ``lint`` runs the static analyzer (:mod:`repro.analysis`) before
+    execution: ``"warn"`` attaches the findings to
+    ``result.diagnostics`` (warnings also go to stderr), ``"error"``
+    additionally raises :class:`repro.analysis.StaticAnalysisError`
+    without executing the program when any error-severity finding
+    exists.  The default ``"off"`` adds zero overhead.
     """
     from repro.monitoring.compose import flatten_monitors, validate_observations
     from repro.runtime.config import RunConfig
@@ -364,11 +398,27 @@ def run_monitored(
         answers=answers,
         check_disjointness=check_disjointness,
         timeout=timeout,
+        lint=lint,
     )
     monitor_list: List[MonitorSpec] = flatten_monitors(monitors)
     validate_observations(monitor_list)
+    diagnostics: Tuple = ()
+    if cfg.lint != "off":
+        from repro.analysis import StaticAnalysisError, analyze
+
+        report = analyze(program, monitor_list, language=language)
+        diagnostics = report.diagnostics
+        if cfg.lint == "error" and not report.ok():
+            raise StaticAnalysisError(report)
+        if diagnostics:
+            import sys
+
+            print(report.render(), file=sys.stderr)
     if cfg.check_disjointness:
-        check_disjoint(monitor_list, program)
+        if cache is not None:
+            cache.check_disjoint(monitor_list, program)
+        else:
+            check_disjoint(monitor_list, program)
 
     telemetry = Telemetry.create(cfg.metrics, cfg.event_sink)
     observer = telemetry.fault_observer if telemetry is not None else None
@@ -440,4 +490,5 @@ def run_monitored(
         faults=fault_log.snapshot() if fault_log is not None else (),
         fault_policy=cfg.fault_policy,
         metrics=telemetry.metrics if telemetry is not None else None,
+        diagnostics=diagnostics,
     )

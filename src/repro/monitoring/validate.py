@@ -19,6 +19,15 @@ workload and checks the properties the framework depends on:
 
 ``validate_monitor`` returns a list of findings; ``assert_valid_monitor``
 raises :class:`repro.errors.MonitorError` on any finding.
+
+This probe linter is also folded into the static-analysis framework:
+:func:`repro.analysis.probe_monitor` bridges each :class:`Finding` to a
+located :class:`~repro.analysis.Diagnostic` with a stable ``REP31x``
+code (the ``check`` name maps through
+``repro.analysis.specs.PROBE_CODES``), which is how ``repro check
+--monitors profile,trace`` reports probe findings alongside the static
+passes.  This module stays the single source of truth for what the
+probes check.
 """
 
 from __future__ import annotations

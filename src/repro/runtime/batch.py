@@ -118,6 +118,7 @@ class RunRequest:
             "fault_policy",
             "max_steps",
             "timeout",
+            "lint",
             "tag",
         }
         unknown = set(data) - known
@@ -126,7 +127,7 @@ class RunRequest:
         if "program" not in data:
             raise ValueError("batch request is missing its 'program'")
         config = base
-        config_keys = {"engine", "fault_policy", "max_steps"} & set(data)
+        config_keys = {"engine", "fault_policy", "max_steps", "lint"} & set(data)
         if config_keys:
             overrides = {key: data[key] for key in config_keys}
             config = (
@@ -153,6 +154,12 @@ class RunResult:
     non-``propagate`` policy.  ``monitored`` keeps the full
     :class:`~repro.monitoring.derive.MonitoredResult` (when monitors ran)
     for callers that want states rather than rendered reports.
+
+    ``diagnostics`` carries the static analyzer's findings when the
+    request ran with ``lint="warn"`` (attached to a successful result)
+    or was rejected at admission under ``lint="error"`` (an ``ok=False``
+    result with ``error_type="StaticAnalysisError"`` — the program was
+    never executed).
     """
 
     index: int
@@ -167,6 +174,7 @@ class RunResult:
     duration: float = 0.0
     metrics: object = None
     monitored: object = None
+    diagnostics: Tuple = ()
 
     def to_dict(self, *, render=None) -> Dict[str, object]:
         """A JSON-friendly projection (``render`` maps non-JSON values)."""
@@ -185,6 +193,8 @@ class RunResult:
             out["error_type"] = self.error_type
             if self.timed_out:
                 out["timed_out"] = True
+        if self.diagnostics:
+            out["diagnostics"] = [d.to_dict() for d in self.diagnostics]
         return out
 
 
@@ -292,6 +302,7 @@ class BatchRunner:
 
     def _execute(self, index: int, request: RunRequest) -> RunResult:
         """Run one request in full isolation; exceptions become results."""
+        from repro.analysis import StaticAnalysisError
         from repro.errors import EvaluationTimeout
 
         cfg = request.config if request.config is not None else self.config
@@ -308,6 +319,19 @@ class BatchRunner:
                 language=request.language,
                 config=cfg,
                 cache=self.cache,
+            )
+        except StaticAnalysisError as exc:
+            # Rejected at admission: the program never executed.  The
+            # structured findings ride along so the JSONL consumer can
+            # show codes and source locations, not just a message.
+            return RunResult(
+                index=index,
+                ok=False,
+                tag=request.tag,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                duration=perf_counter() - start,
+                diagnostics=tuple(exc.diagnostics),
             )
         except EvaluationTimeout as exc:
             return RunResult(
@@ -344,6 +368,7 @@ class BatchRunner:
             duration=perf_counter() - start,
             metrics=outcome.metrics,
             monitored=monitored,
+            diagnostics=tuple(outcome.diagnostics),
         )
 
 

@@ -151,6 +151,13 @@ class CompilationCache:
         self._compile_seconds = 0.0
         self._event_sink = None if is_null_sink(event_sink) else event_sink
         self._seq = 0
+        # Memoized Section 6 disjointness verdicts, keyed by (program
+        # fingerprint, stack identity).  Bounded like the entry map but
+        # kept separate: a verdict is a small string-or-None, and reusing
+        # the compiled-program LRU would let verdict churn evict code.
+        self._disjoint: "OrderedDict[Tuple, Optional[str]]" = OrderedDict()
+        self._disjoint_hits = 0
+        self._disjoint_misses = 0
 
     # -- observability -------------------------------------------------------
 
@@ -227,9 +234,51 @@ class CompilationCache:
                 self._emit("cache-evict", {"key": _key_digest(evicted_key)})
             return compiled
 
+    def check_disjoint(self, monitors: Sequence, program) -> None:
+        """The memoized form of :func:`repro.monitoring.derive.check_disjoint`.
+
+        The Section 6 disjointness verdict is a pure function of the
+        program's annotations and the stack's ``recognize`` predicates,
+        so it is computed once per (program fingerprint, stack identity)
+        and replayed on every warm run — turning the per-run O(program)
+        annotation walk into one dict lookup.  Raises
+        :class:`~repro.errors.MonitorError` exactly like the uncached
+        check when the verdict is bad.
+        """
+        from repro.errors import MonitorError
+        from repro.monitoring.derive import disjoint_verdict
+
+        key = (
+            program_fingerprint(program),
+            tuple(monitor.cache_identity() for monitor in monitors),
+        )
+        with self._lock:
+            if key in self._disjoint:
+                self._disjoint.move_to_end(key)
+                verdict = self._disjoint[key]
+                self._disjoint_hits += 1
+            else:
+                verdict = disjoint_verdict(monitors, program)
+                self._disjoint[key] = verdict
+                self._disjoint_misses += 1
+                while len(self._disjoint) > max(self.maxsize, 128):
+                    self._disjoint.popitem(last=False)
+        if verdict is not None:
+            raise MonitorError(verdict)
+
+    def disjoint_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the disjointness memo (for benchmarks)."""
+        with self._lock:
+            return {
+                "hits": self._disjoint_hits,
+                "misses": self._disjoint_misses,
+                "size": len(self._disjoint),
+            }
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._disjoint.clear()
 
     def __len__(self) -> int:
         with self._lock:

@@ -57,13 +57,19 @@ class RunConfig:
     answers: AnswerAlgebra = STANDARD_ANSWERS
     check_disjointness: bool = True
     timeout: Optional[float] = None
+    #: Static-analysis gate: "off" skips the analyzer, "warn" attaches
+    #: diagnostics to the result, "error" rejects failing programs at
+    #: admission with a StaticAnalysisError (see repro.analysis).
+    lint: str = "off"
 
     def validate(self) -> "RunConfig":
         """Check the enumerated fields; returns ``self`` for chaining."""
+        from repro.analysis.diagnostics import check_lint_level
         from repro.languages.base import check_engine
 
         check_engine(self.engine)
         check_fault_policy(self.fault_policy)
+        check_lint_level(self.lint)
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout!r}")
         return self

@@ -943,6 +943,16 @@ def compile_program(
         RunConfig.resolve(config)  # validates
         fault_policy = config.fault_policy
         telemetry = Telemetry.create(config.metrics, config.event_sink)
+        if config.lint != "off":
+            import sys
+
+            from repro.analysis import StaticAnalysisError, analyze
+
+            report = analyze(program, tuple(monitors))
+            if config.lint == "error" and not report.ok():
+                raise StaticAnalysisError(report)
+            if report.diagnostics:
+                print(report.render(), file=sys.stderr)
     if fault_log is None and fault_policy not in (None, "propagate"):
         from repro.monitoring.faults import FaultLog
 

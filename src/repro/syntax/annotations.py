@@ -28,7 +28,7 @@ import re
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.errors import ParseError, NO_LOCATION
+from repro.errors import ParseError, NO_LOCATION, SourceLocation
 
 
 @dataclass(frozen=True)
@@ -90,8 +90,33 @@ _HEADER_RE = re.compile(
 _TAGGED_RE = re.compile(r"^(?P<tool>[A-Za-z_][A-Za-z0-9_'!?-]*)\s*:\s*(?P<rest>.+)$")
 
 
+def _location_at(base: SourceLocation, text: str, index: int) -> SourceLocation:
+    """The source location of ``text[index]``.
+
+    ``base`` is the location of the opening ``{``; the annotation text
+    starts one character after it.  Annotations may span lines, so the
+    walk re-counts line/column rather than adding to the column.  A
+    ``NO_LOCATION`` base stays ``NO_LOCATION`` (direct API calls).
+    """
+    if base is NO_LOCATION or base == NO_LOCATION:
+        return NO_LOCATION
+    line, column = base.line, base.column + 1
+    for char in text[:index]:
+        if char == "\n":
+            line += 1
+            column = 1
+        else:
+            column += 1
+    offset = base.offset + 1 + index if base.offset >= 0 else -1
+    return SourceLocation(line, column, offset)
+
+
 def parse_annotation_text(text: str, location=NO_LOCATION) -> Annotation:
     """Parse the text between ``{`` and ``}`` into an annotation value.
+
+    ``location`` is the source position of the opening brace; parse
+    errors carry the location of the offending token *within* the
+    annotation, not just the brace.
 
     >>> parse_annotation_text("fac")
     Label(name='fac')
@@ -100,34 +125,48 @@ def parse_annotation_text(text: str, location=NO_LOCATION) -> Annotation:
     >>> parse_annotation_text("trace: mul(x, y)")
     Tagged(tool='trace', payload=FnHeader(name='mul', params=('x', 'y')))
     """
-    text = text.strip()
-    if not text:
-        raise ParseError("empty annotation", location)
+    return _parse_annotation(text, location, 0)
 
-    tagged = _TAGGED_RE.match(text)
+
+def _parse_annotation(text: str, location: SourceLocation, start: int) -> Annotation:
+    """Parse ``text[start:]``; ``text`` is the full between-braces string."""
+    segment = text[start:]
+    stripped = segment.strip()
+    base = start + (len(segment) - len(segment.lstrip()))
+    if not stripped:
+        raise ParseError("empty annotation", _location_at(location, text, start))
+
+    tagged = _TAGGED_RE.match(stripped)
     if tagged and "(" not in tagged.group("tool"):
-        payload = parse_annotation_text(tagged.group("rest"), location)
+        payload = _parse_annotation(text, location, base + tagged.start("rest"))
         return Tagged(tagged.group("tool"), payload)
 
-    header = _HEADER_RE.match(text)
+    header = _HEADER_RE.match(stripped)
     if header:
-        raw = header.group("params").strip()
-        if raw:
-            params = tuple(p.strip() for p in raw.split(","))
-            for param in params:
-                if not _IDENT_RE.fullmatch(param):
-                    raise ParseError(
-                        f"invalid parameter {param!r} in annotation {text!r}",
-                        location,
-                    )
-        else:
-            params = ()
-        return FnHeader(header.group("name"), params)
+        raw = header.group("params")
+        if not raw.strip():
+            return FnHeader(header.group("name"), ())
+        params = []
+        cursor = header.start("params")
+        for piece in raw.split(","):
+            param = piece.strip()
+            if not _IDENT_RE.fullmatch(param):
+                lead = len(piece) - len(piece.lstrip())
+                raise ParseError(
+                    f"invalid parameter {param!r} in annotation {stripped!r}",
+                    _location_at(location, text, base + cursor + lead),
+                )
+            params.append(param)
+            cursor += len(piece) + 1
+        return FnHeader(header.group("name"), tuple(params))
 
-    if _IDENT_RE.fullmatch(text):
-        return Label(text)
+    if _IDENT_RE.fullmatch(stripped):
+        return Label(stripped)
 
-    raise ParseError(f"unrecognized annotation syntax: {text!r}", location)
+    raise ParseError(
+        f"unrecognized annotation syntax: {stripped!r}",
+        _location_at(location, text, base),
+    )
 
 
 def label(name: str) -> Label:

@@ -37,6 +37,7 @@ from typing import List, Tuple
 from repro.errors import ParseError
 from repro.syntax import lexer
 from repro.syntax.annotations import parse_annotation_text
+from repro.errors import NO_LOCATION
 from repro.syntax.ast import (
     Annotated,
     App,
@@ -47,6 +48,7 @@ from repro.syntax.ast import (
     Let,
     Letrec,
     Var,
+    strip_annotations_shallow,
 )
 from repro.syntax.lexer import Token, tokenize
 
@@ -179,10 +181,23 @@ class Parser:
         return node.at(start.location)
 
     def _parse_binding(self) -> Tuple[str, Expr]:
-        name = self._expect(lexer.IDENT).value
+        name_token = self._expect(lexer.IDENT)
         self._expect(lexer.OP, "=")
         bound = self.parse_expr()
-        return name, bound
+        # Enforce the paper's syntactic restriction here, where we still
+        # know where the offending expression sits: the Letrec constructor
+        # would raise the same complaint, but without a source location.
+        stripped = strip_annotations_shallow(bound)
+        if not isinstance(stripped, Lam):
+            where = bound.location
+            if where is NO_LOCATION:
+                where = name_token.location
+            raise ParseError(
+                f"letrec binding {name_token.value!r} must bind a lambda "
+                f"abstraction, got {type(stripped).__name__}",
+                where,
+            )
+        return name_token.value, bound
 
     def _parse_annotated(self) -> Expr:
         """``{mu}: body`` — the annotation binds to the next *atom*, or to a

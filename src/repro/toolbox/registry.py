@@ -121,12 +121,14 @@ class EvaluationResult:
 
     ``metrics`` is the run's telemetry counters when requested (the
     ``metrics=``/``event_sink=`` keywords of :func:`evaluate`), else
-    ``None``.
+    ``None``.  ``diagnostics`` carries the static analyzer's findings
+    when the run was configured with ``lint="warn"``.
     """
 
     answer: object
     monitored: Optional[MonitoredResult]
     metrics: Optional["RunMetrics"] = None
+    diagnostics: Tuple = ()
 
     @property
     def reports(self) -> Dict[str, object]:
@@ -151,6 +153,7 @@ def evaluate(
     metrics: Optional[RunMetrics] = None,
     event_sink=None,
     timeout: Optional[float] = None,
+    lint: str = "off",
     config=None,
     cache=None,
 ) -> EvaluationResult:
@@ -175,6 +178,11 @@ def evaluate(
     reusable value (conflicting explicit keywords raise ``TypeError``);
     ``cache`` (a :class:`repro.runtime.CompilationCache`) memoizes staged
     compilation for ``engine="compiled"``.
+
+    ``lint`` gates the run on the static analyzer (:mod:`repro.analysis`):
+    ``"warn"`` attaches findings as ``result.diagnostics``, ``"error"``
+    raises :class:`repro.analysis.StaticAnalysisError` before executing a
+    program with error-severity findings.
     """
     from repro.runtime.config import RunConfig
 
@@ -186,17 +194,30 @@ def evaluate(
         metrics=metrics,
         event_sink=event_sink,
         timeout=timeout,
+        lint=lint,
     )
     monitors, chain_language = _resolve_tools(tools)
     run_language = language or chain_language or strict
     expr = parse(program) if isinstance(program, str) else program
 
     if not monitors and not cfg.wants_telemetry():
+        # This fast path bypasses run_monitored, so the lint gate runs here.
+        diagnostics = _lint_gate(cfg, expr, monitors, run_language)
         if cache is not None and cfg.engine == "compiled":
             # Tool-less compiled runs still deserve the compilation cache:
             # the empty monitor stack denotes the standard semantics.
-            result = run_monitored(run_language, expr, [], config=cfg, cache=cache)
-            return EvaluationResult(answer=result.answer, monitored=None)
+            from dataclasses import replace
+
+            result = run_monitored(
+                run_language,
+                expr,
+                [],
+                config=replace(cfg, lint="off"),  # already linted above
+                cache=cache,
+            )
+            return EvaluationResult(
+                answer=result.answer, monitored=None, diagnostics=diagnostics
+            )
         answer = run_language.evaluate(
             expr,
             answers=cfg.answers,
@@ -204,7 +225,9 @@ def evaluate(
             engine=cfg.engine,
             deadline=cfg.deadline(),
         )
-        return EvaluationResult(answer=answer, monitored=None)
+        return EvaluationResult(
+            answer=answer, monitored=None, diagnostics=diagnostics
+        )
 
     result = run_monitored(
         run_language,
@@ -217,4 +240,21 @@ def evaluate(
         answer=result.answer,
         monitored=result if monitors else None,
         metrics=result.metrics,
+        diagnostics=result.diagnostics,
     )
+
+
+def _lint_gate(cfg, expr, monitors, run_language) -> Tuple:
+    """Run the analyzer per ``cfg.lint`` (mirrors ``run_monitored``'s gate)."""
+    if cfg.lint == "off":
+        return ()
+    import sys
+
+    from repro.analysis import StaticAnalysisError, analyze
+
+    report = analyze(expr, list(monitors), language=run_language)
+    if cfg.lint == "error" and not report.ok():
+        raise StaticAnalysisError(report)
+    if report.diagnostics:
+        print(report.render(), file=sys.stderr)
+    return report.diagnostics

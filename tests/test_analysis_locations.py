@@ -1,0 +1,101 @@
+"""Regression tests: syntax errors always carry a real source location.
+
+Annotation parsing and letrec desugaring used to raise ``ParseError``
+with ``NO_LOCATION``, leaving the CLI (and now ``repro check``) unable
+to point at the offending token.  These tests pin the precise line and
+column for every error path in ``parse_annotation_text`` and the letrec
+binding validation — including annotations that span multiple lines.
+"""
+
+import pytest
+
+from repro.errors import NO_LOCATION, ParseError, SourceLocation
+from repro.syntax.annotations import parse_annotation_text
+from repro.syntax.parser import parse
+
+
+def _error(source):
+    with pytest.raises(ParseError) as info:
+        parse(source)
+    return info.value
+
+
+class TestAnnotationErrorLocations:
+    def test_empty_annotation(self):
+        exc = _error("let x = {}: 1 in x")
+        assert (exc.location.line, exc.location.column) == (1, 10)
+
+    def test_invalid_fnheader_parameter(self):
+        exc = _error("let x = {f(x, 2bad)}: 1 in x")
+        # Points at the bad parameter itself, not the annotation start.
+        assert (exc.location.line, exc.location.column) == (1, 15)
+        assert "2bad" in str(exc)
+
+    def test_multiline_annotation_parameter(self):
+        exc = _error("let x = {trace:\n  mul(x, 2bad)}: 1 in x")
+        assert (exc.location.line, exc.location.column) == (2, 10)
+
+    def test_unrecognized_annotation_syntax(self):
+        exc = _error("{???}: 1")
+        assert (exc.location.line, exc.location.column) == (1, 2)
+
+    def test_trailing_comma_parameter_rejected_with_location(self):
+        exc = _error("{f(x,)}: 1")
+        assert exc.location is not NO_LOCATION
+        assert exc.location.line == 1
+
+    def test_parse_annotation_text_direct(self):
+        base = SourceLocation(line=3, column=7, offset=20)
+        with pytest.raises(ParseError) as info:
+            parse_annotation_text("g(1bad)", base)
+        loc = info.value.location
+        assert loc.line == 3
+        assert loc.column > 7  # inside the annotation, not at its head
+
+    def test_parse_annotation_text_defaults_still_locate(self):
+        # Even with no explicit base the error is never NO_LOCATION-free:
+        # it degrades to the annotation-relative position.
+        with pytest.raises(ParseError) as info:
+            parse_annotation_text("")
+        assert "empty annotation" in str(info.value)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "{p}: 1",
+            "{f(x, y)}: lambda x. lambda y. x + y",
+            "{f()}: lambda x. x",
+            "{trace: f(n)}: letrec f = lambda n. n in f 1",
+            "let x = {watch}:\n  1 in x",
+        ],
+    )
+    def test_valid_annotations_still_parse(self, source):
+        parse(source)
+
+
+class TestLetrecErrorLocations:
+    def test_non_lambda_binding(self):
+        exc = _error("letrec f = 5 in f")
+        assert (exc.location.line, exc.location.column) == (1, 12)
+        assert "must bind a lambda abstraction" in str(exc)
+        assert "Const" in str(exc)
+
+    def test_second_binding_flagged_at_its_own_position(self):
+        exc = _error("letrec f = lambda x. x and g = 7 in f 1")
+        assert (exc.location.line, exc.location.column) == (1, 32)
+        assert "'g'" in str(exc)
+
+    def test_multiline_letrec(self):
+        exc = _error("letrec f = lambda x. x\nand g = 1 + 2\nin f 1")
+        assert exc.location.line == 2
+
+    def test_annotated_lambda_binding_accepted(self):
+        program = parse("letrec f = {p}: lambda x. x in f 1")
+        assert program is not None
+
+    def test_valid_mutual_recursion_still_parses(self):
+        parse(
+            "letrec even = lambda n. if n = 0 then true else odd (n - 1) "
+            "and odd = lambda n. if n = 0 then false else even (n - 1) "
+            "in even 6"
+        )

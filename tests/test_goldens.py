@@ -111,6 +111,42 @@ def test_metrics_output_unmonitored_golden(golden, capsys):
     golden("cli_metrics_unmonitored.txt", _normalize_times(capsys.readouterr().out))
 
 
+CHECK_PROGRAM = (
+    "let x = {p}: 1 in\n"
+    "let y = {unknown: q}: 2 in\n"
+    "x + y + froz"
+)
+
+
+def test_check_text_golden(golden, capsys):
+    """The ``repro check`` caret-diagnostic surface, pinned exactly."""
+    assert main(["check", "-e", CHECK_PROGRAM, "--monitors", "profile,count"]) == 1
+    golden("cli_check.txt", capsys.readouterr().out)
+
+
+def test_check_json_golden(golden, capsys):
+    assert (
+        main(
+            [
+                "check",
+                "-e",
+                CHECK_PROGRAM,
+                "--monitors",
+                "profile,count",
+                "--format",
+                "json",
+            ]
+        )
+        == 1
+    )
+    golden("cli_check.json", capsys.readouterr().out)
+
+
+def test_check_clean_golden(golden, capsys):
+    assert main(["check", "-e", PLAIN_FAC, "--monitors", "profile"]) == 0
+    golden("cli_check_clean.txt", capsys.readouterr().out)
+
+
 BATCH_REQUESTS = [
     '{"program": "let f = lambda x. x + 1 in f 41", "engine": "compiled", "tag": "plain"}',
     '{"program": "%s", "tools": "profile", "engine": "compiled", "tag": "profiled"}' % FAC,

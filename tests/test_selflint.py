@@ -1,0 +1,112 @@
+"""Self-lint: every shipped surface-syntax program passes ``repro check``.
+
+The examples and the cookbook are the repo's showcase; a diagnostic
+firing on them would mean either a broken example or an over-eager
+analyzer.  This suite extracts every string literal passed to ``parse``
+— from ``examples/*.py`` via the Python AST, and from the cookbook's
+fenced ``python`` blocks — and runs the real CLI over each.
+
+Programs whose free variables are the point (the partial-evaluation
+example specializes ``pow`` against an *unknown* ``y``) are declared in
+``OPEN_PROGRAMS``; for those, the only permitted findings are ``REP101``
+on exactly the declared names.
+"""
+
+import ast
+import io
+import json
+import pathlib
+import re
+import textwrap
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO / "examples"
+COOKBOOK = REPO / "docs" / "MONITOR_COOKBOOK.md"
+
+#: (example file, frozenset of intentionally free identifiers).  The
+#: specialization pipeline leaves ``y`` unbound on purpose: it is the
+#: dynamic input the partial evaluator residualizes over.
+OPEN_PROGRAMS = {
+    "specialization_pipeline.py": frozenset({"y"}),
+}
+
+
+def _parse_literals(tree):
+    """Every string literal passed to a top-level ``parse(...)`` call."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name != "parse" or not node.args:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            yield node.lineno, arg.value
+
+
+def _example_snippets():
+    for script in sorted(EXAMPLES_DIR.glob("*.py")):
+        tree = ast.parse(script.read_text(encoding="utf-8"))
+        for lineno, text in _parse_literals(tree):
+            yield script.name, lineno, text
+
+
+def _cookbook_snippets():
+    blocks = re.findall(
+        r"```python\n(.*?)```", COOKBOOK.read_text(encoding="utf-8"), re.S
+    )
+    for index, block in enumerate(blocks):
+        try:
+            tree = ast.parse(textwrap.dedent(block))
+        except SyntaxError:
+            continue  # indented fragment of a larger listing
+        for lineno, text in _parse_literals(tree):
+            yield f"MONITOR_COOKBOOK.md#block{index}", lineno, text
+
+
+EXAMPLE_SNIPPETS = list(_example_snippets())
+COOKBOOK_SNIPPETS = list(_cookbook_snippets())
+
+
+def _check_json(program):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["check", "-e", program, "--format", "json"])
+    return code, json.loads(buffer.getvalue())
+
+
+def test_extraction_found_the_corpus():
+    # Guard against a refactor silently emptying the sweep.
+    assert len(EXAMPLE_SNIPPETS) >= 10
+    assert len(COOKBOOK_SNIPPETS) >= 1
+
+
+@pytest.mark.parametrize(
+    "origin,lineno,program",
+    EXAMPLE_SNIPPETS + COOKBOOK_SNIPPETS,
+    ids=[f"{origin}:{lineno}" for origin, lineno, _ in EXAMPLE_SNIPPETS + COOKBOOK_SNIPPETS],
+)
+def test_shipped_program_is_clean(origin, lineno, program):
+    code, report = _check_json(program)
+    open_names = OPEN_PROGRAMS.get(origin.split("#")[0].split(":")[0], frozenset())
+    diagnostics = report["diagnostics"]
+    if not open_names:
+        assert code == 0, f"{origin}:{lineno} is not lint-clean: {diagnostics}"
+        assert report["ok"] is True
+        return
+    for diagnostic in diagnostics:
+        assert diagnostic["code"] == "REP101", (
+            f"{origin}:{lineno}: only declared-open REP101 findings are "
+            f"allowed, got {diagnostic}"
+        )
+        named = re.search(r"'([^']+)'", diagnostic["message"])
+        assert named and named.group(1) in open_names, (
+            f"{origin}:{lineno}: unbound {diagnostic['message']!r} is not "
+            f"declared in OPEN_PROGRAMS"
+        )
