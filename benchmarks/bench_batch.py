@@ -24,7 +24,6 @@ non-zero if the warm-cache speedup falls below the CI gate (2x).
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -242,18 +241,10 @@ def print_matrix(result: dict) -> None:
 
 
 def merge_into_report(result: dict, path: str) -> None:
-    """Add/replace the ``batch`` section without clobbering report.py's."""
-    report: dict = {}
-    if os.path.exists(path):
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                report = json.load(handle)
-        except (OSError, ValueError):
-            report = {}
-    report["batch"] = result
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    """Add/replace the ``batch`` section without clobbering the others'."""
+    from benchmarks.reporting import merge_section
+
+    merge_section(path, "batch", result)
 
 
 def main(argv=None) -> int:

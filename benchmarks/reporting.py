@@ -1,0 +1,51 @@
+"""Shared section-merging for ``BENCH_report.json``.
+
+Every bench script contributes its own top-level section (``engines``,
+``codegen``, ``batch``, …) to one report file at the repository root.
+Writing the whole file from any single script would clobber the others'
+sections — the historical bug this module fixes — so all writers go
+through :func:`merge_section`: load whatever is there, replace only your
+section, write back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: The merged report's format marker (v1 was the single-suite file that
+#: each script overwrote wholesale).
+SCHEMA = "repro-bench/v2"
+
+
+def load_report(path: str) -> dict:
+    """The current report contents, or ``{}`` if absent/unreadable."""
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                return loaded
+        except (OSError, ValueError):
+            pass
+    return {}
+
+
+def merge_section(path: str, section: str, payload: dict) -> dict:
+    """Add/replace one top-level ``section`` of the report at ``path``.
+
+    Other sections are preserved; legacy single-suite keys (from the v1
+    whole-file format) are dropped once any writer migrates the file to
+    the sectioned layout.  Returns the merged report.
+    """
+    report = load_report(path)
+    if report.get("schema") != SCHEMA:
+        # A v1 file is one suite's payload splattered at top level with
+        # no section boundaries to preserve — start sectioned.
+        report = {}
+    report["schema"] = SCHEMA
+    report[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report

@@ -232,6 +232,37 @@ def cmd_emit(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    """Specialize a program + monitor stack for the codegen engine.
+
+    The default output is a one-screen summary of the artifact (sites,
+    monitors, lines); ``--emit-source`` prints the full residual Python
+    source instead, to stdout or ``--output``.
+    """
+    from repro.languages.base import check_engine_support
+
+    language = _language(args)
+    check_engine_support("codegen", language.name)
+    program = _load_program(args)
+    monitors = _tools(args.tools)
+    generated = generate_program(program, monitors)
+    if args.emit_source:
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(generated.source)
+        else:
+            print(generated.source, end="")
+        return 0
+    lines = generated.source.count("\n")
+    print(f"engine: codegen ({language.name} language)")
+    print(f"monitors: {len(generated.monitors)}"
+          + (f" ({', '.join(m.key for m in generated.monitors)})"
+             if generated.monitors else ""))
+    print(f"instrumented sites: {generated.site_count}")
+    print(f"residual source: {lines} lines (use --emit-source to print)")
+    return 0
+
+
 def cmd_session(args) -> int:
     from repro.toolbox.session import Session
 
@@ -414,11 +445,13 @@ def add_run_flags(parser: argparse.ArgumentParser, *, engine: bool = True) -> No
 
 
 def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.languages.base import ENGINES, engine_help
+
     parser.add_argument(
         "--engine",
-        choices=("reference", "compiled"),
+        choices=ENGINES,
         default="reference",
-        help="execution engine (compiled = staged fast path; strict language only)",
+        help=engine_help(),
     )
 
 
@@ -517,6 +550,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_program_arguments(emit_parser)
     emit_parser.add_argument("--tools", help="comma-separated toolbox monitors")
     emit_parser.set_defaults(handler=cmd_emit)
+
+    compile_parser = subparsers.add_parser(
+        "compile",
+        help="specialize a program + monitor stack to codegen-engine Python",
+    )
+    _add_program_arguments(compile_parser)
+    compile_parser.add_argument("--tools", help="comma-separated toolbox monitors")
+    compile_parser.add_argument(
+        "--emit-source",
+        dest="emit_source",
+        action="store_true",
+        help="print the full residual Python source instead of the summary",
+    )
+    compile_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write --emit-source output to FILE instead of stdout",
+    )
+    compile_parser.set_defaults(handler=cmd_compile)
 
     session_parser = subparsers.add_parser(
         "session", help="evaluate against a saved session file"

@@ -12,8 +12,26 @@ from repro.semantics.trampoline import trampoline
 #: The execution engines a language may support.  ``reference`` is the
 #: direct transliteration of the paper's semantics (the oracle);
 #: ``compiled`` is the staged fast-path engine of
-#: :mod:`repro.semantics.compiled`.
-ENGINES: Tuple[str, ...] = ("reference", "compiled")
+#: :mod:`repro.semantics.compiled`; ``codegen`` specializes the monitored
+#: program to native Python source (:mod:`repro.partial_eval.codegen`).
+ENGINES: Tuple[str, ...] = ("reference", "compiled", "codegen")
+
+#: The engine × language capability matrix — the single source of truth
+#: consulted by :class:`~repro.runtime.config.RunConfig` validation,
+#: ``run_monitored``'s dispatch, and the CLI's ``--engine`` help.  ``None``
+#: means the engine supports every language.
+ENGINE_LANGUAGES: dict = {
+    "reference": None,
+    "compiled": ("strict",),
+    "codegen": ("strict",),
+}
+
+#: One-line descriptions, surfaced in CLI help text.
+ENGINE_DESCRIPTIONS: dict = {
+    "reference": "paper-faithful trampolined interpreter (all languages)",
+    "compiled": "staged closure fast path",
+    "codegen": "specialized native Python source, fastest tier",
+}
 
 
 def check_engine(engine: str) -> None:
@@ -22,6 +40,36 @@ def check_engine(engine: str) -> None:
         raise ReproError(
             f"unknown engine {engine!r}; choose one of {', '.join(map(repr, ENGINES))}"
         )
+
+
+def engine_supports(engine: str, language_name: str) -> bool:
+    """Whether ``engine`` can run programs of the named language."""
+    supported = ENGINE_LANGUAGES.get(engine)
+    return supported is None or language_name in supported
+
+
+def check_engine_support(engine: str, language_name: str) -> None:
+    """Reject engine/language pairs outside the capability matrix."""
+    check_engine(engine)
+    if not engine_supports(engine, language_name):
+        supported = ENGINE_LANGUAGES[engine]
+        names = " or ".join(supported)
+        raise ReproError(
+            f"engine={engine!r} currently supports the {names} language only, "
+            f"not {language_name!r}; use engine='reference'"
+        )
+
+
+def engine_help() -> str:
+    """The ``--engine`` flag's help text, derived from the matrix."""
+    parts = []
+    for engine in ENGINES:
+        desc = ENGINE_DESCRIPTIONS[engine]
+        supported = ENGINE_LANGUAGES[engine]
+        if supported is not None:
+            desc += f"; {' / '.join(supported)} language only"
+        parts.append(f"{engine} = {desc}")
+    return "execution engine: " + "; ".join(parts)
 
 
 class BaseLanguage:
@@ -75,12 +123,18 @@ class BaseLanguage:
 
         ``engine`` selects the implementation: ``"reference"`` runs the
         paper-faithful interpreter; ``"compiled"`` runs the staged
-        fast-path engine (where the language supports it).  Both produce
-        identical answers and raise identical errors.
+        fast-path engine; ``"codegen"`` runs the program specialized to
+        native Python source (where the language supports them, per
+        :data:`ENGINE_LANGUAGES`).  All produce identical answers and
+        raise identical errors.
         """
         check_engine(engine)
         if engine == "compiled":
             return self.evaluate_compiled(
+                program, answers=answers, max_steps=max_steps, deadline=deadline
+            )
+        if engine == "codegen":
+            return self.evaluate_codegen(
                 program, answers=answers, max_steps=max_steps, deadline=deadline
             )
         eval_fn = fix(self.functional())
@@ -98,8 +152,23 @@ class BaseLanguage:
         deadline: Optional[float] = None,
     ):
         """Evaluate on the compiled engine; overridden by supporting languages."""
+        check_engine_support("compiled", self.name)
         raise ReproError(
             f"language {self.name!r} has no compiled engine; use engine='reference'"
+        )
+
+    def evaluate_codegen(
+        self,
+        program,
+        *,
+        answers: AnswerAlgebra = STANDARD_ANSWERS,
+        max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ):
+        """Evaluate on the codegen engine; overridden by supporting languages."""
+        check_engine_support("codegen", self.name)
+        raise ReproError(
+            f"language {self.name!r} has no codegen engine; use engine='reference'"
         )
 
     def __repr__(self) -> str:

@@ -5,9 +5,11 @@ benchmarks use.  The valuation functional itself lives in
 :mod:`repro.semantics.standard`; this module packages it behind the
 uniform :class:`~repro.semantics.machine.Language` protocol.
 
-The strict language supports both execution engines: the reference
-interpreter (the oracle) and the staged fast-path engine of
-:mod:`repro.semantics.compiled` (``engine="compiled"``).
+The strict language supports all three execution engines: the reference
+interpreter (the oracle), the staged fast-path engine of
+:mod:`repro.semantics.compiled` (``engine="compiled"``), and the
+specializing code generator of :mod:`repro.partial_eval.codegen`
+(``engine="codegen"``).
 """
 
 from __future__ import annotations
@@ -42,6 +44,22 @@ class StrictLanguage(BaseLanguage):
 
         compiled = compile_program(program, env=self.initial_context())
         answer, _ = compiled.run(
+            answers=answers, max_steps=max_steps, deadline=deadline
+        )
+        return answer
+
+    def evaluate_codegen(
+        self,
+        program,
+        *,
+        answers: AnswerAlgebra = STANDARD_ANSWERS,
+        max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ):
+        from repro.partial_eval.codegen import generate_program
+
+        generated = generate_program(program)
+        answer, _ = generated.run(
             answers=answers, max_steps=max_steps, deadline=deadline
         )
         return answer

@@ -342,9 +342,15 @@ def run_monitored(
 
     ``engine="compiled"`` runs the staged fast-path engine
     (:mod:`repro.semantics.compiled`), which specializes the derived
-    semantics with respect to both the program and the monitor stack; it
-    produces the same answers and final monitor states as the reference
-    derivation (the parity property tests assert exactly this).
+    semantics with respect to both the program and the monitor stack;
+    ``engine="codegen"`` goes one tier further and emits the monitored
+    program as native Python source (:mod:`repro.partial_eval.codegen`),
+    with claimed annotations inlined as direct pre/post calls and
+    unclaimed annotations erased at compile time.  Both produce the same
+    answers and final monitor states as the reference derivation (the
+    three-way parity property tests assert exactly this); the
+    engine × language capability matrix lives in
+    :data:`repro.languages.base.ENGINE_LANGUAGES`.
 
     ``fault_policy`` controls what happens when a monitor's ``pre`` or
     ``post`` raises: ``"propagate"`` (default) lets the exception abort
@@ -434,30 +440,46 @@ def run_monitored(
     deadline = cfg.deadline()
     start = perf_counter() if telemetry is not None else 0.0
     try:
-        if cfg.engine == "compiled":
-            if getattr(language, "name", None) != "strict":
-                raise MonitorError(
-                    "engine='compiled' currently supports the strict language "
-                    f"only, not {getattr(language, 'name', language)!r}; "
-                    "use engine='reference'"
-                )
-            from repro.semantics.compiled import compile_program
+        if cfg.engine in ("compiled", "codegen"):
+            from repro.languages.base import check_engine_support
 
-            if cache is not None and telemetry is None:
-                compiled = cache.get_or_compile(
-                    language,
-                    program,
-                    active_list,
-                    fault_policy=cfg.fault_policy,
-                )
+            check_engine_support(cfg.engine, getattr(language, "name", str(language)))
+            if cfg.engine == "compiled":
+                from repro.semantics.compiled import compile_program
+
+                if cache is not None and telemetry is None:
+                    compiled = cache.get_or_compile(
+                        language,
+                        program,
+                        active_list,
+                        fault_policy=cfg.fault_policy,
+                    )
+                else:
+                    compiled = compile_program(
+                        program,
+                        monitors=active_list,
+                        env=language.initial_context(),
+                        fault_log=fault_log,
+                        telemetry=telemetry,
+                    )
             else:
-                compiled = compile_program(
-                    program,
-                    monitors=active_list,
-                    env=language.initial_context(),
-                    fault_log=fault_log,
-                    telemetry=telemetry,
-                )
+                from repro.partial_eval.codegen import generate_program
+
+                if cache is not None and telemetry is None:
+                    compiled = cache.get_or_compile(
+                        language,
+                        program,
+                        active_list,
+                        fault_policy=cfg.fault_policy,
+                        engine="codegen",
+                    )
+                else:
+                    compiled = generate_program(
+                        program,
+                        active_list,
+                        check_disjointness=False,
+                        telemetry=telemetry,
+                    )
             answer, final_states = compiled.run(
                 answers=cfg.answers,
                 initial_ms=initial,

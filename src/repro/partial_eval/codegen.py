@@ -1,4 +1,4 @@
-"""Residual code generation: print the instrumented program as Python.
+"""Residual code generation: the ``codegen`` engine tier.
 
 The second conventional approach the paper compares against is *monitoring
 by program instrumentation* — and its punchline is that partial evaluation
@@ -15,36 +15,70 @@ interpreter's exact evaluation order (argument before operator, monitor
 hooks in evaluation sequence) while letting the host run at native Python
 speed — this is the specialization level whose measured speedups
 reproduce the paper's "85% faster than the monitored interpreter" claim.
+Beyond plain ANF, the generator performs the optimizations a specializer
+gets for free: saturated primitive applications become direct calls,
+``let`` bindings become compile-time aliases, conditionals test the
+boolean inline, and calls to statically-known residual functions skip the
+generic apply dispatch.
 
-Monitoring actions appear in the residual code as explicit ``_rt.pre(site,
-{...})`` / ``_rt.post(site, value)`` calls — literally "extra code to
+Monitoring actions appear in the residual code as explicit ``_pre(site,
+{...})`` / ``_post(site, {...}, value)`` calls — literally "extra code to
 perform the monitoring actions ... 'embedded' into the program"
-(Abstract).  The runtime threads monitor states through a cell; since
-evaluation is sequential and deterministic, this is observationally
-identical to the pure state-passing of the semantics, and the test suite
-checks answer *and* final-state agreement with the interpreter for every
-toolbox monitor.
+(Abstract).  Unclaimed annotations are erased at generation time
+(obliviousness, Definition 7.1, for free).  The runtime threads monitor
+states through a cell; since evaluation is sequential and deterministic,
+this is observationally identical to the pure state-passing of the
+semantics, and the test suite checks answer *and* final-state agreement
+with the interpreter for every toolbox monitor.
+
+This module also backs ``engine="codegen"`` (see
+:mod:`repro.monitoring.derive`), which calls :meth:`GeneratedProgram.run`
+with the run options the other engines take: ``initial_ms`` seeds the
+monitor state vector, ``fault_log`` switches the residual hooks onto the
+fault-isolated path (quarantine/log), ``max_steps``/``deadline`` activate
+a guarded variant of the code, and a :class:`~repro.observability
+.instrument.Telemetry` passed to :func:`generate_program` produces
+*counted-mode* code whose step counters match the reference interpreter's
+node granularity exactly.
 
 Residual programs recurse on the host stack; :meth:`GeneratedProgram.run`
 raises the recursion limit for the duration of a run (the trampolined
-paths remain the tool for unboundedly deep programs).
+paths remain the tool for unboundedly deep programs).  Resource limits
+are enforced at *function-entry* granularity — every generated ``def``
+begins with a guard call when ``max_steps`` or a deadline is requested —
+so any recursion (the language's only loop) is bounded, while
+straight-line code pays nothing.
 """
 
 from __future__ import annotations
 
 import itertools
 import sys
+import threading
 from contextlib import contextmanager
+from time import perf_counter
+from types import CodeType, FunctionType
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import EvalError, NotAFunctionError
+from repro.errors import (
+    EvalError,
+    EvaluationTimeout,
+    NotAFunctionError,
+    StepLimitExceeded,
+    UnboundIdentifierError,
+)
 from repro.monitoring.compose import MonitorLike, flatten_monitors, validate_observations
 from repro.monitoring.derive import check_disjoint
 from repro.monitoring.spec import MonitorSpec
 from repro.monitoring.state import MonitorStateVector
 from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
 from repro.semantics.primitives import PRIMITIVE_TABLE
-from repro.semantics.values import NIL, PrimFun, value_to_string
+from repro.semantics.values import (
+    NIL,
+    PrimFun,
+    register_code_display,
+    value_to_string,
+)
 from repro.syntax.ast import (
     Annotated,
     App,
@@ -111,23 +145,139 @@ class _Site:
         self.term = term
 
 
+# The host recursion limit is process-global, so concurrent runs (the
+# batch runtime drives one compiled artifact from many threads) must not
+# save/restore it independently — a nesting counter raises it once and
+# restores it when the last run exits.
+_RECLIMIT_LOCK = threading.Lock()
+_RECLIMIT_DEPTH = 0
+_RECLIMIT_SAVED = 0
+
+
+def _acquire_recursion_limit(limit: int) -> None:
+    global _RECLIMIT_DEPTH, _RECLIMIT_SAVED
+    with _RECLIMIT_LOCK:
+        if _RECLIMIT_DEPTH == 0:
+            _RECLIMIT_SAVED = sys.getrecursionlimit()
+        _RECLIMIT_DEPTH += 1
+        if limit > sys.getrecursionlimit():
+            sys.setrecursionlimit(limit)
+
+
+def _release_recursion_limit() -> None:
+    global _RECLIMIT_DEPTH
+    with _RECLIMIT_LOCK:
+        _RECLIMIT_DEPTH -= 1
+        if _RECLIMIT_DEPTH == 0:
+            sys.setrecursionlimit(_RECLIMIT_SAVED)
+
+
+def _make_guard(max_steps: Optional[int], deadline: Optional[float]):
+    """The per-run resource guard generated defs call on entry."""
+    if max_steps is not None:
+        count = 0
+        if deadline is None:
+
+            def guard_steps():
+                nonlocal count
+                count += 1
+                if count > max_steps:
+                    raise StepLimitExceeded(max_steps, consumed=count)
+
+            return guard_steps
+
+        def guard_both():
+            nonlocal count
+            count += 1
+            if count > max_steps:
+                raise StepLimitExceeded(max_steps, consumed=count)
+            if perf_counter() >= deadline:
+                raise EvaluationTimeout()
+
+        return guard_both
+
+    def guard_deadline():
+        if perf_counter() >= deadline:
+            raise EvaluationTimeout()
+
+    return guard_deadline
+
+
 class ResidualRuntime:
     """The runtime the generated module links against.
 
-    Carries the primitive implementations, the apply/truth helpers, the
-    site table, and the mutable monitor-state cell the residual hooks
-    update.  One runtime instance per run.
+    Carries the primitive implementations, the apply/truth/error helpers,
+    the site table, and the mutable monitor-state cell the residual hooks
+    update.  One runtime instance per run, so the generated code itself is
+    immutable and thread-reusable (the compilation cache relies on this).
+
+    ``fault_log`` switches ``pre``/``post`` onto the fault-isolated path
+    (the unclaimed-annotation fallback of quarantine/log policies);
+    ``telemetry`` attaches the counted-mode step counters the generated
+    code calls when produced with counting enabled.
     """
 
     #: The empty list value, read by generated code.
     nil = NIL
 
-    def __init__(self, sites: Sequence[_Site], monitors: Sequence[MonitorSpec]) -> None:
+    def __init__(
+        self,
+        sites: Sequence[_Site],
+        monitors: Sequence[MonitorSpec],
+        locations: Sequence = (),
+        fault_log=None,
+        telemetry=None,
+    ) -> None:
         self.sites = list(sites)
         self.monitors = list(monitors)
         self.prims = _PRIM_INSTANCES
+        # Flattened per-site dispatch table: the hot hooks index one tuple
+        # instead of chasing site -> monitor -> pre/key/observes attributes
+        # on every activation.
+        self._site_table = [
+            (
+                site.monitor.pre,
+                site.monitor.post,
+                site.monitor.key,
+                site.annotation,
+                site.term,
+                tuple(site.monitor.observes) if site.monitor.observes else None,
+            )
+            for site in self.sites
+        ]
+        self.locations = list(locations)
+        self.fault_log = fault_log
+        self.guard = None
         self.states: Dict[str, object] = {}
         self.reset()
+        if fault_log is not None:
+            self.pre = self._pre_isolated
+            self.post = self._post_isolated
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            hook = telemetry.step_hook
+            if hook is None:
+
+                def count_step():
+                    metrics.steps += 1
+
+                def count_app():
+                    metrics.steps += 1
+                    metrics.applications += 1
+
+            else:
+
+                def count_step():
+                    metrics.steps += 1
+                    hook()
+
+                def count_app():
+                    metrics.steps += 1
+                    metrics.applications += 1
+                    hook()
+
+            self.count_step = count_step
+            self.count_app = count_app
 
     def reset(self) -> None:
         self.states = {m.key: m.initial_state() for m in self.monitors}
@@ -136,6 +286,10 @@ class ResidualRuntime:
 
     @staticmethod
     def apply(fn, arg):
+        # Residual closures are plain Python functions — the common case
+        # gets one exact type check before the general dispatch.
+        if type(fn) is FunctionType:
+            return fn(arg)
         if isinstance(fn, PrimFun):
             return fn.apply(arg)
         if callable(fn):
@@ -154,40 +308,87 @@ class ResidualRuntime:
             f"condition evaluated to non-boolean {value_to_string(value)!r}"
         )
 
+    def bool_err(self, value, loc_id: int):
+        """A non-boolean conditional — same message/location as Figure 2."""
+        raise EvalError(
+            f"condition evaluated to non-boolean {value_to_string(value)!r}",
+            self.locations[loc_id],
+        )
+
+    @staticmethod
+    def unbound(name: str):
+        """A free identifier, faulting lazily at its evaluation point."""
+        raise UnboundIdentifierError(name)
+
     def pre(self, site_id: int, local_vars: Dict[str, object]) -> None:
-        site = self.sites[site_id]
-        monitor = site.monitor
-        ctx = _DictContext(local_vars)
-        if monitor.observes:
-            inner = {k: self.states[k] for k in monitor.observes}
-            new_state = monitor.pre(
-                site.annotation, site.term, ctx, self.states[monitor.key], inner=inner
+        pre_fn, _post_fn, key, annotation, term, observes = self._site_table[site_id]
+        states = self.states
+        if observes:
+            inner = {k: states[k] for k in observes}
+            states[key] = pre_fn(
+                annotation, term, _DictContext(local_vars), states[key], inner=inner
             )
         else:
-            new_state = monitor.pre(
-                site.annotation, site.term, ctx, self.states[monitor.key]
-            )
-        self.states[monitor.key] = new_state
+            states[key] = pre_fn(annotation, term, _DictContext(local_vars), states[key])
 
     def post(self, site_id: int, local_vars: Dict[str, object], value):
-        site = self.sites[site_id]
-        monitor = site.monitor
-        ctx = _DictContext(local_vars)
-        if monitor.observes:
-            inner = {k: self.states[k] for k in monitor.observes}
-            new_state = monitor.post(
-                site.annotation,
-                site.term,
-                ctx,
-                value,
-                self.states[monitor.key],
+        _pre_fn, post_fn, key, annotation, term, observes = self._site_table[site_id]
+        states = self.states
+        if observes:
+            inner = {k: states[k] for k in observes}
+            states[key] = post_fn(
+                annotation, term, _DictContext(local_vars), value, states[key],
                 inner=inner,
             )
         else:
-            new_state = monitor.post(
-                site.annotation, site.term, ctx, value, self.states[monitor.key]
+            states[key] = post_fn(
+                annotation, term, _DictContext(local_vars), value, states[key]
             )
-        self.states[monitor.key] = new_state
+        return value
+
+    # -- the fault-isolated hook variants (quarantine / log policies) ----------
+    #
+    # Mirror the reference derivation's isolated path: a disabled slot is
+    # the unclaimed-annotation fallback (state untouched, value flows), a
+    # hook exception is recorded on the run's fault log, and under
+    # quarantine the slot stays disabled for the rest of the run — the
+    # post hook re-checks, covering faults raised between pre and post.
+
+    def _pre_isolated(self, site_id: int, local_vars: Dict[str, object]) -> None:
+        log = self.fault_log
+        pre_fn, _post_fn, key, annotation, term, observes = self._site_table[site_id]
+        if key in log.disabled:
+            return
+        ctx = _DictContext(local_vars)
+        state = self.states[key]
+        try:
+            if observes:
+                inner = {k: self.states[k] for k in observes}
+                new_state = pre_fn(annotation, term, ctx, state, inner=inner)
+            else:
+                new_state = pre_fn(annotation, term, ctx, state)
+        except Exception as exc:
+            log.record(key, "pre", exc)
+            return  # quarantine: now disabled; log: drop the update
+        self.states[key] = new_state
+
+    def _post_isolated(self, site_id: int, local_vars: Dict[str, object], value):
+        log = self.fault_log
+        _pre_fn, post_fn, key, annotation, term, observes = self._site_table[site_id]
+        if key in log.disabled:
+            return value
+        ctx = _DictContext(local_vars)
+        state = self.states[key]
+        try:
+            if observes:
+                inner = {k: self.states[k] for k in observes}
+                new_state = post_fn(annotation, term, ctx, value, state, inner=inner)
+            else:
+                new_state = post_fn(annotation, term, ctx, value, state)
+        except Exception as exc:
+            log.record(key, "post", exc)
+            return value
+        self.states[key] = new_state
         return value
 
 
@@ -213,29 +414,98 @@ class _Emitter:
         return "\n".join(self.lines) + "\n"
 
 
+#: Binary primitives whose behavior on two exact-``int`` operands is a
+#: plain Python operator: ``values_equal``/``_compare``/arithmetic all
+#: reduce to ``==``/``<``/``+``… when both sides have ``type(x) is int``
+#: (``bool`` is excluded by the exact type check, keeping ``true /= 1``).
+#: The generated code guards on that and falls back to the full primitive.
+_INLINE_INT_BINOPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "=": "==",
+    "/=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+
+def _is_int_literal(atom: str) -> bool:
+    """Whether a generated atom is an integer literal (repr of an int)."""
+    return atom.lstrip("-").isdigit()
+
+
 class _Generator:
-    def __init__(self, monitors: Sequence[MonitorSpec]) -> None:
+    """ANF generator for one (program, monitor stack) pair.
+
+    ``counted=True`` produces counted-mode code: every expression node
+    charges the runtime's step counters at its evaluation point (the
+    reference interpreter's ``recur`` granularity) and every collapse
+    optimization is disabled, so :class:`~repro.observability.metrics
+    .RunMetrics` compares equal across all three engines.
+
+    ``guarded=True`` makes every generated function begin with a ``_g()``
+    resource-guard call; :meth:`GeneratedProgram.run` execs this variant
+    lazily, only when a run actually requests ``max_steps``/``deadline``,
+    so the unguarded fast path stays call-free.
+    """
+
+    def __init__(
+        self,
+        monitors: Sequence[MonitorSpec],
+        *,
+        counted: bool = False,
+        guarded: bool = False,
+    ) -> None:
         self.monitors = list(monitors)
         self.sites: List[_Site] = []
+        self.locations: List[object] = []
         self.counter = itertools.count()
         self.emitter = _Emitter()
+        self.counted = counted
+        self.guarded = guarded
+        #: Python names statically known to be residual functions —
+        #: applications through them skip the generic ``_apply`` dispatch.
+        self.known_fns: set = set()
+        #: Known functions whose *result* is again a residual function
+        #: (their body is a lambda): applying what they return can also
+        #: skip ``_apply`` — the curried ``lambda i. lambda acc.`` shape.
+        self.fn_returns_fn: set = set()
+        #: Single-assignment temps currently known to hold residual
+        #: functions (results of calls through ``fn_returns_fn``).
+        self.callable_atoms: set = set()
+        #: def name -> render string, registered against the exec'd code
+        #: objects once per program (no per-closure setattr at run time).
+        self.displays: Dict[str, str] = {}
 
     def fresh(self, base: str = "t") -> str:
         return f"_{base}{next(self.counter)}"
+
+    def _loc(self, location) -> int:
+        self.locations.append(location)
+        return len(self.locations) - 1
+
+    def _count(self, expr: Expr) -> None:
+        if self.counted:
+            self.emitter.emit("_ca()" if type(expr) is App else "_cs()")
 
     # -- expression generation ---------------------------------------------------
     #
     # gen(expr, scope) emits statements computing expr and returns a Python
     # *atom* (a name or literal) holding its value.  ``scope`` maps source
-    # names to generated Python names.
+    # names to generated Python atoms.
 
     def gen(self, expr: Expr, scope: Dict[str, str]) -> str:
         node_type = type(expr)
 
         if node_type is Const:
+            self._count(expr)
             return repr(expr.value)
 
         if node_type is Var:
+            self._count(expr)
             name = expr.name
             if name in scope:
                 return scope[name]
@@ -243,68 +513,130 @@ class _Generator:
                 return "_nil"
             if name in PRIMITIVE_TABLE:
                 return f"_prim_{_PRIM_PY_NAMES[name][2:]}"
-            raise EvalError(f"unbound identifier: {name!r}")
+            # Free identifier: fault lazily, at the reference engine's
+            # evaluation point — dead branches must not fault.
+            out = self.fresh()
+            self.emitter.emit(f"{out} = _ub({name!r})")
+            return out
 
         if node_type is Lam:
-            fn_name = self.fresh("fn")
-            param_py = _mangle(expr.param) + f"_{next(self.counter)}"
-            self.emitter.emit(f"def {fn_name}({param_py}):")
-            inner = dict(scope)
-            inner[expr.param] = param_py
-            with self.emitter.block():
-                result = self.gen(expr.body, inner)
-                self.emitter.emit(f"return {result}")
-            return fn_name
+            self._count(expr)
+            return self._gen_function(expr.param, expr.body, scope, display=None)
 
         if node_type is If:
-            cond_atom = self.gen(expr.cond, scope)
-            out = self.fresh()
-            self.emitter.emit(f"if _truth({cond_atom}):")
-            with self.emitter.block():
-                then_atom = self.gen(expr.then_branch, scope)
-                self.emitter.emit(f"{out} = {then_atom}")
-            self.emitter.emit("else:")
-            with self.emitter.block():
-                else_atom = self.gen(expr.else_branch, scope)
-                self.emitter.emit(f"{out} = {else_atom}")
-            return out
+            return self._gen_if(expr, scope)
 
         if node_type is App:
             return self._gen_app(expr, scope)
 
         if node_type is Let:
+            self._count(expr)
             bound_atom = self.gen(expr.bound, scope)
-            let_py = _mangle(expr.name) + f"_{next(self.counter)}"
-            self.emitter.emit(f"{let_py} = {bound_atom}")
+            # A let binding is a compile-time alias: the bound atom is a
+            # single-assignment temp or literal, so no runtime copy exists.
             inner = dict(scope)
-            inner[expr.name] = let_py
+            inner[expr.name] = bound_atom
             return self.gen(expr.body, inner)
 
         if node_type is Letrec:
+            self._count(expr)
             inner = dict(scope)
             py_names = {}
             for name, _ in expr.bindings:
                 py = _mangle(name) + f"_{next(self.counter)}"
                 py_names[name] = py
                 inner[name] = py
+            # The defs all execute before any body runs, so every binding
+            # is a known function to every (mutually recursive) body.
+            self.known_fns.update(py_names.values())
+            for name, bound in expr.bindings:
+                lam = bound
+                while isinstance(lam, Annotated):
+                    lam = lam.body
+                returned = lam.body if isinstance(lam, Lam) else lam
+                while isinstance(returned, Annotated):
+                    returned = returned.body
+                if isinstance(returned, Lam):
+                    self.fn_returns_fn.add(py_names[name])
             for name, bound in expr.bindings:
                 lam = bound
                 while isinstance(lam, Annotated):
                     lam = lam.body
                 assert isinstance(lam, Lam)
-                param_py = _mangle(lam.param) + f"_{next(self.counter)}"
-                self.emitter.emit(f"def {py_names[name]}({param_py}):")
-                fn_scope = dict(inner)
-                fn_scope[lam.param] = param_py
-                with self.emitter.block():
-                    result = self.gen(lam.body, fn_scope)
-                    self.emitter.emit(f"return {result}")
+                # Figure 2 builds the recursive Fun values directly, so
+                # the bound lambdas are not separately counted nodes.
+                self._gen_function(
+                    lam.param,
+                    lam.body,
+                    inner,
+                    display=f"<fun {name}>",
+                    fn_name=py_names[name],
+                )
             return self.gen(expr.body, inner)
 
         if node_type is Annotated:
             return self._gen_annotated(expr, scope)
 
         raise TypeError(f"unknown expression node: {node_type.__name__}")
+
+    def _gen_function(
+        self,
+        param: str,
+        body: Expr,
+        scope: Dict[str, str],
+        *,
+        display: Optional[str],
+        fn_name: Optional[str] = None,
+    ) -> str:
+        """Emit one residual ``def`` and return its Python name."""
+        emitter = self.emitter
+        if fn_name is None:
+            fn_name = self.fresh("fn")
+        param_py = _mangle(param) + f"_{next(self.counter)}"
+        emitter.emit(f"def {fn_name}({param_py}):")
+        self.known_fns.add(fn_name)
+        returned = body
+        while isinstance(returned, Annotated):
+            returned = returned.body
+        if isinstance(returned, Lam):
+            self.fn_returns_fn.add(fn_name)
+        inner = dict(scope)
+        inner[param] = param_py
+        with emitter.block():
+            if self.guarded:
+                emitter.emit("_g()")
+            result = self.gen(body, inner)
+            emitter.emit(f"return {result}")
+        # The display string makes the residual function render exactly
+        # like the reference Closure (answer/error-message parity).  It is
+        # keyed by the def's code object after exec — emitting a setattr
+        # here would re-run on every closure creation.
+        self.displays[fn_name] = display if display is not None else f"<fun {param}>"
+        return fn_name
+
+    def _gen_if(self, expr: If, scope: Dict[str, str]) -> str:
+        self._count(expr)
+        emitter = self.emitter
+        cond_atom = self.gen(expr.cond, scope)
+        if not cond_atom.isidentifier():
+            # A literal condition would make ``is`` warn; name it first.
+            named = self.fresh()
+            emitter.emit(f"{named} = {cond_atom}")
+            cond_atom = named
+        out = self.fresh()
+        loc = self._loc(expr.location)
+        emitter.emit(f"if {cond_atom} is True:")
+        with emitter.block():
+            then_atom = self.gen(expr.then_branch, scope)
+            emitter.emit(f"{out} = {then_atom}")
+        emitter.emit(f"elif {cond_atom} is False:")
+        with emitter.block():
+            else_atom = self.gen(expr.else_branch, scope)
+            emitter.emit(f"{out} = {else_atom}")
+        emitter.emit("else:")
+        with emitter.block():
+            emitter.emit(f"{out} = _be({cond_atom}, {loc})")
+        return out
 
     def _static_primitive(self, expr: Expr, scope: Dict[str, str]) -> Optional[str]:
         """The primitive name ``expr`` statically denotes, if unshadowed."""
@@ -313,37 +645,81 @@ class _Generator:
         return None
 
     def _gen_app(self, expr: App, scope: Dict[str, str]) -> str:
-        # Saturated primitive applications become direct calls.
-        unary = self._static_primitive(expr.fn, scope)
-        if unary is not None and PRIMITIVE_TABLE[unary][0] == 1:
-            arg_atom = self.gen(expr.arg, scope)
-            out = self.fresh()
-            self.emitter.emit(f"{out} = {_PRIM_PY_NAMES[unary]}({arg_atom})")
-            return out
-
-        if type(expr.fn) is App:
-            binary = self._static_primitive(expr.fn.fn, scope)
-            if binary is not None and PRIMITIVE_TABLE[binary][0] == 2:
-                # Figure 2 order: outer argument (right operand) first.
-                right_atom = self.gen(expr.arg, scope)
-                left_atom = self.gen(expr.fn.arg, scope)
+        self._count(expr)
+        # Collapse optimizations are off in counted mode: every node must
+        # charge its own step, so applications stay node-by-node.
+        if not self.counted:
+            # Saturated primitive applications become direct calls.
+            unary = self._static_primitive(expr.fn, scope)
+            if unary is not None and PRIMITIVE_TABLE[unary][0] == 1:
+                arg_atom = self.gen(expr.arg, scope)
                 out = self.fresh()
-                self.emitter.emit(
-                    f"{out} = {_PRIM_PY_NAMES[binary]}({left_atom}, {right_atom})"
-                )
+                self.emitter.emit(f"{out} = {_PRIM_PY_NAMES[unary]}({arg_atom})")
+                return out
+
+            if type(expr.fn) is App:
+                binary = self._static_primitive(expr.fn.fn, scope)
+                if binary is not None and PRIMITIVE_TABLE[binary][0] == 2:
+                    # Figure 2 order: outer argument (right operand) first.
+                    right_atom = self.gen(expr.arg, scope)
+                    left_atom = self.gen(expr.fn.arg, scope)
+                    out = self.fresh()
+                    op = _INLINE_INT_BINOPS.get(binary)
+                    if op is not None:
+                        # Int/int operands reduce to the Python operator;
+                        # anything else takes the full primitive (type
+                        # checks, error messages) through the fallback arm.
+                        guards = [
+                            f"type({atom}) is int"
+                            for atom in (left_atom, right_atom)
+                            if not _is_int_literal(atom)
+                        ]
+                        fast = f"{left_atom} {op} {right_atom}"
+                        if not guards:
+                            self.emitter.emit(f"{out} = {fast}")
+                        else:
+                            self.emitter.emit(
+                                f"{out} = {fast} if {' and '.join(guards)} else "
+                                f"{_PRIM_PY_NAMES[binary]}({left_atom}, {right_atom})"
+                            )
+                        return out
+                    self.emitter.emit(
+                        f"{out} = {_PRIM_PY_NAMES[binary]}({left_atom}, {right_atom})"
+                    )
+                    return out
+
+            # A statically-known residual function: call it directly.  The
+            # operator is a pure variable reference, so evaluating the
+            # argument first (Figure 2 order) is preserved.
+            if type(expr.fn) is Var and scope.get(expr.fn.name) in self.known_fns:
+                fn_py = scope[expr.fn.name]
+                arg_atom = self.gen(expr.arg, scope)
+                out = self.fresh()
+                self.emitter.emit(f"{out} = {fn_py}({arg_atom})")
+                if fn_py in self.fn_returns_fn:
+                    self.callable_atoms.add(out)
                 return out
 
         # General application: argument before operator, as in Figure 2.
         arg_atom = self.gen(expr.arg, scope)
         fn_atom = self.gen(expr.fn, scope)
         out = self.fresh()
-        self.emitter.emit(f"{out} = _apply({fn_atom}, {arg_atom})")
+        if not self.counted and (
+            fn_atom in self.known_fns or fn_atom in self.callable_atoms
+        ):
+            # The operator atom is statically a residual function (a
+            # just-generated def, or the result of a curried known call):
+            # apply it natively.
+            self.emitter.emit(f"{out} = {fn_atom}({arg_atom})")
+        else:
+            self.emitter.emit(f"{out} = _apply({fn_atom}, {arg_atom})")
         return out
 
     def _gen_annotated(self, expr: Annotated, scope: Dict[str, str]) -> str:
         for monitor in reversed(self.monitors):
             annotation = monitor.recognize(expr.annotation)
             if annotation is not None:
+                self._count(expr)
                 site_id = len(self.sites)
                 self.sites.append(_Site(monitor, annotation, expr.body))
                 locals_literal = (
@@ -356,7 +732,9 @@ class _Generator:
                     f"{out} = _post({site_id}, {locals_literal}, {body_atom})"
                 )
                 return out
-        # Unrecognized annotation: erased at specialization time.
+        # Unrecognized annotation: erased at specialization time (the node
+        # still charges its reference-interpreter step in counted mode).
+        self._count(expr)
         return self.gen(expr.body, scope)
 
     # -- whole program ------------------------------------------------------------
@@ -372,10 +750,16 @@ class _Generator:
         emitter.emit("def _program(_rt):")
         with emitter.block():
             emitter.emit("_apply = _rt.apply")
-            emitter.emit("_truth = _rt.truth")
             emitter.emit("_pre = _rt.pre")
             emitter.emit("_post = _rt.post")
             emitter.emit("_nil = _rt.nil")
+            emitter.emit("_be = _rt.bool_err")
+            emitter.emit("_ub = _rt.unbound")
+            if self.guarded:
+                emitter.emit("_g = _rt.guard")
+            if self.counted:
+                emitter.emit("_cs = _rt.count_step")
+                emitter.emit("_ca = _rt.count_app")
             used = sorted(self._primitives_used(program))
             for name in used:
                 emitter.emit(f"{_PRIM_PY_NAMES[name]} = _rt.prims[{name!r}].fn")
@@ -416,7 +800,20 @@ class _Generator:
 
 
 class GeneratedProgram:
-    """A residual instrumented program: source + executable form."""
+    """A residual instrumented program: source + executable form.
+
+    Generation is pure: the exec'd entry closes over nothing mutable, so
+    one ``GeneratedProgram`` may run any number of times and from any
+    number of threads concurrently — each :meth:`run` builds a fresh
+    :class:`ResidualRuntime` carrying that run's monitor states, fault
+    log and resource guard.  The compilation cache shares artifacts
+    across the batch runtime's worker threads on this basis.
+
+    The one exception is counted-mode code (built via
+    ``generate_program(..., telemetry=...)``): its step counters are
+    bound to one telemetry accumulator, so such programs are per-run and
+    never cached — the same rule the compiled engine follows.
+    """
 
     def __init__(
         self,
@@ -424,26 +821,76 @@ class GeneratedProgram:
         entry: Callable,
         sites: Sequence[_Site],
         monitors: Tuple[MonitorSpec, ...],
+        locations: Sequence = (),
+        telemetry=None,
+        counted: bool = False,
+        guarded_factory: Optional[Callable[[], Callable]] = None,
     ) -> None:
         self.source = source
         self._entry = entry
         self._sites = list(sites)
         self.monitors = monitors
+        self._locations = tuple(locations)
+        self._telemetry = telemetry
+        self.counted = counted
+        self._guarded_factory = guarded_factory
+        self._guarded_entry: Optional[Callable] = None
+
+    def _resolve_entry(self, needs_guard: bool) -> Callable:
+        """The unguarded entry, or the lazily-exec'd guarded variant."""
+        if not needs_guard or self._guarded_factory is None:
+            return self._entry
+        entry = self._guarded_entry
+        if entry is None:
+            # A benign race: two threads may both build the variant; both
+            # results are equivalent and either may win.
+            entry = self._guarded_factory()
+            self._guarded_entry = entry
+        return entry
 
     def run(
         self,
         *,
         answers: AnswerAlgebra = STANDARD_ANSWERS,
+        initial_ms=None,
+        max_steps: Optional[int] = None,
+        fault_log=None,
+        deadline: Optional[float] = None,
         recursion_limit: int = 100_000,
     ):
-        """Execute, returning ``(answer, MonitorStateVector)``."""
-        runtime = ResidualRuntime(self._sites, self.monitors)
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, recursion_limit))
+        """Execute, returning ``(answer, MonitorStateVector)``.
+
+        ``initial_ms`` seeds the monitor state vector (as the other
+        engines' ``run`` does); ``fault_log`` switches the residual hooks
+        onto the fault-isolated path for this run; ``max_steps`` /
+        ``deadline`` bound the run at function-entry granularity through
+        the guarded code variant.
+        """
+        runtime = ResidualRuntime(
+            self._sites,
+            self.monitors,
+            locations=self._locations,
+            fault_log=fault_log,
+            telemetry=self._telemetry,
+        )
+        if initial_ms is not None:
+            runtime.states = {m.key: initial_ms.get(m.key) for m in self.monitors}
+        needs_guard = max_steps is not None or deadline is not None
+        entry = self._resolve_entry(needs_guard)
+        if needs_guard:
+            runtime.guard = _make_guard(max_steps, deadline)
+        _acquire_recursion_limit(recursion_limit)
         try:
-            value = self._entry(runtime)
+            value = entry(runtime)
+        except RecursionError:
+            raise EvalError(
+                "residual program exceeded the host recursion depth "
+                f"(limit {recursion_limit:,}): the codegen engine runs on "
+                "the native Python stack; use engine='compiled' for "
+                "unbounded recursion depth"
+            ) from None
         finally:
-            sys.setrecursionlimit(old_limit)
+            _release_recursion_limit()
         states = MonitorStateVector(dict(runtime.states))
         return answers.phi(value), states
 
@@ -468,20 +915,74 @@ _PRIM_INSTANCES = {
 }
 
 
+def _register_displays(entry: Callable, displays: Dict[str, str]) -> None:
+    """Key each generated def's render string by its exec'd code object.
+
+    Generated def names are unique within one program (the fresh-name
+    counter), so walking the nested code objects of the entry function
+    pairs every def with its display exactly once — run time then pays
+    nothing per closure creation.
+    """
+    stack = [entry.__code__]
+    while stack:
+        code = stack.pop()
+        display = displays.get(code.co_name)
+        if display is not None:
+            register_code_display(code, display)
+        for const in code.co_consts:
+            if isinstance(const, CodeType):
+                stack.append(const)
+
+
+def _build(program: Expr, monitor_list, counted: bool, guarded: bool):
+    generator = _Generator(monitor_list, counted=counted, guarded=guarded)
+    source = generator.generate_module(program)
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<residual>", "exec"), namespace)  # noqa: S102
+    entry = namespace["_program"]
+    _register_displays(entry, generator.displays)
+    return source, entry, generator.sites, generator.locations
+
+
 def generate_program(
     program: Expr,
     monitors: MonitorLike = (),
     *,
     check_disjointness: bool = True,
+    telemetry=None,
 ) -> GeneratedProgram:
-    """Specialize and emit ``program`` as residual Python source."""
+    """Specialize and emit ``program`` as residual Python source.
+
+    ``telemetry`` (a :class:`~repro.observability.instrument.Telemetry`)
+    switches generation into counted mode: the residual code charges the
+    telemetry's step/application counters at every expression node, at
+    the reference interpreter's granularity, with every collapse
+    optimization disabled — so ``RunMetrics`` compares equal across
+    engines.  Counted programs are bound to that telemetry object and
+    must not be cached.
+    """
     monitor_list = flatten_monitors(monitors)
     validate_observations(monitor_list)
     if check_disjointness:
         check_disjoint(monitor_list, program)
-    generator = _Generator(monitor_list)
-    source = generator.generate_module(program)
-    namespace: Dict[str, object] = {}
-    exec(compile(source, "<residual>", "exec"), namespace)  # noqa: S102
-    entry = namespace["_program"]
-    return GeneratedProgram(source, entry, generator.sites, tuple(monitor_list))
+    counted = telemetry is not None
+    source, entry, sites, locations = _build(
+        program, monitor_list, counted, guarded=False
+    )
+
+    def guarded_factory() -> Callable:
+        # Site/location numbering is deterministic, so the guarded variant
+        # shares the primary build's tables.
+        _, guarded_entry, _, _ = _build(program, monitor_list, counted, guarded=True)
+        return guarded_entry
+
+    return GeneratedProgram(
+        source,
+        entry,
+        sites,
+        tuple(monitor_list),
+        locations=locations,
+        telemetry=telemetry,
+        counted=counted,
+        guarded_factory=guarded_factory,
+    )

@@ -23,7 +23,9 @@ code:
 * the **counted-mode flag** (counted code burns in a telemetry object, so
   such entries are never produced by :meth:`CompilationCache.get_or_compile`
   — telemetry runs bypass the cache — but the flag keeps the keyspace
-  honest).
+  honest);
+* the **engine** (``"compiled"`` staged closures vs ``"codegen"``
+  residual Python source — two artifact kinds sharing one LRU).
 
 Cached programs are **thread-reusable**: per-run mutable state (the fault
 log) travels through a thread-local run context set by
@@ -85,14 +87,21 @@ def cache_key(
     *,
     fault_policy: str = "propagate",
     counted: bool = False,
+    engine: str = "compiled",
 ) -> Tuple:
-    """The full cache key for one compilation request (hashable)."""
+    """The full cache key for one compilation request (hashable).
+
+    ``engine`` distinguishes artifact kinds: the staged-closure programs
+    of ``engine="compiled"`` and the residual-source programs of
+    ``engine="codegen"`` share one cache but never one entry.
+    """
     return (
         program_fingerprint(program),
         getattr(language, "name", str(language)),
         tuple(monitor.cache_identity() for monitor in monitors),
         fault_policy,
         counted,
+        engine,
     )
 
 
@@ -191,8 +200,15 @@ class CompilationCache:
         *,
         fault_policy: str = "propagate",
         counted: bool = False,
+        engine: str = "compiled",
     ):
         """Return the compiled program for this request, compiling on miss.
+
+        ``engine`` selects the artifact kind: ``"compiled"`` stages to
+        closures (:func:`repro.semantics.compiled.compile_program`),
+        ``"codegen"`` emits residual Python source
+        (:func:`repro.partial_eval.codegen.generate_program`).  Both are
+        thread-reusable, so warm entries serve concurrent batch workers.
 
         ``counted=True`` is rejected: counted-mode code burns the run's own
         telemetry accumulator into every node, so telemetry runs must
@@ -203,8 +219,18 @@ class CompilationCache:
                 "counted-mode programs are not cacheable: counted code burns "
                 "in a per-run telemetry object; compile fresh for telemetry runs"
             )
+        if engine not in ("compiled", "codegen"):
+            raise ValueError(
+                f"cache has no compiler for engine {engine!r}; "
+                "expected 'compiled' or 'codegen'"
+            )
         key = cache_key(
-            language, program, monitors, fault_policy=fault_policy, counted=False
+            language,
+            program,
+            monitors,
+            fault_policy=fault_policy,
+            counted=False,
+            engine=engine,
         )
         digest = _key_digest(key)
         with self._lock:
@@ -214,15 +240,28 @@ class CompilationCache:
                 self._hits += 1
                 self._emit("cache-hit", {"key": digest})
                 return entry
-            from repro.semantics.compiled import compile_program
 
             start = perf_counter()
-            compiled = compile_program(
-                program,
-                monitors=monitors,
-                env=language.initial_context(),
-                fault_policy=fault_policy,
-            )
+            if engine == "codegen":
+                from repro.partial_eval.codegen import generate_program
+
+                # Disjointness is the caller's concern (and separately
+                # memoized by check_disjoint); the artifact itself is
+                # fault-policy-independent — the residual hooks pick the
+                # isolated path per run — but the policy stays in the key
+                # to mirror the compiled engine's keyspace.
+                compiled = generate_program(
+                    program, monitors, check_disjointness=False
+                )
+            else:
+                from repro.semantics.compiled import compile_program
+
+                compiled = compile_program(
+                    program,
+                    monitors=monitors,
+                    env=language.initial_context(),
+                    fault_policy=fault_policy,
+                )
             elapsed = perf_counter() - start
             self._misses += 1
             self._compile_seconds += elapsed

@@ -17,6 +17,7 @@ body, at all levels of recursion.
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import EvalError, PrimitiveError
@@ -249,6 +250,17 @@ def iter_list(value: "Value") -> Iterator["Value"]:
         raise EvalError(f"improper list ending in {value!r}")
 
 
+#: Render strings for residual (codegen) closures, keyed by their *code*
+#: objects — registered once per generated program, so re-creating a
+#: curried inner closure at run time costs no per-instance bookkeeping.
+_RESIDUAL_DISPLAYS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def register_code_display(code, display: str) -> None:
+    """Associate a residual function's code object with its render string."""
+    _RESIDUAL_DISPLAYS[code] = display
+
+
 def value_to_string(value: "Value") -> str:
     """The paper's ``ToStr : V -> String``, used by tracers and debuggers."""
     if isinstance(value, bool):
@@ -272,6 +284,11 @@ def value_to_string(value: "Value") -> str:
     display = getattr(value, "function_display", None)
     if display is not None:
         return display
+    code = getattr(value, "__code__", None)
+    if code is not None:
+        display = _RESIDUAL_DISPLAYS.get(code)
+        if display is not None:
+            return display
     if callable(value):  # residual function emitted by codegen
         return f"<fun {getattr(value, '__name__', 'residual')}>"
     raise EvalError(f"cannot render value: {value!r}")

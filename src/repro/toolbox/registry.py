@@ -163,8 +163,8 @@ def evaluate(
     single spec, a list mixing specs and tool names, or a string such as
     ``"profile & trace & strict"``.  ``program`` may be surface syntax or
     an already-parsed expression.  ``engine`` selects the execution engine
-    (``"reference"`` or ``"compiled"``) for both the plain and the
-    monitored run.  ``fault_policy`` selects how monitor failures are
+    (``"reference"``, ``"compiled"`` or ``"codegen"``) for both the plain
+    and the monitored run.  ``fault_policy`` selects how monitor failures are
     handled (see :func:`repro.monitoring.derive.run_monitored`).
 
     ``metrics``/``event_sink`` request run telemetry
@@ -176,8 +176,8 @@ def evaluate(
     ``timeout`` bounds the run's wall-clock seconds; ``config`` (a
     :class:`repro.runtime.RunConfig`) bundles every option above into one
     reusable value (conflicting explicit keywords raise ``TypeError``);
-    ``cache`` (a :class:`repro.runtime.CompilationCache`) memoizes staged
-    compilation for ``engine="compiled"``.
+    ``cache`` (a :class:`repro.runtime.CompilationCache`) memoizes
+    compilation for ``engine="compiled"`` and ``engine="codegen"``.
 
     ``lint`` gates the run on the static analyzer (:mod:`repro.analysis`):
     ``"warn"`` attaches findings as ``result.diagnostics``, ``"error"``
@@ -203,9 +203,9 @@ def evaluate(
     if not monitors and not cfg.wants_telemetry():
         # This fast path bypasses run_monitored, so the lint gate runs here.
         diagnostics = _lint_gate(cfg, expr, monitors, run_language)
-        if cache is not None and cfg.engine == "compiled":
-            # Tool-less compiled runs still deserve the compilation cache:
-            # the empty monitor stack denotes the standard semantics.
+        if cache is not None and cfg.engine in ("compiled", "codegen"):
+            # Tool-less compiled/codegen runs still deserve the compilation
+            # cache: the empty monitor stack denotes the standard semantics.
             from dataclasses import replace
 
             result = run_monitored(

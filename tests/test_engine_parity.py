@@ -1,11 +1,14 @@
-"""Differential parity: the compiled engine against the reference oracle.
+"""Differential parity: the fast engines against the reference oracle.
 
-The staged fast-path engine (:mod:`repro.semantics.compiled`) is only
-admissible as an implementation of the monitoring semantics if it is
-*observationally indistinguishable* from the reference interpreter — same
-answers, same final monitor states, same errors with the same messages.
-These property tests run every hypothesis-generated program through both
-engines and compare everything observable.
+The staged fast-path engine (:mod:`repro.semantics.compiled`) and the
+specializing code generator (:mod:`repro.partial_eval.codegen`, the
+``codegen`` engine) are only admissible as implementations of the
+monitoring semantics if they are *observationally indistinguishable* from
+the reference interpreter — same answers, same final monitor states, same
+errors with the same messages.  These property tests run every
+hypothesis-generated program through all three engines and compare
+everything observable: answers, reports, metrics counters, and fault
+behavior under every fault policy.
 """
 
 import pytest
@@ -27,6 +30,9 @@ from repro.syntax.parser import parse
 
 from tests.generators import closed_program
 
+ENGINES = ("reference", "compiled", "codegen")
+FAST_ENGINES = ("compiled", "codegen")
+
 
 def answers_match(reference, compiled) -> bool:
     """Observational equality of answers across engines.
@@ -41,9 +47,17 @@ def answers_match(reference, compiled) -> bool:
     return values_equal(reference, compiled)
 
 
-def run_both(program, monitors):
+def run_all(program, monitors):
+    """One run per engine (specs are stateless, so sharing them is safe)."""
+    return {
+        engine: run_monitored(strict, program, monitors, engine=engine)
+        for engine in ENGINES
+    }
+
+
+def run_both(program, monitors, engine="compiled"):
     ref = run_monitored(strict, program, monitors, engine="reference")
-    com = run_monitored(strict, program, monitors, engine="compiled")
+    com = run_monitored(strict, program, monitors, engine=engine)
     return ref, com
 
 
@@ -66,8 +80,9 @@ def assert_monitor_states_match(ref, com, monitors):
 @given(closed_program())
 def test_unmonitored_answers_agree(program):
     reference = strict.evaluate(program, max_steps=2_000_000)
-    compiled = strict.evaluate(program, max_steps=2_000_000, engine="compiled")
-    assert answers_match(reference, compiled)
+    for engine in FAST_ENGINES:
+        fast = strict.evaluate(program, max_steps=2_000_000, engine=engine)
+        assert answers_match(reference, fast), engine
 
 
 @settings(max_examples=120, deadline=None)
@@ -77,9 +92,12 @@ def test_monitored_answers_and_states_agree(program):
     counter = LabelCounterMonitor()
     tracer = TracerMonitor()
     monitors = counter & tracer
-    ref, com = run_both(program, monitors)
-    assert answers_match(ref.answer, com.answer)
-    assert_monitor_states_match(ref, com, [counter, tracer])
+    runs = run_all(program, monitors)
+    ref = runs["reference"]
+    for engine in FAST_ENGINES:
+        fast = runs[engine]
+        assert answers_match(ref.answer, fast.answer), engine
+        assert_monitor_states_match(ref, fast, [counter, tracer])
 
 
 @settings(max_examples=60, deadline=None)
@@ -87,56 +105,64 @@ def test_monitored_answers_and_states_agree(program):
 def test_single_monitor_states_agree(program):
     """The single-slot state-vector fast path is invisible to monitors."""
     counter = LabelCounterMonitor()
-    ref, com = run_both(program, counter)
-    assert answers_match(ref.answer, com.answer)
-    assert ref.state_of("count") == com.state_of("count")
+    runs = run_all(program, counter)
+    ref = runs["reference"]
+    for engine in FAST_ENGINES:
+        fast = runs[engine]
+        assert answers_match(ref.answer, fast.answer), engine
+        assert ref.state_of("count") == fast.state_of("count"), engine
 
 
 # -- error parity ---------------------------------------------------------------
 
 
-def both_errors(source, exc_type):
+def engine_errors(source, exc_type):
+    """The exception each engine raises for ``source``, keyed by engine."""
     program = parse(source)
-    with pytest.raises(exc_type) as ref_exc:
-        strict.evaluate(program)
-    with pytest.raises(exc_type) as com_exc:
-        strict.evaluate(program, engine="compiled")
-    return ref_exc.value, com_exc.value
+    out = {}
+    for engine in ENGINES:
+        with pytest.raises(exc_type) as exc:
+            strict.evaluate(program, engine=engine)
+        out[engine] = exc.value
+    return out
+
+
+def assert_error_parity(source, exc_type):
+    errors = engine_errors(source, exc_type)
+    ref = errors["reference"]
+    for engine in FAST_ENGINES:
+        assert str(ref) == str(errors[engine]), engine
+    return errors
 
 
 class TestErrorParity:
     def test_unbound_identifier(self):
-        ref, com = both_errors("nosuch", UnboundIdentifierError)
-        assert str(ref) == str(com)
-        assert com.name == "nosuch"
+        errors = assert_error_parity("nosuch", UnboundIdentifierError)
+        assert errors["compiled"].name == "nosuch"
+        assert errors["codegen"].name == "nosuch"
 
     def test_unbound_in_dead_branch_is_lazy(self):
         # Reference semantics only fault on the branch actually taken;
-        # the compiler must not fault at compile time on dead code.
+        # the compilers must not fault at compile time on dead code.
         program = parse("if true then 1 else nosuch")
-        assert strict.evaluate(program, engine="compiled") == 1
-        ref, com = both_errors("if false then 1 else nosuch", UnboundIdentifierError)
-        assert str(ref) == str(com)
+        for engine in FAST_ENGINES:
+            assert strict.evaluate(program, engine=engine) == 1
+        assert_error_parity("if false then 1 else nosuch", UnboundIdentifierError)
 
     def test_apply_non_function(self):
-        ref, com = both_errors("3 4", NotAFunctionError)
-        assert str(ref) == str(com)
+        assert_error_parity("3 4", NotAFunctionError)
 
     def test_apply_non_function_after_call(self):
-        ref, com = both_errors("(lambda x. x) 3 4", NotAFunctionError)
-        assert str(ref) == str(com)
+        assert_error_parity("(lambda x. x) 3 4", NotAFunctionError)
 
     def test_non_boolean_condition(self):
-        ref, com = both_errors("if 7 then 1 else 2", EvalError)
-        assert str(ref) == str(com)
+        assert_error_parity("if 7 then 1 else 2", EvalError)
 
     def test_division_by_zero(self):
-        ref, com = both_errors("10 / 0", EvalError)
-        assert str(ref) == str(com)
+        assert_error_parity("10 / 0", EvalError)
 
     def test_head_of_empty_list(self):
-        ref, com = both_errors("hd []", EvalError)
-        assert str(ref) == str(com)
+        assert_error_parity("hd []", EvalError)
 
 
 # -- resource semantics ---------------------------------------------------------
@@ -160,15 +186,27 @@ class TestResourceParity:
         assert exc.value.limit == 500
         assert exc.value.consumed >= 500
 
-    def test_generous_step_limit_does_not_trip(self):
+    def test_step_limit_enforced_on_codegen_engine(self):
+        # The codegen engine guards at function-entry granularity (one
+        # charge per residual call), so a small budget still trips on
+        # unbounded recursion — it just counts coarser units.
+        program = parse(LOOP.format(n=100_000))
+        with pytest.raises(StepLimitExceeded) as exc:
+            strict.evaluate(program, engine="codegen", max_steps=500)
+        assert exc.value.limit == 500
+        assert exc.value.consumed >= 500
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_generous_step_limit_does_not_trip(self, engine):
         program = parse(LOOP.format(n=50))
-        assert strict.evaluate(program, engine="compiled", max_steps=1_000_000) == 0
+        assert strict.evaluate(program, engine=engine, max_steps=1_000_000) == 0
 
 
 # -- observing monitors through the compiled engine ------------------------------
 
 
-def test_observing_monitor_sees_inner_state():
+@pytest.mark.parametrize("engine", FAST_ENGINES)
+def test_observing_monitor_sees_inner_state(engine):
     """A cascade where the outer monitor reads the inner one's state."""
     watcher = FunctionSpec(
         key="watch",
@@ -179,7 +217,7 @@ def test_observing_monitor_sees_inner_state():
     )
     program = parse("({p0}: 1) + ({watch: w}: ({p1}: ({p0}: 2)))")
     monitors = [LabelCounterMonitor(), watcher]
-    ref, com = run_both(program, monitors)
+    ref, com = run_both(program, monitors, engine=engine)
     assert ref.answer == com.answer == 3
     assert ref.state_of("count") == com.state_of("count")
     assert ref.state_of("watch") == com.state_of("watch")
@@ -187,9 +225,10 @@ def test_observing_monitor_sees_inner_state():
     assert len(com.state_of("watch")) == 1
 
 
-def test_tracer_output_identical_on_paper_example(paper_tracer_program):
+@pytest.mark.parametrize("engine", FAST_ENGINES)
+def test_tracer_output_identical_on_paper_example(paper_tracer_program, engine):
     tracer = TracerMonitor()
-    ref, com = run_both(paper_tracer_program, tracer)
+    ref, com = run_both(paper_tracer_program, tracer, engine=engine)
     assert ref.answer == com.answer == 6
     assert ref.report() == com.report()
 
@@ -213,7 +252,7 @@ def test_metrics_parity(fault_policy, program):
 
     monitors = lambda: LabelCounterMonitor() & TracerMonitor()
     collected = {}
-    for engine in ("reference", "compiled"):
+    for engine in ENGINES:
         metrics = RunMetrics()
         result = run_monitored(
             strict,
@@ -226,9 +265,10 @@ def test_metrics_parity(fault_policy, program):
         )
         collected[engine] = (result, metrics)
     ref, ref_metrics = collected["reference"]
-    com, com_metrics = collected["compiled"]
-    assert answers_match(ref.answer, com.answer)
-    assert ref_metrics == com_metrics
+    for engine in FAST_ENGINES:
+        fast, fast_metrics = collected[engine]
+        assert answers_match(ref.answer, fast.answer), engine
+        assert ref_metrics == fast_metrics, engine
 
 
 @settings(max_examples=40, deadline=None)
@@ -243,7 +283,7 @@ def test_metrics_parity_under_injected_faults(fault_policy, program):
     from tests.fault_injection import flaky_counter
 
     collected = {}
-    for engine in ("reference", "compiled"):
+    for engine in ENGINES:
         metrics = RunMetrics()
         result = run_monitored(
             strict,
@@ -256,10 +296,11 @@ def test_metrics_parity_under_injected_faults(fault_policy, program):
         )
         collected[engine] = (result, metrics)
     ref, ref_metrics = collected["reference"]
-    com, com_metrics = collected["compiled"]
-    assert answers_match(ref.answer, com.answer)
-    assert ref.faults == com.faults
-    assert ref_metrics == com_metrics
+    for engine in FAST_ENGINES:
+        fast, fast_metrics = collected[engine]
+        assert answers_match(ref.answer, fast.answer), engine
+        assert ref.faults == fast.faults, engine
+        assert ref_metrics == fast_metrics, engine
 
 
 @settings(max_examples=60, deadline=None)
@@ -271,7 +312,7 @@ def test_quarantined_fault_parity(program):
     from tests.fault_injection import flaky_counter
 
     runs = {}
-    for engine in ("reference", "compiled"):
+    for engine in ENGINES:
         runs[engine] = run_monitored(
             strict,
             program,
@@ -280,10 +321,12 @@ def test_quarantined_fault_parity(program):
             fault_policy="quarantine",
             max_steps=2_000_000,
         )
-    ref, com = runs["reference"], runs["compiled"]
-    assert answers_match(ref.answer, com.answer)
-    assert ref.faults == com.faults
-    assert ref.state_of("count") == com.state_of("count")
+    ref = runs["reference"]
+    for engine in FAST_ENGINES:
+        fast = runs[engine]
+        assert answers_match(ref.answer, fast.answer), engine
+        assert ref.faults == fast.faults, engine
+        assert ref.state_of("count") == fast.state_of("count"), engine
     assert answers_match(
         ref.answer, strict.evaluate(program, max_steps=2_000_000)
     )

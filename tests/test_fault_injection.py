@@ -43,7 +43,7 @@ from tests.fault_injection import (
 )
 from tests.generators import closed_program
 
-ENGINES = ["reference", "compiled"]
+ENGINES = ["reference", "compiled", "codegen"]
 
 
 # -- policy plumbing -------------------------------------------------------------

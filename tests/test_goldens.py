@@ -18,7 +18,7 @@ import pytest
 
 from repro.cli import main
 
-ENGINES = ["reference", "compiled"]
+ENGINES = ["reference", "compiled", "codegen"]
 
 FAC = "letrec fac = lambda x. {fac}: if x = 0 then 1 else x * fac (x - 1) in fac 4"
 PLAIN_FAC = "letrec fac = lambda x. if x = 0 then 1 else x * fac (x - 1) in fac 4"
