@@ -74,10 +74,12 @@ from repro.prelude import prelude_session, with_prelude
 from repro.runtime import (
     BatchRunner,
     CompilationCache,
+    ProcessPoolRunner,
     RunConfig,
     RunRequest,
     RunResult,
     Runtime,
+    Server,
     run_batch,
 )
 from repro.syntax import parse, pretty
@@ -95,11 +97,13 @@ __all__ = [
     "MonitorError",
     "MonitorSpec",
     "ParseError",
+    "ProcessPoolRunner",
     "ReproError",
     "RunConfig",
     "RunRequest",
     "RunResult",
     "Runtime",
+    "Server",
     "Session",
     "SpecializationError",
     "StaticAnalysisError",

@@ -370,9 +370,16 @@ def cmd_batch(args) -> int:
         if not line or line.startswith("#"):
             continue
         try:
-            requests.append(RunRequest.from_dict(json.loads(line), base=config))
-        except (ValueError, ReproError) as exc:
+            record = json.loads(line)
+        except ValueError as exc:
             raise ReproError(f"{args.requests}:{lineno}: {exc}") from None
+        try:
+            requests.append(RunRequest.from_dict(record, base=config))
+        except (ValueError, ReproError):
+            # A bad record (unknown key, missing program, invalid timeout)
+            # fails its own slot with a diagnostic ok=False result in the
+            # output JSONL; the rest of the batch still runs.
+            requests.append(record)
 
     cache = CompilationCache(args.cache_size, event_sink=config.event_sink)
     runner = BatchRunner(
@@ -406,6 +413,73 @@ def cmd_batch(args) -> int:
             file=sys.stderr,
         )
     return 1 if failed else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived JSONL-over-socket daemon on a process pool."""
+    import json
+
+    from repro.runtime import RunConfig
+    from repro.runtime.serve import Server
+
+    if getattr(args, "metrics", False) or getattr(args, "trace_out", None):
+        raise ReproError(
+            "serve streams telemetry per worker: use --trace-dir DIR "
+            "instead of --metrics/--trace-out"
+        )
+    config = RunConfig(
+        engine=args.engine,
+        fault_policy=args.fault_policy,
+        max_steps=args.max_steps,
+        timeout=args.timeout,
+        lint=args.lint,
+    ).validate()
+    prewarm = []
+    if args.prewarm:
+        with open(args.prewarm, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    prewarm.append(json.loads(line))
+                except ValueError as exc:
+                    raise ReproError(
+                        f"{args.prewarm}:{lineno}: {exc}"
+                    ) from None
+    server = Server(
+        workers=args.workers,
+        config=config,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        queue_depth=args.queue_depth,
+        trace_dir=args.trace_dir,
+        prewarm=prewarm,
+    )
+    server.start()
+    print(
+        f"repro serve: listening on {server.address} "
+        f"({server.workers} worker processes)",
+        file=sys.stderr,
+    )
+    # SIGTERM (systemd/docker stop) must shut down as cleanly as Ctrl-C:
+    # the default handler would kill this process abruptly and orphan the
+    # forked workers.
+    import signal
+
+    def _sigterm(_signo, _frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
 
 
 # Argument parsing ------------------------------------------------------------------
@@ -645,6 +719,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_run_flags(batch_parser)
     batch_parser.set_defaults(handler=cmd_batch)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="long-lived JSONL-over-socket serving daemon over a process pool",
+    )
+    transport = serve_parser.add_mutually_exclusive_group(required=True)
+    transport.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="listen on a unix-domain socket at PATH",
+    )
+    transport.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen on a TCP port (0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default 127.0.0.1; only with --port)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default 4); requests shard by program fingerprint",
+    )
+    serve_parser.add_argument(
+        "--cache-size",
+        dest="cache_size",
+        type=int,
+        default=128,
+        help="per-worker compiled-program cache capacity (LRU entries)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        dest="queue_depth",
+        type=int,
+        default=32,
+        help="per-worker request queue bound; beyond it submissions are "
+        "rejected with an explicit Overloaded record",
+    )
+    serve_parser.add_argument(
+        "--trace-dir",
+        dest="trace_dir",
+        metavar="DIR",
+        default=None,
+        help="stream worker-tagged telemetry to DIR/worker-N.jsonl (one "
+        "JSONL sink per worker, flushed per event)",
+    )
+    serve_parser.add_argument(
+        "--prewarm",
+        metavar="FILE",
+        default=None,
+        help="JSONL requests every worker compiles into its cache at startup",
+    )
+    add_run_flags(serve_parser)
+    serve_parser.set_defaults(handler=cmd_serve)
 
     debug_parser = subparsers.add_parser("debug", help="scriptable/interactive debugger")
     _add_program_arguments(debug_parser)

@@ -42,6 +42,7 @@ from repro.observability.sinks import (
     InMemorySink,
     JsonlSink,
     NullSink,
+    TaggedSink,
     is_null_sink,
 )
 
@@ -56,6 +57,7 @@ __all__ = [
     "NullSink",
     "ReplaySummary",
     "RunMetrics",
+    "TaggedSink",
     "Telemetry",
     "fault_tuples",
     "instrument_functional",

@@ -33,6 +33,15 @@ Event types (:data:`EVENT_TYPES`):
   call began, finished one request (``payload``: ``index``, ``ok``,
   ``duration``), or completed (``payload``: ``total``, ``succeeded``,
   ``failed``, ``duration``).
+* ``worker-start`` / ``worker-exit`` / ``worker-crash`` — a process-pool
+  worker (:mod:`repro.runtime.process_pool`) came up, shut down cleanly,
+  or died unexpectedly (``payload``: ``worker``, ``pid``; ``worker-crash``
+  adds ``in_flight``, the id of the request it took down, if any).
+* ``serve-request`` — one request finished inside a worker (``payload``:
+  ``id``, ``ok``, ``duration``, plus the ``worker`` tag its
+  :class:`~repro.observability.sinks.TaggedSink` merges in).
+* ``serve-start`` / ``serve-end`` — the ``repro serve`` daemon began /
+  stopped listening (``payload``: ``address``, ``workers``).
 
 Event payloads are JSON-safe by construction (names and scalars, never
 monitor states or program values), so any event can be written to a
@@ -60,6 +69,12 @@ EVENT_TYPES: Tuple[str, ...] = (
     "batch-start",
     "batch-request",
     "batch-end",
+    "worker-start",
+    "worker-exit",
+    "worker-crash",
+    "serve-start",
+    "serve-request",
+    "serve-end",
 )
 
 
@@ -123,6 +138,8 @@ class ReplaySummary:
     cache_misses: int = 0
     cache_evictions: int = 0
     batch_requests: int = 0
+    serve_requests: int = 0
+    worker_crashes: int = 0
 
     def feed(self, event: Event) -> None:
         kind = event.type
@@ -160,6 +177,10 @@ class ReplaySummary:
             self.cache_evictions += 1
         elif kind == "batch-request":
             self.batch_requests += 1
+        elif kind == "serve-request":
+            self.serve_requests += 1
+        elif kind == "worker-crash":
+            self.worker_crashes += 1
 
 
 def replay(events: Iterable[Event]) -> ReplaySummary:

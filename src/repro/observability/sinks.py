@@ -22,7 +22,8 @@ all other event types are always delivered.
 from __future__ import annotations
 
 import json
-from typing import Callable, List, Optional
+import threading
+from typing import Callable, List, Mapping, Optional
 
 from repro.observability.events import Event
 
@@ -87,10 +88,28 @@ class CallbackSink(EventSink):
 
 
 class JsonlSink(EventSink):
-    """Writes one JSON object per event line (the ``--trace-out`` format)."""
+    """Writes one JSON object per event line (the ``--trace-out`` format).
 
-    def __init__(self, path_or_file, *, wants_steps: bool = False) -> None:
+    **Atomicity.** Each event is serialized into one buffered string
+    (terminator included) and written with a *single* ``write()`` call
+    under the sink's lock, so concurrent producers — batch-runner threads,
+    the serve daemon's per-worker streams — can share one sink without
+    ever interleaving half-lines.  (The historical two-``write`` emit let
+    an 8-thread batch corrupt the very trace ``replay()`` folds over.)
+
+    **Flush policy.** The line is buffered by the underlying file object;
+    by default it reaches disk when the sink is closed (or the buffer
+    fills).  Pass ``flush_each=True`` for tail-ability — every emit is
+    flushed, which is what a long-lived daemon's per-worker sinks use so
+    traces are observable while the process is still running.
+    """
+
+    def __init__(
+        self, path_or_file, *, wants_steps: bool = False, flush_each: bool = False
+    ) -> None:
         self.wants_steps = wants_steps
+        self.flush_each = flush_each
+        self._lock = threading.Lock()
         if hasattr(path_or_file, "write"):
             self._handle = path_or_file
             self._owned = False
@@ -99,15 +118,48 @@ class JsonlSink(EventSink):
             self._owned = True
 
     def emit(self, event: Event) -> None:
-        self._handle.write(json.dumps(event.to_dict(), default=str))
-        self._handle.write("\n")
+        line = json.dumps(event.to_dict(), default=str) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            if self.flush_each:
+                self._handle.flush()
 
     def close(self) -> None:
-        if self._owned and self._handle is not None:
-            self._handle.close()
-            self._handle = None
-        elif self._handle is not None and hasattr(self._handle, "flush"):
-            self._handle.flush()
+        with self._lock:
+            if self._owned and self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            elif self._handle is not None and hasattr(self._handle, "flush"):
+                self._handle.flush()
+
+
+class TaggedSink(EventSink):
+    """Forwards to an inner sink, merging constant fields into each payload.
+
+    The serve daemon gives every worker ``TaggedSink(JsonlSink(...),
+    {"worker": n})`` so each event in a per-worker trace says which worker
+    produced it — and merged traces stay attributable.  Event fields other
+    than the payload pass through unchanged; a payload key the event
+    already carries wins over the tag.
+    """
+
+    def __init__(self, inner: EventSink, tags: Mapping[str, object]) -> None:
+        self._inner = inner
+        self.tags = dict(tags)
+
+    @property
+    def wants_steps(self) -> bool:  # type: ignore[override]
+        return self._inner.wants_steps
+
+    def emit(self, event: Event) -> None:
+        payload = dict(self.tags)
+        payload.update(event.payload)
+        self._inner.emit(
+            Event(seq=event.seq, type=event.type, slot=event.slot, payload=payload)
+        )
+
+    def close(self) -> None:
+        self._inner.close()
 
 
 def is_null_sink(sink: Optional[EventSink]) -> bool:
@@ -121,5 +173,6 @@ __all__ = [
     "InMemorySink",
     "JsonlSink",
     "NullSink",
+    "TaggedSink",
     "is_null_sink",
 ]

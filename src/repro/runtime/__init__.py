@@ -13,7 +13,14 @@ single-run monitoring pipeline:
 * :mod:`repro.runtime.batch` — :class:`BatchRunner`/:func:`run_batch`
   executing :class:`RunRequest` batches over a worker pool with
   per-request isolation and timeouts, and the :class:`Runtime` facade
-  tying config + cache + pool together.
+  tying config + cache + pool together;
+* :mod:`repro.runtime.process_pool` — :class:`ProcessPoolRunner`, the
+  multi-core tier: forked workers with pre-warmed per-worker caches,
+  program-fingerprint request routing, bounded-queue backpressure
+  (:class:`OverloadedError`) and crash detection + restart;
+* :mod:`repro.runtime.serve` — :class:`Server`, the long-lived
+  JSONL-over-socket daemon (``repro serve``) in front of the process
+  pool.
 
 Import order matters here: ``config`` has no dependency on the rest of
 the package and is imported first; ``batch`` reaches back into
@@ -29,21 +36,39 @@ from repro.runtime.batch import (
     RunRequest,
     RunResult,
     Runtime,
+    admission_failure,
+    check_timeout,
+    execute_request,
     language_by_name,
     run_batch,
 )
+from repro.runtime.process_pool import (
+    DEFAULT_QUEUE_DEPTH,
+    OverloadedError,
+    ProcessPoolRunner,
+    route_key,
+)
+from repro.runtime.serve import Server
 
 __all__ = [
+    "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_WORKERS",
     "BatchRunner",
     "CacheStats",
     "CompilationCache",
+    "OverloadedError",
+    "ProcessPoolRunner",
     "RunConfig",
     "RunRequest",
     "RunResult",
     "Runtime",
+    "Server",
+    "admission_failure",
     "cache_key",
+    "check_timeout",
+    "execute_request",
     "language_by_name",
     "program_fingerprint",
+    "route_key",
     "run_batch",
 ]

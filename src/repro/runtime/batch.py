@@ -41,6 +41,26 @@ from repro.runtime.config import RunConfig
 DEFAULT_WORKERS = 4
 
 
+def check_timeout(timeout: object) -> Optional[float]:
+    """Validate a per-request ``timeout`` override (``None`` passes).
+
+    Mirrors :meth:`RunConfig.validate`'s rule at the admission boundary:
+    a JSONL record carrying ``"timeout": 0`` (or a negative value, or a
+    non-number) must be rejected *here*, before the override is spliced
+    into a config — historically ``replace(cfg, timeout=...)`` skipped
+    re-validation and let the bad value through.
+    """
+    if timeout is None:
+        return None
+    if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+        raise ValueError(
+            f"timeout must be a number of seconds, got {timeout!r}"
+        )
+    if timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout!r}")
+    return float(timeout)
+
+
 def _checked_config(config: Optional[RunConfig]) -> RunConfig:
     if config is None:
         return RunConfig().validate()
@@ -140,7 +160,7 @@ class RunRequest:
             tools=data.get("tools", ()),
             language=language_by_name(data.get("language")),
             config=config,
-            timeout=data.get("timeout"),
+            timeout=check_timeout(data.get("timeout")),
             tag=data.get("tag"),
         )
 
@@ -177,7 +197,13 @@ class RunResult:
     diagnostics: Tuple = ()
 
     def to_dict(self, *, render=None) -> Dict[str, object]:
-        """A JSON-friendly projection (``render`` maps non-JSON values)."""
+        """A JSON-friendly projection (``render`` maps non-JSON values).
+
+        ``duration`` (seconds of wall clock spent on the request) is always
+        present: it is what ``--stats`` and serving clients read latency
+        from — historically it was measured but dropped here, so batch and
+        serve JSONL output carried no latency field at all.
+        """
         show = render if render is not None else _render_value
         out: Dict[str, object] = {"index": self.index, "ok": self.ok}
         if self.tag is not None:
@@ -193,9 +219,41 @@ class RunResult:
             out["error_type"] = self.error_type
             if self.timed_out:
                 out["timed_out"] = True
+        out["duration"] = self.duration
         if self.diagnostics:
-            out["diagnostics"] = [d.to_dict() for d in self.diagnostics]
+            # Diagnostics that crossed a process boundary are already
+            # plain dicts (from_dict keeps them that way); re-rendering
+            # must be idempotent or the serve path would crash re-emitting
+            # a worker's lint rejection.
+            out["diagnostics"] = [
+                d if isinstance(d, dict) else d.to_dict()
+                for d in self.diagnostics
+            ]
         return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from its :meth:`to_dict` projection.
+
+        This is the receiving half of the serialization boundary: process-
+        pool workers and ``repro serve`` clients see *rendered* results —
+        ``answer``/``reports`` are the JSON-safe projections, and the
+        in-process-only fields (``metrics``, ``monitored``) stay ``None``.
+        ``diagnostics`` come back as the plain dicts ``to_dict`` emitted.
+        """
+        return cls(
+            index=int(data.get("index", 0)),
+            ok=bool(data.get("ok", False)),
+            tag=data.get("tag"),
+            answer=data.get("answer"),
+            reports=dict(data.get("reports", {})),
+            faults=tuple(tuple(f) for f in data.get("faults", ())),
+            error=data.get("error"),
+            error_type=data.get("error_type"),
+            timed_out=bool(data.get("timed_out", False)),
+            duration=float(data.get("duration", 0.0)),
+            diagnostics=tuple(data.get("diagnostics", ())),
+        )
 
 
 def _render_value(value: object) -> object:
@@ -212,6 +270,116 @@ def _render_value(value: object) -> object:
         return value_to_string(value)
     except Exception:
         return str(value)
+
+
+def admission_failure(
+    index: int, record: object, exc: BaseException
+) -> RunResult:
+    """The ``ok=False`` result for a record rejected before execution.
+
+    Bad records — unknown keys, a missing program, an invalid ``timeout``
+    — fail *their own slot* and nothing else: the batch keeps running and
+    the JSONL consumer sees a diagnostic result in submission order
+    instead of the whole batch raising.
+    """
+    tag = record.get("tag") if isinstance(record, dict) else None
+    return RunResult(
+        index=index,
+        ok=False,
+        tag=tag if isinstance(tag, str) else None,
+        error=str(exc),
+        error_type=type(exc).__name__,
+    )
+
+
+def execute_request(
+    index: int,
+    request: RunRequest,
+    *,
+    config: RunConfig,
+    cache: Optional[CompilationCache] = None,
+) -> RunResult:
+    """Run one request in full isolation; exceptions become results.
+
+    The single-request engine behind both the thread-pooled
+    :class:`BatchRunner` and the process-pool workers
+    (:mod:`repro.runtime.process_pool`) — one definition of how a request
+    turns into a :class:`RunResult`, whatever pool it ran on.  ``config``
+    supplies defaults when the request carries none.
+    """
+    from repro.analysis import StaticAnalysisError
+    from repro.errors import EvaluationTimeout
+
+    start = perf_counter()
+    try:
+        cfg = request.config if request.config is not None else config
+        if request.timeout is not None:
+            # Re-validate after splicing the override: a bad per-request
+            # timeout must fail this request, not slip past the config's
+            # "timeout must be positive" check (or crash the pool).
+            cfg = replace(
+                cfg, timeout=check_timeout(request.timeout)
+            ).validate()
+        cfg = cfg.with_fresh_metrics()  # never share counters across requests
+        from repro.toolbox.registry import evaluate
+
+        outcome = evaluate(
+            request.tools,
+            request.program,
+            language=request.language,
+            config=cfg,
+            cache=cache,
+        )
+    except StaticAnalysisError as exc:
+        # Rejected at admission: the program never executed.  The
+        # structured findings ride along so the JSONL consumer can
+        # show codes and source locations, not just a message.
+        return RunResult(
+            index=index,
+            ok=False,
+            tag=request.tag,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            duration=perf_counter() - start,
+            diagnostics=tuple(exc.diagnostics),
+        )
+    except EvaluationTimeout as exc:
+        return RunResult(
+            index=index,
+            ok=False,
+            tag=request.tag,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            timed_out=True,
+            duration=perf_counter() - start,
+        )
+    except Exception as exc:
+        return RunResult(
+            index=index,
+            ok=False,
+            tag=request.tag,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            duration=perf_counter() - start,
+        )
+    monitored = outcome.monitored
+    faults: Tuple = ()
+    if monitored is not None and monitored.faults:
+        from repro.observability.events import fault_tuples
+
+        faults = tuple(fault_tuples(monitored.faults))
+    return RunResult(
+        index=index,
+        ok=True,
+        tag=request.tag,
+        answer=outcome.answer,
+        reports=monitored.reports() if monitored is not None else {},
+        faults=faults,
+        duration=perf_counter() - start,
+        metrics=outcome.metrics,
+        monitored=monitored,
+        diagnostics=tuple(outcome.diagnostics),
+    )
 
 
 class BatchRunner:
@@ -257,17 +425,37 @@ class BatchRunner:
     # -- execution -----------------------------------------------------------
 
     def run(self, requests: Sequence[Union[RunRequest, Dict]]) -> List[RunResult]:
-        """Run every request; results in submission order, never raising."""
-        normalized = [
-            request if isinstance(request, RunRequest) else RunRequest.from_dict(request)
-            for request in requests
-        ]
+        """Run every request; results in submission order, never raising.
+
+        A record :meth:`RunRequest.from_dict` rejects (unknown key, missing
+        program, invalid ``timeout``) becomes a diagnostic ``ok=False``
+        result in its slot rather than failing the whole batch.
+        """
+        normalized: List[Union[RunRequest, RunResult]] = []
+        for index, request in enumerate(requests):
+            if isinstance(request, RunRequest):
+                normalized.append(request)
+            else:
+                try:
+                    normalized.append(RunRequest.from_dict(request))
+                except Exception as exc:
+                    normalized.append(admission_failure(index, request, exc))
         total = len(normalized)
         self._emit("batch-start", {"total": total, "workers": self.workers})
         start = perf_counter()
         results: List[Optional[RunResult]] = [None] * total
-        if self.workers <= 1 or total <= 1:
-            for index, request in enumerate(normalized):
+        rejected = [
+            entry for entry in normalized if isinstance(entry, RunResult)
+        ]
+        runnable = [
+            (index, entry)
+            for index, entry in enumerate(normalized)
+            if isinstance(entry, RunRequest)
+        ]
+        for failure in rejected:
+            results[failure.index] = self._finish(failure)
+        if self.workers <= 1 or len(runnable) <= 1:
+            for index, request in runnable:
                 results[index] = self._finish(self._execute(index, request))
         else:
             from concurrent.futures import ThreadPoolExecutor, as_completed
@@ -275,7 +463,7 @@ class BatchRunner:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 futures = {
                     pool.submit(self._execute, index, request): index
-                    for index, request in enumerate(normalized)
+                    for index, request in runnable
                 }
                 for future in as_completed(futures):
                     result = self._finish(future.result())
@@ -301,74 +489,8 @@ class BatchRunner:
         return result
 
     def _execute(self, index: int, request: RunRequest) -> RunResult:
-        """Run one request in full isolation; exceptions become results."""
-        from repro.analysis import StaticAnalysisError
-        from repro.errors import EvaluationTimeout
-
-        cfg = request.config if request.config is not None else self.config
-        if request.timeout is not None:
-            cfg = replace(cfg, timeout=request.timeout)
-        cfg = cfg.with_fresh_metrics()  # never share counters across requests
-        start = perf_counter()
-        try:
-            from repro.toolbox.registry import evaluate
-
-            outcome = evaluate(
-                request.tools,
-                request.program,
-                language=request.language,
-                config=cfg,
-                cache=self.cache,
-            )
-        except StaticAnalysisError as exc:
-            # Rejected at admission: the program never executed.  The
-            # structured findings ride along so the JSONL consumer can
-            # show codes and source locations, not just a message.
-            return RunResult(
-                index=index,
-                ok=False,
-                tag=request.tag,
-                error=str(exc),
-                error_type=type(exc).__name__,
-                duration=perf_counter() - start,
-                diagnostics=tuple(exc.diagnostics),
-            )
-        except EvaluationTimeout as exc:
-            return RunResult(
-                index=index,
-                ok=False,
-                tag=request.tag,
-                error=str(exc),
-                error_type=type(exc).__name__,
-                timed_out=True,
-                duration=perf_counter() - start,
-            )
-        except Exception as exc:
-            return RunResult(
-                index=index,
-                ok=False,
-                tag=request.tag,
-                error=str(exc),
-                error_type=type(exc).__name__,
-                duration=perf_counter() - start,
-            )
-        monitored = outcome.monitored
-        faults: Tuple = ()
-        if monitored is not None and monitored.faults:
-            from repro.observability.events import fault_tuples
-
-            faults = tuple(fault_tuples(monitored.faults))
-        return RunResult(
-            index=index,
-            ok=True,
-            tag=request.tag,
-            answer=outcome.answer,
-            reports=monitored.reports() if monitored is not None else {},
-            faults=faults,
-            duration=perf_counter() - start,
-            metrics=outcome.metrics,
-            monitored=monitored,
-            diagnostics=tuple(outcome.diagnostics),
+        return execute_request(
+            index, request, config=self.config, cache=self.cache
         )
 
 
@@ -393,6 +515,14 @@ class Runtime:
     Hold a ``Runtime`` for the life of a service; route single requests
     through :meth:`run` and batches through :meth:`run_batch` — both share
     the compiled-program cache, so steady-state traffic never recompiles.
+
+    ``executor`` picks the batch tier: ``"thread"`` (the default — cache
+    sharing, GIL-bound CPU) or ``"process"`` (a lazily-started
+    :class:`~repro.runtime.process_pool.ProcessPoolRunner`: real CPU
+    parallelism, per-worker caches of ``cache_size``, fingerprint-sharded
+    routing).  :meth:`run` always executes in-process either way — only
+    batches fan out.  With the process executor, call :meth:`close` (or
+    use the runtime as a context manager) when done.
     """
 
     def __init__(
@@ -402,11 +532,19 @@ class Runtime:
         workers: Optional[int] = None,
         cache_size: int = 128,
         event_sink=None,
+        executor: str = "thread",
     ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         self.config = _checked_config(config)
         self.workers = DEFAULT_WORKERS if workers is None else max(1, int(workers))
         self.cache = CompilationCache(cache_size, event_sink=event_sink)
         self.event_sink = event_sink
+        self.executor = executor
+        self._cache_size = cache_size
+        self._process_pool = None
 
     def run(self, tools, program, *, language=None, config: Optional[RunConfig] = None):
         """One monitored evaluation through the shared cache.
@@ -426,6 +564,8 @@ class Runtime:
     def run_batch(
         self, requests: Sequence[Union[RunRequest, Dict]]
     ) -> List[RunResult]:
+        if self.executor == "process":
+            return self._pool().run(requests)
         runner = BatchRunner(
             workers=self.workers,
             config=self.config,
@@ -433,6 +573,30 @@ class Runtime:
             event_sink=self.event_sink,
         )
         return runner.run(requests)
+
+    def _pool(self):
+        if self._process_pool is None:
+            from repro.runtime.process_pool import ProcessPoolRunner
+
+            self._process_pool = ProcessPoolRunner(
+                workers=self.workers,
+                config=self.config,
+                cache_size=self._cache_size,
+                event_sink=self.event_sink,
+            ).start()
+        return self._process_pool
+
+    def close(self) -> None:
+        """Stop the process pool, if one was started (threads need nothing)."""
+        if self._process_pool is not None:
+            self._process_pool.close()
+            self._process_pool = None
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def cache_stats(self):
         return self.cache.stats()
@@ -444,6 +608,9 @@ __all__ = [
     "RunRequest",
     "RunResult",
     "Runtime",
+    "admission_failure",
+    "check_timeout",
+    "execute_request",
     "language_by_name",
     "run_batch",
 ]

@@ -95,6 +95,39 @@ class RunConfig:
             return self
         return replace(self, metrics=RunMetrics())
 
+    #: The JSON-safe subset of the fields — everything a run option can be
+    #: on the far side of a process boundary.  ``metrics``, ``event_sink``
+    #: and ``answers`` are deliberately absent: accumulators and sinks are
+    #: per-process objects (workers attach their own), and answer algebras
+    #: carry functions.
+    SCALAR_FIELDS = (
+        "engine",
+        "fault_policy",
+        "max_steps",
+        "check_disjointness",
+        "timeout",
+        "lint",
+    )
+
+    def scalars(self) -> Dict[str, object]:
+        """The config's JSON-safe fields, for the process-pool wire format.
+
+        ``ProcessPoolRunner`` ships these to workers instead of the config
+        object itself; :meth:`from_scalars` rebuilds an equivalent config
+        on the other side.  Non-scalar fields (``metrics``, ``event_sink``,
+        ``answers``) do not cross the boundary — each worker supplies its
+        own.
+        """
+        return {name: getattr(self, name) for name in self.SCALAR_FIELDS}
+
+    @classmethod
+    def from_scalars(cls, data: Dict[str, object]) -> "RunConfig":
+        """Rebuild a validated config from :meth:`scalars` output."""
+        unknown = set(data) - set(cls.SCALAR_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown run config scalar(s): {sorted(unknown)}")
+        return cls(**data).validate()  # type: ignore[arg-type]
+
     @classmethod
     def resolve(
         cls, config: "Optional[RunConfig]", **legacy: object

@@ -42,6 +42,8 @@ PACKAGES = [
     "repro.runtime.batch",
     "repro.runtime.cache",
     "repro.runtime.config",
+    "repro.runtime.process_pool",
+    "repro.runtime.serve",
     "repro.semantics",
     "repro.semantics.denotational",
     "repro.semantics.monadic",

@@ -250,3 +250,92 @@ class TestBatchSurface:
         assert all(result.ok for result in first + second)
         stats = cache.stats()
         assert stats.misses == 1 and stats.hits == 19
+
+
+class TestTimeoutAdmission:
+    """The PR 7 bugfix: a bad per-request ``timeout`` is rejected cleanly.
+
+    Historically ``replace(cfg, timeout=...)`` spliced the override in
+    without re-validating, so ``"timeout": 0`` sailed past the config's
+    "must be positive" check and disabled the deadline entirely.  Now
+    :func:`check_timeout` guards the admission boundary and a bad value
+    fails *its own slot* with a diagnostic result.
+    """
+
+    def test_zero_timeout_record_is_rejected(self):
+        results = run_batch(
+            [{"program": PLAIN % 2, "timeout": 0, "tag": "z"}], workers=1
+        )
+        assert results[0].ok is False
+        assert results[0].error_type == "ValueError"
+        assert "positive" in results[0].error
+        assert results[0].tag == "z"
+
+    def test_negative_and_non_number_timeouts_rejected(self):
+        results = run_batch(
+            [
+                {"program": PLAIN % 1, "timeout": -2},
+                {"program": PLAIN % 2, "timeout": "soon"},
+                {"program": PLAIN % 3, "timeout": True},
+                {"program": PLAIN % 4},
+            ],
+            workers=1,
+        )
+        assert [result.ok for result in results] == [False, False, False, True]
+        assert all(result.error_type == "ValueError" for result in results[:3])
+        assert results[3].answer == 16
+
+    def test_bad_request_timeout_fails_slot_not_batch(self):
+        requests = [
+            RunRequest(program=PLAIN % 1),
+            RunRequest(program=PLAIN % 2, timeout=-1.0),
+            RunRequest(program=PLAIN % 3),
+        ]
+        results = run_batch(requests, workers=2)
+        assert [result.ok for result in results] == [True, False, True]
+        assert results[1].error_type == "ValueError"
+
+    def test_check_timeout_contract(self):
+        from repro.runtime import check_timeout
+
+        assert check_timeout(None) is None
+        assert check_timeout(2) == 2.0
+        with pytest.raises(ValueError, match="positive"):
+            check_timeout(0)
+        with pytest.raises(ValueError, match="number"):
+            check_timeout(True)  # bools are not durations
+
+    def test_valid_override_still_enforced(self):
+        loop = "letrec loop = lambda x. loop (x + 1) in loop 0"
+        results = run_batch([{"program": loop, "timeout": 0.2}], workers=1)
+        assert results[0].timed_out is True
+        assert results[0].error_type == "EvaluationTimeout"
+
+
+class TestResultWireFormat:
+    def test_to_dict_always_carries_duration(self):
+        """The latency-reporting fix: ok and error records both have it."""
+        results = run_batch(
+            [
+                {"program": PLAIN % 3},
+                {"program": "((("},
+                {"program": PLAIN % 1, "timeout": 0},
+            ],
+            workers=1,
+        )
+        for result in results:
+            record = result.to_dict()
+            assert "duration" in record
+            assert isinstance(record["duration"], float)
+        assert results[0].to_dict()["duration"] > 0.0
+
+    def test_from_dict_inverts_to_dict(self):
+        [result] = run_batch(
+            [RunRequest(program=FAC % 4, tools="profile", tag="rt")], workers=1
+        )
+        back = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back.ok is True and back.tag == "rt"
+        assert back.answer == result.answer
+        assert back.reports == result.reports
+        assert back.metrics is None  # in-process-only fields do not cross
+        assert back.monitored is None
