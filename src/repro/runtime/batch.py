@@ -437,7 +437,11 @@ class BatchRunner:
                 normalized.append(request)
             else:
                 try:
-                    normalized.append(RunRequest.from_dict(request))
+                    # base= so a record's config keys overlay the runner's
+                    # config rather than replacing it wholesale.
+                    normalized.append(
+                        RunRequest.from_dict(request, base=self.config)
+                    )
                 except Exception as exc:
                     normalized.append(admission_failure(index, request, exc))
         total = len(normalized)

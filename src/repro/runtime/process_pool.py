@@ -32,10 +32,12 @@ Operational guarantees:
   raises :class:`OverloadedError` (an explicit rejection the serve daemon
   turns into an ``"Overloaded"`` JSONL record — never a silent drop);
 * **crash detection + restart** — a worker that dies (OOM-killed,
-  segfaulted C extension, ``SIGKILL``) is detected, the request it was
-  running fails with ``error_type="WorkerCrashed"``, a replacement worker
-  is forked onto the *same* queue (queued requests survive), and the pool
-  keeps serving;
+  segfaulted C extension, ``SIGKILL``) is detected, every request it had
+  accepted (the one it was running *and* any still queued to it — the
+  parent cannot always tell which one was dequeued when the process
+  died) fails with ``error_type="WorkerCrashed"``, a replacement worker
+  is forked, and the pool keeps serving — no future ever hangs on a dead
+  worker;
 * **per-request cooperative timeouts** — exactly the batch runner's,
   enforced by the trampoline deadline inside the worker;
 * **per-worker telemetry** — with ``trace_dir`` set, each worker streams
@@ -167,8 +169,10 @@ def _worker_main(worker_id: int, request_queue, result_queue, init) -> None:
     Runs in the child process.  Protocol (messages on ``result_queue``):
     ``("ready", wid, pid)`` once warm, ``("start", wid, id)`` when a
     request is picked up, ``("done", wid, id, result_dict)`` when it
-    finishes.  The start/done pair is how the parent knows *exactly which*
-    request was in flight if this process dies mid-run.
+    finishes.  The start/done pair tells the parent which request was
+    running if this process dies mid-run — but delivery races death, so
+    the parent's crash accounting keys off its own submitted-but-unacked
+    set, not these acks alone.
     """
     from repro.observability.events import Event
     from repro.observability.sinks import JsonlSink, TaggedSink
@@ -245,6 +249,12 @@ class _Worker:
         self.queue = ctx.Queue(maxsize=queue_depth)
         self.process = None
         self.current: Optional[int] = None  # in-flight request id
+        # Every request id handed to this worker's queue and not yet
+        # "done"-acked.  ``current`` alone cannot be trusted for crash
+        # accounting: a worker that dies after dequeuing a request but
+        # before its "start" message is delivered leaves ``current`` unset
+        # — the unacked set is the ground truth of what this worker owes.
+        self.inflight: Dict[int, None] = {}
         self.ready = False
         self.restarts = 0
 
@@ -302,7 +312,9 @@ class ProcessPoolRunner:
         self.trace_dir = trace_dir
         self._prewarm_wire = [
             request_to_wire(
-                r if isinstance(r, RunRequest) else RunRequest.from_dict(r),
+                r
+                if isinstance(r, RunRequest)
+                else RunRequest.from_dict(r, base=self.config),
                 request_id=-1,
                 index=0,
             )
@@ -318,6 +330,9 @@ class ProcessPoolRunner:
             )
         self._ctx = multiprocessing.get_context(start_method)
         self._lock = threading.Lock()
+        # _emit's own lock: never the pool lock, so events can be emitted
+        # from any pool method regardless of what locks the caller holds.
+        self._seq_lock = threading.Lock()
         self._ids = itertools.count(1)
         self._pending: Dict[int, _Pending] = {}
         self._pool: List[_Worker] = []
@@ -346,19 +361,24 @@ class ProcessPoolRunner:
         self._collector.start()
         deadline = monotonic() + 60.0
         while monotonic() < deadline:
+            started = None
             with self._lock:
                 if all(worker.ready for worker in self._pool):
-                    for worker in self._pool:
-                        self._emit(
-                            "worker-start",
-                            {"worker": worker.worker_id, "pid": worker.process.pid},
-                        )
-                    return self
+                    started = [
+                        (worker.worker_id, worker.process.pid)
+                        for worker in self._pool
+                    ]
                 dead = [
                     worker
                     for worker in self._pool
                     if not worker.ready and not worker.process.is_alive()
                 ]
+            if started is not None:
+                # Emit outside the pool lock: the sink is arbitrary user
+                # code and must never run under (or re-take) self._lock.
+                for worker_id, pid in started:
+                    self._emit("worker-start", {"worker": worker_id, "pid": pid})
+                return self
             if dead:
                 self.close()
                 raise ReproError(
@@ -449,7 +469,7 @@ class ProcessPoolRunner:
             return
         from repro.observability.events import Event
 
-        with self._lock:
+        with self._seq_lock:
             self._event_seq += 1
             seq = self._event_seq
         self._event_sink.emit(Event(seq=seq, type=event_type, payload=payload))
@@ -478,7 +498,12 @@ class ProcessPoolRunner:
             raise ReproError("process pool is closed")
         if not isinstance(request, RunRequest):
             try:
-                request = RunRequest.from_dict(request)
+                # base= so a record naming one config key (engine, lint,
+                # max_steps, fault_policy) *overlays* the pool's config
+                # instead of replacing it — otherwise a serve record with
+                # any config key would silently shed the daemon's lint
+                # gate and timeout.
+                request = RunRequest.from_dict(request, base=self.config)
             except Exception as exc:
                 return self._failed_future(admission_failure(index, request, exc))
         request_id = next(self._ids)
@@ -499,6 +524,7 @@ class ProcessPoolRunner:
                 worker=worker.worker_id,
             )
             self._pending[request_id] = pending
+            worker.inflight[request_id] = None
         try:
             if block:
                 worker.queue.put(wire)
@@ -507,6 +533,7 @@ class ProcessPoolRunner:
         except queue_module.Full:
             with self._lock:
                 self._pending.pop(request_id, None)
+                worker.inflight.pop(request_id, None)
             raise OverloadedError(
                 f"worker {worker.worker_id} queue is full "
                 f"(depth {self.queue_depth}); back off and retry"
@@ -581,6 +608,7 @@ class ProcessPoolRunner:
                     worker = self._pool[worker_id]
                     if worker.current == request_id:
                         worker.current = None
+                    worker.inflight.pop(request_id, None)
                     pending = self._pending.pop(request_id, None)
                 if pending is not None:
                     self._resolve_exceptionless(
@@ -588,7 +616,19 @@ class ProcessPoolRunner:
                     )
 
     def _check_liveness(self) -> None:
-        """Fail the in-flight request of any dead worker; fork a replacement."""
+        """Fail every unacked request of any dead worker; fork a replacement.
+
+        ``worker.current`` (the "start"-acked request) is not enough: a
+        worker can die *after* dequeuing a request but *before* its
+        "start" message is delivered, leaving a request that is neither
+        current nor still in the queue — its future would never resolve.
+        So a crash fails the whole unacked set for that worker (running
+        *and* queued requests alike) rather than guessing which single
+        one was in flight; nothing submitted to a dead worker can hang.
+        Wires still physically in the queue may be re-executed by the
+        replacement — their "done" messages find no pending entry and are
+        ignored.
+        """
         if self._closing:
             return
         with self._lock:
@@ -604,11 +644,13 @@ class ProcessPoolRunner:
             pid = worker.process.pid
             with self._lock:
                 in_flight = worker.current
-                pending = (
-                    self._pending.pop(in_flight, None)
-                    if in_flight is not None
-                    else None
-                )
+                lost = [
+                    pending
+                    for request_id in list(worker.inflight)
+                    for pending in (self._pending.pop(request_id, None),)
+                    if pending is not None
+                ]
+                worker.inflight.clear()
                 worker.restarts += 1
                 self._crashes += 1
                 worker.spawn(
@@ -623,13 +665,15 @@ class ProcessPoolRunner:
                     "pid": pid,
                     "exitcode": exitcode,
                     "in_flight": in_flight,
+                    "failed": len(lost),
                 },
             )
             self._emit(
                 "worker-start",
                 {"worker": worker.worker_id, "pid": worker.process.pid},
             )
-            if pending is not None:
+            for pending in lost:
+                ran = pending.started or pending.request_id == in_flight
                 self._resolve_exceptionless(
                     pending,
                     RunResult(
@@ -638,8 +682,13 @@ class ProcessPoolRunner:
                         tag=pending.tag,
                         error=(
                             f"worker {worker.worker_id} (pid {pid}) died with "
-                            f"exit code {exitcode} while running this request; "
-                            "a replacement worker was started"
+                            f"exit code {exitcode} "
+                            + (
+                                "while running this request"
+                                if ran
+                                else "with this request queued on it"
+                            )
+                            + "; a replacement worker was started"
                         ),
                         error_type="WorkerCrashed",
                     ),

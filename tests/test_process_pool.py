@@ -5,10 +5,12 @@ the answers: routing by program fingerprint, per-worker caches and the
 process boundary may change *where* a request runs, never *what* it
 returns — the soundness theorem (Section 7) is what licenses the
 sharding.  Beyond parity, the pool owes its callers the operational
-guarantees a daemon is built on: a dead worker fails exactly the request
-it was running and is replaced; a full queue is an explicit
-:class:`OverloadedError`, never a silent drop; a bad record fails its
-own slot with a diagnostic result.
+guarantees a daemon is built on: a dead worker fails every request it
+had accepted (running or queued — no future ever hangs) and is
+replaced; a full queue is an explicit :class:`OverloadedError`, never a
+silent drop; a bad record fails its own slot with a diagnostic result;
+a record's config keys overlay the pool's config instead of shedding
+its lint gate and timeout.
 """
 
 import json
@@ -244,6 +246,37 @@ class TestAdmissionAndTimeouts:
         assert result.ok is False
         assert "bogus" in result.error
 
+    def test_record_config_keys_overlay_pool_config(self):
+        """A record naming one config key must not shed the pool's config.
+
+        The historical bypass: ``submit`` built a *fresh* ``RunConfig``
+        from the record's keys, so ``{"max_steps": 100}`` silently turned
+        the pool's ``lint="error"`` admission gate back off.
+        """
+        with ProcessPoolRunner(
+            workers=1, config=RunConfig(lint="error")
+        ) as runner:
+            results = runner.run(
+                [
+                    {"program": "foo 1", "max_steps": 100},
+                    {"program": PLAIN % 3, "max_steps": 100},
+                ]
+            )
+        assert results[0].ok is False
+        assert results[0].error_type == "StaticAnalysisError"
+        assert results[1].ok and results[1].answer == 9
+
+    def test_record_config_keys_keep_pool_timeout(self):
+        """Overriding ``engine`` must not disable the pool's deadline."""
+        with ProcessPoolRunner(
+            workers=1, config=RunConfig(timeout=0.3)
+        ) as runner:
+            future = runner.submit({"program": LOOP, "engine": "reference"})
+            result = future.result(timeout=15)
+        assert result.ok is False
+        assert result.timed_out is True
+        assert result.error_type == "EvaluationTimeout"
+
 
 class TestCrashRecovery:
     def test_sigkilled_worker_fails_in_flight_and_restarts(self):
@@ -270,6 +303,44 @@ class TestCrashRecovery:
             stats = runner.stats()
             assert stats["crashes"] == 1
             assert stats["restarts"] == 1
+
+    def test_crash_resolves_queued_requests_too(self):
+        """No future submitted to a dead worker may hang.
+
+        The historical race: a worker that died after dequeuing a request
+        but before its "start" ack was delivered left a request that was
+        neither ``worker.current`` nor in the queue — its future never
+        resolved.  Crash accounting now fails the worker's whole unacked
+        set, so everything it had accepted (running *and* queued) comes
+        back ``WorkerCrashed`` instead of blocking forever.
+        """
+        with ProcessPoolRunner(workers=1, queue_depth=8) as runner:
+            blocker = runner.submit(
+                RunRequest(program=LOOP, timeout=30.0, tag="running")
+            )
+            queued = [
+                runner.submit(RunRequest(program=PLAIN % n, tag=f"queued-{n}"))
+                for n in range(3)
+            ]
+            victim_pid = None
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and victim_pid is None:
+                for worker in runner._pool:
+                    if worker.current is not None:
+                        victim_pid = worker.process.pid
+                time.sleep(0.01)
+            assert victim_pid is not None, "request never reached the worker"
+            os.kill(victim_pid, signal.SIGKILL)
+            results = [
+                future.result(timeout=15) for future in [blocker, *queued]
+            ]
+            assert all(result.ok is False for result in results)
+            assert {result.error_type for result in results} == {"WorkerCrashed"}
+            assert "running this request" in results[0].error
+            # The replacement worker keeps serving new traffic.
+            after = runner.run([RunRequest(program=PLAIN % 6)])[0]
+            assert after.ok and after.answer == 36
+            assert runner.stats()["pending"] == 0
 
 
 class TestBackpressure:
@@ -299,6 +370,36 @@ class TestBackpressure:
         runner.close()
         with pytest.raises(ReproError, match="closed"):
             runner.submit(RunRequest(program=PLAIN % 1))
+
+
+class TestParentEventSink:
+    def test_start_with_event_sink_does_not_deadlock(self):
+        """The historical deadlock: ``start()`` emitted worker-start while
+        holding the pool lock, and ``_emit`` re-acquired the same
+        non-reentrant lock to bump the sequence — any pool built with a
+        real ``event_sink`` hung forever once workers reported ready.
+        """
+        import threading
+
+        from repro.observability.sinks import InMemorySink
+
+        sink = InMemorySink()
+        runner = ProcessPoolRunner(workers=1, event_sink=sink)
+        starter = threading.Thread(target=runner.start, daemon=True)
+        starter.start()
+        starter.join(timeout=30)
+        try:
+            assert not starter.is_alive(), "start() deadlocked with event sink"
+            [result] = runner.run([RunRequest(program=PLAIN % 3)])
+            assert result.ok and result.answer == 9
+        finally:
+            runner.close()
+        types = [event.type for event in sink.events]
+        assert "worker-start" in types
+        assert "batch-start" in types and "batch-end" in types
+        assert "worker-exit" in types
+        seqs = [event.seq for event in sink.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
 
 
 class TestTelemetryAndPrewarm:

@@ -203,6 +203,24 @@ class TestBatchSurface:
         assert request.config.fault_policy == "log"       # kept from base
         assert request.config.max_steps == 9999           # kept from base
 
+    def test_dict_record_config_keys_overlay_runner_config(self):
+        """A record's config keys must not shed the runner's config.
+
+        The historical bypass: ``BatchRunner.run`` normalized dict records
+        without ``base=``, so ``{"max_steps": ...}`` built a fresh
+        ``lint="off"`` config and slipped past the runner's lint gate.
+        """
+        runner = BatchRunner(workers=1, config=RunConfig(lint="error"))
+        results = runner.run(
+            [
+                {"program": "foo 1", "max_steps": 100},
+                {"program": PLAIN % 4, "max_steps": 100},
+            ]
+        )
+        assert results[0].ok is False
+        assert results[0].error_type == "StaticAnalysisError"
+        assert results[1].ok and results[1].answer == 16
+
     def test_from_dict_rejects_unknown_keys(self):
         with pytest.raises(ValueError, match="unknown batch request key"):
             RunRequest.from_dict({"program": "1", "engin": "compiled"})

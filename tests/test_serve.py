@@ -149,13 +149,21 @@ class TestAdmissionControl:
         ) as daemon:
             responses = _roundtrip(
                 daemon.address,
-                [{"id": "bad", "program": "foo 1"}, {"id": "ok", "program": PLAIN % 2}],
-                expect=2,
+                [
+                    {"id": "bad", "program": "foo 1"},
+                    # A config key in the record must overlay the daemon's
+                    # config, not replace it — the historical bypass built
+                    # a fresh lint="off" config from {"max_steps": ...}.
+                    {"id": "bad-override", "program": "foo 1", "max_steps": 100},
+                    {"id": "ok", "program": PLAIN % 2},
+                ],
+                expect=3,
             )
             by_id = {record["id"]: record for record in responses}
-            assert by_id["bad"]["ok"] is False
-            assert by_id["bad"]["error_type"] == "StaticAnalysisError"
-            assert by_id["bad"]["diagnostics"]  # findings ride along
+            for rejected in ("bad", "bad-override"):
+                assert by_id[rejected]["ok"] is False
+                assert by_id[rejected]["error_type"] == "StaticAnalysisError"
+                assert by_id[rejected]["diagnostics"]  # findings ride along
             assert by_id["ok"]["ok"] and by_id["ok"]["answer"] == 4
 
 
