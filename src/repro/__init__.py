@@ -84,6 +84,16 @@ from repro.runtime import (
 )
 from repro.syntax import parse, pretty
 from repro.toolbox import Session, evaluate
+from repro.tracing import (
+    TraceAnalysis,
+    TraceError,
+    TraceFormatError,
+    TraceVersionError,
+    analyze_many,
+    analyze_trace,
+    read_trace,
+    record,
+)
 
 __version__ = "1.0.0"
 
@@ -107,7 +117,13 @@ __all__ = [
     "Session",
     "SpecializationError",
     "StaticAnalysisError",
+    "TraceAnalysis",
+    "TraceError",
+    "TraceFormatError",
+    "TraceVersionError",
     "analyze",
+    "analyze_many",
+    "analyze_trace",
     "assert_sound",
     "assert_valid_monitor",
     "check_soundness",
@@ -124,6 +140,8 @@ __all__ = [
     "parse_imp",
     "prelude_session",
     "pretty",
+    "read_trace",
+    "record",
     "run_batch",
     "run_monitored",
     "simplify",

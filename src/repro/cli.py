@@ -103,6 +103,8 @@ def run_config_from_args(args):
         event_sink=sink,
         timeout=getattr(args, "timeout", None),
         lint=getattr(args, "lint", "off"),
+        mode=getattr(args, "mode", "inline"),
+        record_dir=getattr(args, "record_dir", None),
     ).validate()
 
 
@@ -415,6 +417,88 @@ def cmd_batch(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_record(args) -> int:
+    """Run once at full engine speed, writing the event trace to a file."""
+    from repro.tracing import record
+
+    source = _read_source(args)
+    program = _load_program(args)
+    language = _language(args)
+    tools = _tools(args.tools)
+    config = run_config_from_args(args)
+    sites = (
+        [name.strip() for name in args.sites.split(",") if name.strip()]
+        if args.sites
+        else None
+    )
+    try:
+        result = record(
+            language,
+            program,
+            args.out,
+            monitors=tools,
+            sites=sites,
+            sample_rate=args.sample,
+            seed=args.seed,
+            values=args.values,
+            source=source,
+            config=config,
+        )
+    finally:
+        _close_sink(config.event_sink)
+    print(_render_answer(result.answer))
+    sampled = f", {result.sampled_out} sampled out" if result.sampled_out else ""
+    print(
+        f"trace: {result.trace} ({result.events} events over "
+        f"{result.enabled_sites}/{result.sites} sites{sampled})",
+        file=sys.stderr,
+    )
+    # record() runs with a fresh per-run accumulator (never the shared
+    # config one); the filled counters come back on the result.
+    _print_metrics(result.metrics)
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Fold monitor stacks over a recorded trace (post-hoc monitoring)."""
+    from repro.tracing import analyze_many, read_trace
+
+    trace = read_trace(args.trace, allow_truncated=args.allow_truncated)
+    if args.list_sites:
+        for site_id, rendered in enumerate(trace.site_annotations):
+            print(f"{site_id}: {{{rendered}}}")
+        if not args.monitors:
+            return 0
+    if not args.monitors:
+        raise ReproError(
+            "provide at least one --monitors stack to fold (or --list-sites)"
+        )
+    stacks = [_tools(spec) for spec in args.monitors]
+    program = None
+    if args.program:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            program = handle.read()
+    results = analyze_many(
+        trace,
+        stacks,
+        workers=args.workers,
+        program=program,
+        fault_policy=args.fault_policy,
+        metrics=True if args.metrics else None,
+        allow_truncated=args.allow_truncated,
+    )
+    for spec_text, result in zip(args.monitors, results):
+        if len(results) > 1:
+            print(f"=== stack: {spec_text} ===")
+        if result.truncated and result.answer is None:
+            print("<truncated trace: no recorded answer>")
+        else:
+            print(_render_answer(result.answer))
+        _print_reports(result)
+        _print_metrics(result.metrics)
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Run the long-lived JSONL-over-socket daemon on a process pool."""
     import json
@@ -433,6 +517,7 @@ def cmd_serve(args) -> int:
         max_steps=args.max_steps,
         timeout=args.timeout,
         lint=args.lint,
+        record_dir=args.record_dir,
     ).validate()
     prewarm = []
     if args.prewarm:
@@ -717,8 +802,118 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print batch and cache statistics to stderr",
     )
+    batch_parser.add_argument(
+        "--mode",
+        choices=("inline", "record"),
+        default="inline",
+        help="default execution mode for requests: inline runs monitors "
+        "live, record writes an event trace per request (see --record-dir)",
+    )
+    batch_parser.add_argument(
+        "--record-dir",
+        dest="record_dir",
+        metavar="DIR",
+        default=None,
+        help="directory record-mode requests write their traces into",
+    )
     add_run_flags(batch_parser)
     batch_parser.set_defaults(handler=cmd_batch)
+
+    record_parser = subparsers.add_parser(
+        "record",
+        help="run a program once, writing a minimal event trace for "
+        "post-hoc monitoring (see 'repro analyze')",
+    )
+    _add_program_arguments(record_parser)
+    record_parser.add_argument(
+        "-o",
+        "--out",
+        required=True,
+        metavar="FILE",
+        help="trace output path (JSON lines)",
+    )
+    record_parser.add_argument(
+        "--tools",
+        help="record only the sites these toolbox monitors claim "
+        "(default: every annotated site)",
+    )
+    record_parser.add_argument(
+        "--sites",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated site filter: annotation names, renderings, "
+        "or site ids",
+    )
+    record_parser.add_argument(
+        "--sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="deterministic activation sampling rate in [0, 1] "
+        "(default 1.0 = record everything)",
+    )
+    record_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="sampling seed (same seed + program => byte-identical trace)",
+    )
+    record_parser.add_argument(
+        "--values",
+        choices=("full", "fingerprint"),
+        default="full",
+        help="record full values (default) or short content fingerprints",
+    )
+    add_run_flags(record_parser)
+    record_parser.set_defaults(handler=cmd_record)
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="fold monitor stacks over a recorded trace (post-hoc monitoring)",
+    )
+    analyze_parser.add_argument("trace", help="trace file written by 'repro record'")
+    analyze_parser.add_argument(
+        "--monitors",
+        "--tools",
+        dest="monitors",
+        action="append",
+        metavar="STACK",
+        help="a comma-separated monitor stack to fold (repeat the flag to "
+        "fold several independent stacks concurrently)",
+    )
+    analyze_parser.add_argument(
+        "--program",
+        metavar="FILE",
+        default=None,
+        help="the recorded program's source (required when the trace does "
+        "not embed it)",
+    )
+    analyze_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread-pool width for folding multiple stacks",
+    )
+    analyze_parser.add_argument(
+        "--allow-truncated",
+        dest="allow_truncated",
+        action="store_true",
+        help="analyze the readable prefix of a trace whose recorder "
+        "crashed mid-write",
+    )
+    analyze_parser.add_argument(
+        "--list-sites",
+        dest="list_sites",
+        action="store_true",
+        help="print the trace's annotated-site table",
+    )
+    _add_fault_policy_argument(analyze_parser)
+    analyze_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="reconstruct and print RunMetrics for each folded stack",
+    )
+    analyze_parser.set_defaults(handler=cmd_analyze)
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -770,6 +965,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream worker-tagged telemetry to DIR/worker-N.jsonl (one "
         "JSONL sink per worker, flushed per event)",
+    )
+    serve_parser.add_argument(
+        "--record-dir",
+        dest="record_dir",
+        metavar="DIR",
+        default=None,
+        help="directory record-mode requests ({\"mode\": \"record\"}) write "
+        "their event traces into; the response carries the trace path",
     )
     serve_parser.add_argument(
         "--prewarm",

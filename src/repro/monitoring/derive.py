@@ -283,6 +283,8 @@ class MonitoredResult:
     fault_policy: str = "propagate"
     metrics: "Optional[RunMetrics]" = None
     diagnostics: Tuple = ()
+    #: Path of the event trace a ``mode="record"`` run wrote (else None).
+    trace: Optional[str] = None
 
     def healthy(self) -> bool:
         """True when no monitor faulted during the run."""
@@ -425,6 +427,19 @@ def run_monitored(
             cache.check_disjoint(monitor_list, program)
         else:
             check_disjoint(monitor_list, program)
+
+    if cfg.mode == "record":
+        # Record mode: run once with the trace recorder instead of the
+        # stack — the stack defines the per-site recording filter, and
+        # the result carries the trace path (fold stacks over it later
+        # with repro.tracing.analyze_trace).  Admission gates above
+        # (lint, disjointness) apply as inline; the result's diagnostics
+        # ride along unchanged.
+        from repro.tracing.record import record_run
+
+        result = record_run(language, program, monitor_list, cfg)
+        result.diagnostics = diagnostics
+        return result
 
     telemetry = Telemetry.create(cfg.metrics, cfg.event_sink)
     observer = telemetry.fault_observer if telemetry is not None else None

@@ -140,6 +140,10 @@ class RunRequest:
             "timeout",
             "lint",
             "tag",
+            "mode",
+            "record_dir",
+            "sample_rate",
+            "trace_seed",
         }
         unknown = set(data) - known
         if unknown:
@@ -147,7 +151,16 @@ class RunRequest:
         if "program" not in data:
             raise ValueError("batch request is missing its 'program'")
         config = base
-        config_keys = {"engine", "fault_policy", "max_steps", "lint"} & set(data)
+        config_keys = {
+            "engine",
+            "fault_policy",
+            "max_steps",
+            "lint",
+            "mode",
+            "record_dir",
+            "sample_rate",
+            "trace_seed",
+        } & set(data)
         if config_keys:
             overrides = {key: data[key] for key in config_keys}
             config = (
@@ -195,6 +208,10 @@ class RunResult:
     metrics: object = None
     monitored: object = None
     diagnostics: Tuple = ()
+    #: Path of the event trace a record-mode request wrote (else None);
+    #: serialized on the wire, so batch output and serve responses carry
+    #: the trace ref back to the client.
+    trace: Optional[str] = None
 
     def to_dict(self, *, render=None) -> Dict[str, object]:
         """A JSON-friendly projection (``render`` maps non-JSON values).
@@ -214,6 +231,8 @@ class RunResult:
                 out["reports"] = {k: show(v) for k, v in self.reports.items()}
             if self.faults:
                 out["faults"] = [list(f) for f in self.faults]
+            if self.trace is not None:
+                out["trace"] = self.trace
         else:
             out["error"] = self.error
             out["error_type"] = self.error_type
@@ -253,6 +272,7 @@ class RunResult:
             timed_out=bool(data.get("timed_out", False)),
             duration=float(data.get("duration", 0.0)),
             diagnostics=tuple(data.get("diagnostics", ())),
+            trace=data.get("trace"),
         )
 
 
@@ -379,6 +399,7 @@ def execute_request(
         metrics=outcome.metrics,
         monitored=monitored,
         diagnostics=tuple(outcome.diagnostics),
+        trace=getattr(outcome, "trace", None),
     )
 
 

@@ -61,6 +61,20 @@ class RunConfig:
     #: diagnostics to the result, "error" rejects failing programs at
     #: admission with a StaticAnalysisError (see repro.analysis).
     lint: str = "off"
+    #: Execution mode: "inline" runs monitors live (the historical
+    #: behavior); "record" runs the program once with the trace recorder
+    #: instead, writing an event trace under ``record_dir`` and returning
+    #: the trace path on the result — fold stacks over it later with
+    #: :func:`repro.tracing.analyze_trace`.
+    mode: str = "inline"
+    #: Directory record-mode traces are written to (one file per run).
+    record_dir: Optional[str] = None
+    #: Deterministic activation sampling for record mode: the fraction of
+    #: activations kept (1.0 = everything), decided per (seed, site,
+    #: occurrence) — never wall clock — so traces are seed-reproducible.
+    sample_rate: float = 1.0
+    #: The sampling seed (see :func:`repro.tracing.sample_includes`).
+    trace_seed: int = 0
 
     def validate(self) -> "RunConfig":
         """Check the enumerated fields; returns ``self`` for chaining."""
@@ -72,6 +86,26 @@ class RunConfig:
         check_lint_level(self.lint)
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout!r}")
+        if self.mode not in ("inline", "record"):
+            raise ValueError(
+                f"mode must be 'inline' or 'record', got {self.mode!r}"
+            )
+        if isinstance(self.sample_rate, bool) or not isinstance(
+            self.sample_rate, (int, float)
+        ):
+            raise ValueError(
+                f"sample_rate must be a number, got {self.sample_rate!r}"
+            )
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be within [0, 1], got {self.sample_rate!r}"
+            )
+        if isinstance(self.trace_seed, bool) or not isinstance(
+            self.trace_seed, int
+        ):
+            raise ValueError(
+                f"trace_seed must be an integer, got {self.trace_seed!r}"
+            )
         return self
 
     def deadline(self) -> Optional[float]:
@@ -107,6 +141,10 @@ class RunConfig:
         "check_disjointness",
         "timeout",
         "lint",
+        "mode",
+        "record_dir",
+        "sample_rate",
+        "trace_seed",
     )
 
     def scalars(self) -> Dict[str, object]:

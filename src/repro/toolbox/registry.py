@@ -129,6 +129,8 @@ class EvaluationResult:
     monitored: Optional[MonitoredResult]
     metrics: Optional["RunMetrics"] = None
     diagnostics: Tuple = ()
+    #: Path of the event trace a ``mode="record"`` run wrote (else None).
+    trace: Optional[str] = None
 
     @property
     def reports(self) -> Dict[str, object]:
@@ -200,8 +202,10 @@ def evaluate(
     run_language = language or chain_language or strict
     expr = parse(program) if isinstance(program, str) else program
 
-    if not monitors and not cfg.wants_telemetry():
+    if not monitors and not cfg.wants_telemetry() and cfg.mode == "inline":
         # This fast path bypasses run_monitored, so the lint gate runs here.
+        # (Record mode always routes through run_monitored — the recorder
+        # must observe the run even with no tools attached.)
         diagnostics = _lint_gate(cfg, expr, monitors, run_language)
         if cache is not None and cfg.engine in ("compiled", "codegen"):
             # Tool-less compiled/codegen runs still deserve the compilation
@@ -241,6 +245,7 @@ def evaluate(
         monitored=result if monitors else None,
         metrics=result.metrics,
         diagnostics=result.diagnostics,
+        trace=result.trace,
     )
 
 

@@ -1,0 +1,61 @@
+"""Record/analyze: the trace-analysis monitoring backend (ROADMAP item 3).
+
+Run a program once at full engine speed with the all-claiming recorder
+(:mod:`repro.tracing.record`), producing a minimal versioned event trace
+(:mod:`repro.tracing.schema`); fold any number of monitor stacks over
+the trace post-hoc (:mod:`repro.tracing.analyze`), reconstructing the
+reports, metrics and fault records inline monitoring would have
+produced.  ``RunConfig(mode="record")`` wires the same pipeline through
+``run_monitored``, the batch/process runtimes and ``repro serve``; the
+CLI verbs are ``repro record`` and ``repro analyze``.
+"""
+
+from repro.tracing.analyze import (
+    ReplayContext,
+    TraceAnalysis,
+    analyze_many,
+    analyze_trace,
+    parse_program,
+)
+from repro.tracing.record import (
+    RecordResult,
+    RecorderSpec,
+    TraceWriter,
+    record,
+    record_run,
+)
+from repro.tracing.schema import (
+    TRACE_VERSION,
+    OpaqueValue,
+    Trace,
+    TraceError,
+    TraceEvent,
+    TraceFormatError,
+    TraceVersionError,
+    build_site_table,
+    read_trace,
+    sample_includes,
+)
+
+__all__ = [
+    "OpaqueValue",
+    "RecordResult",
+    "RecorderSpec",
+    "ReplayContext",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceAnalysis",
+    "TraceError",
+    "TraceEvent",
+    "TraceFormatError",
+    "TraceVersionError",
+    "TraceWriter",
+    "analyze_many",
+    "analyze_trace",
+    "build_site_table",
+    "parse_program",
+    "read_trace",
+    "record",
+    "record_run",
+    "sample_includes",
+]

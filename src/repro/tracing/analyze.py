@@ -1,0 +1,340 @@
+"""Post-hoc monitoring: fold a monitor stack over a recorded trace.
+
+Jahier & Ducassé's observation — any monitor is a fold over an execution
+trace — made operational for this framework: :func:`analyze_trace`
+replays a trace's ``pre``/``post`` events through an arbitrary
+:class:`~repro.monitoring.spec.MonitorSpec` stack and reconstructs the
+:class:`~repro.monitoring.derive.MonitoredResult` the same stack would
+have produced inline, down to the ``RunMetrics`` counters and the
+``FaultLog`` records.  The §7 soundness theorem is the license (the
+monitors could not have changed the recorded run), and
+``tests/test_trace_equivalence.py`` is the machine check.
+
+The fold mirrors the inline machinery exactly:
+
+* hook dispatch — at most one monitor claims each site (Section 6
+  disjointness, checked here as inline), resolved once per site rather
+  than once per event;
+* counters — activations/pre_calls are charged *before* ``pre`` runs
+  (a faulting hook still counts, as in ``InstrumentedSpec``), post_calls
+  before ``post``, state_transitions only on a successful
+  identity-changing return;
+* fault policy — ``propagate`` lets the hook exception escape the fold,
+  ``quarantine`` records the fault and skips the slot's remaining
+  events, ``log`` records and drops just that update — the replica of
+  ``_derive_isolated``'s three behaviors.
+
+Because a trace is immutable and the fold allocates per-stack state,
+N independent stacks fold concurrently over one trace
+(:func:`analyze_many`), which is the cheap fan-out inline monitoring
+never had: record once, monitor many ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import UnboundIdentifierError
+from repro.monitoring.derive import MonitoredResult, check_disjoint
+from repro.monitoring.faults import FaultLog, check_fault_policy
+from repro.monitoring.spec import MonitorSpec
+from repro.monitoring.state import MonitorStateVector
+from repro.observability.metrics import RunMetrics
+from repro.tracing.schema import (
+    Site,
+    Trace,
+    TraceError,
+    TraceFormatError,
+    build_site_table,
+    decode_value,
+    read_trace,
+)
+
+
+def parse_program(language_name: str, source: str):
+    """Parse surface syntax under the named language's grammar."""
+    if language_name == "imperative":
+        from repro.languages.imp_syntax import parse_imp
+
+        return parse_imp(source)
+    if language_name == "exceptions":
+        from repro.languages.exceptions import parse_exc
+
+        return parse_exc(source)
+    from repro.syntax.parser import parse
+
+    return parse(source)
+
+
+class ReplayContext:
+    """The semantic context a replayed hook sees: the recorded bindings.
+
+    Implements the same ``maybe_lookup``/``lookup``/``names`` surface as
+    the live contexts (``Environment``, ``Store``, codegen's
+    ``_DictContext``), so ``context_lookup`` works unchanged.  A name the
+    recorder did not capture reads as unbound — the same miss behavior
+    monitors already tolerate inline.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Dict[str, object]) -> None:
+        self._bindings = bindings
+
+    def maybe_lookup(self, name: str):
+        return self._bindings.get(name)
+
+    def lookup(self, name: str):
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise UnboundIdentifierError(name) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._bindings)
+
+    def __repr__(self) -> str:
+        return f"<replay-ctx {sorted(self._bindings)}>"
+
+
+_EMPTY_CONTEXT = ReplayContext({})
+
+
+@dataclass
+class TraceAnalysis(MonitoredResult):
+    """A ``MonitoredResult`` reconstructed from a trace fold.
+
+    Field-compatible with the inline result (that is the point — the
+    equivalence suite compares them directly); ``events`` counts the
+    trace events folded and ``truncated`` flags a partial trace."""
+
+    events: int = 0
+    truncated: bool = False
+
+
+def _resolve_trace(trace: Union[str, Trace], allow_truncated: bool) -> Trace:
+    if isinstance(trace, Trace):
+        return trace
+    return read_trace(trace, allow_truncated=allow_truncated)
+
+
+def _resolve_program(trace: Trace, program) -> Tuple[object, List[Site]]:
+    if program is None:
+        source = trace.program_source
+        if source is None:
+            raise TraceError(
+                f"{trace.path}: trace does not embed its program; pass the "
+                "original program (program=/--program) to analyze it"
+            )
+        program = source
+    if isinstance(program, str):
+        program = parse_program(trace.language, program)
+    table = build_site_table(program)
+    if len(table) != trace.site_count:
+        raise TraceFormatError(
+            f"{trace.path}: program has {len(table)} annotated sites but the "
+            f"trace was recorded over {trace.site_count} — not the program "
+            "this trace came from"
+        )
+    return program, table
+
+
+def analyze_trace(
+    trace: Union[str, Trace],
+    monitors: Union[MonitorSpec, Sequence[MonitorSpec]],
+    *,
+    program=None,
+    fault_policy: str = "propagate",
+    metrics: Union[None, bool, RunMetrics] = None,
+    check_disjointness: bool = True,
+    allow_truncated: bool = False,
+) -> TraceAnalysis:
+    """Fold ``monitors`` over ``trace``; the post-hoc ``run_monitored``.
+
+    ``trace`` is a path or an already-read :class:`Trace`.  ``program``
+    (AST or source) overrides the header's embedded program — required
+    when the trace carries none.  ``fault_policy`` and ``metrics`` mean
+    what they mean on :func:`~repro.monitoring.derive.run_monitored`
+    (``metrics=True`` allocates a fresh accumulator); step/application
+    counts come from the trace's end record when the recording itself
+    ran with metrics.
+    """
+    from repro.monitoring.compose import flatten_monitors, validate_observations
+
+    check_fault_policy(fault_policy)
+    resolved = _resolve_trace(trace, allow_truncated)
+    monitor_list: List[MonitorSpec] = flatten_monitors(monitors)
+    validate_observations(monitor_list)
+    program, table = _resolve_program(resolved, program)
+    if check_disjointness:
+        check_disjoint(monitor_list, program)
+
+    run_metrics: Optional[RunMetrics]
+    if metrics is None or metrics is False:
+        run_metrics = None
+    elif metrics is True:
+        run_metrics = RunMetrics()
+    else:
+        run_metrics = metrics
+
+    observer = None
+    if run_metrics is not None:
+        counters = run_metrics
+
+        def observer(fault, quarantined):  # noqa: ANN001 - FaultLog protocol
+            key = fault.monitor_key
+            counters.faults[key] = counters.faults.get(key, 0) + 1
+
+    fault_log = (
+        None
+        if fault_policy == "propagate"
+        else FaultLog(fault_policy, observer=observer)
+    )
+    disabled = fault_log.disabled if fault_log is not None else frozenset()
+
+    # Claim resolution happens once per *site*, not once per event: for
+    # each site, the first (and by disjointness only) monitor whose
+    # recognize() accepts the annotation, with its recognized view.
+    claimants: List[Optional[Tuple[MonitorSpec, object, Tuple[str, ...]]]] = []
+    for site in table:
+        claim = None
+        for spec in monitor_list:
+            view = spec.recognize(site.annotation)
+            if view is not None:
+                claim = (spec, view, tuple(spec.observes))
+                break
+        claimants.append(claim)
+
+    states = MonitorStateVector.initial(monitor_list)
+    pending_ctx: Dict[Tuple[int, int], ReplayContext] = {}
+    start = perf_counter() if run_metrics is not None else 0.0
+
+    for event in resolved.events:
+        claim = claimants[event.site]
+        if claim is None:
+            continue
+        spec, view, observes = claim
+        key = spec.key
+        if key in disabled:
+            continue
+        term = table[event.site].body
+        state = states.get(key)
+        inner = states.view(observes) if observes else None
+        if event.phase == "pre":
+            ctx = (
+                ReplayContext(
+                    {k: decode_value(v) for k, v in event.bindings.items()}
+                )
+                if event.bindings
+                else _EMPTY_CONTEXT
+            )
+            pending_ctx[(event.site, event.occ)] = ctx
+            if run_metrics is not None:
+                run_metrics.activations[key] = (
+                    run_metrics.activations.get(key, 0) + 1
+                )
+                run_metrics.pre_calls[key] = run_metrics.pre_calls.get(key, 0) + 1
+            try:
+                if observes:
+                    new_state = spec.pre(view, term, ctx, state, inner=inner)
+                else:
+                    new_state = spec.pre(view, term, ctx, state)
+            except Exception as exc:
+                if fault_log is None:
+                    raise
+                fault_log.record(key, "pre", exc)
+                continue  # quarantine: slot now disabled; log: update dropped
+        else:
+            ctx = pending_ctx.pop((event.site, event.occ), _EMPTY_CONTEXT)
+            result = decode_value(event.value)
+            if run_metrics is not None:
+                run_metrics.post_calls[key] = (
+                    run_metrics.post_calls.get(key, 0) + 1
+                )
+            try:
+                if observes:
+                    new_state = spec.post(
+                        view, term, ctx, result, state, inner=inner
+                    )
+                else:
+                    new_state = spec.post(view, term, ctx, result, state)
+            except Exception as exc:
+                if fault_log is None:
+                    raise
+                fault_log.record(key, "post", exc)
+                continue
+        if new_state is not state:
+            if run_metrics is not None:
+                run_metrics.state_transitions += 1
+            states = states.set(key, new_state)
+
+    if run_metrics is not None:
+        footer = resolved.footer or {}
+        if isinstance(footer.get("steps"), int):
+            run_metrics.steps = footer["steps"]
+        if isinstance(footer.get("applications"), int):
+            run_metrics.applications = footer["applications"]
+        run_metrics.wall_time += perf_counter() - start
+
+    return TraceAnalysis(
+        answer=resolved.answer(),
+        states=states,
+        monitors=tuple(monitor_list),
+        faults=fault_log.snapshot() if fault_log is not None else (),
+        fault_policy=fault_policy,
+        metrics=run_metrics,
+        events=len(resolved.events),
+        truncated=resolved.truncated,
+    )
+
+
+def analyze_many(
+    trace: Union[str, Trace],
+    stacks: Sequence[Union[MonitorSpec, Sequence[MonitorSpec]]],
+    *,
+    workers: Optional[int] = None,
+    program=None,
+    allow_truncated: bool = False,
+    **options,
+) -> List[TraceAnalysis]:
+    """Fold N independent monitor stacks over one trace, concurrently.
+
+    The trace is read and the program parsed *once*; each stack folds
+    over the shared immutable events in a thread pool (folds are pure
+    Python over per-stack state, so threads interleave cleanly even
+    GIL-bound — the win over inline is not re-running the program N
+    times).  Results come back in stack order; ``options`` pass through
+    to :func:`analyze_trace` (``fault_policy``, ``metrics``, ...).
+    """
+    resolved = _resolve_trace(trace, allow_truncated)
+    resolved_program, _ = _resolve_program(resolved, program)
+    if not stacks:
+        return []
+
+    def fold(stack):
+        return analyze_trace(
+            resolved,
+            stack,
+            program=resolved_program,
+            allow_truncated=allow_truncated,
+            **options,
+        )
+
+    if len(stacks) == 1 or (workers is not None and workers <= 1):
+        return [fold(stack) for stack in stacks]
+    from concurrent.futures import ThreadPoolExecutor
+
+    width = min(len(stacks), workers if workers is not None else len(stacks))
+    with ThreadPoolExecutor(max_workers=width) as pool:
+        return list(pool.map(fold, stacks))
+
+
+__all__ = [
+    "ReplayContext",
+    "TraceAnalysis",
+    "analyze_many",
+    "analyze_trace",
+    "parse_program",
+]

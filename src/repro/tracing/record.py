@@ -1,0 +1,417 @@
+"""Record mode: run once at full engine speed, emit the minimal trace.
+
+The recorder is itself a :class:`~repro.monitoring.spec.MonitorSpec` — a
+single spec claiming *every* annotation — so recording needs no new
+engine support: the same derivation that runs a profiler inline runs the
+recorder, on the reference interpreter, the compiled closures, or the
+codegen tier (where the pre/post calls are inlined into the residual
+Python, which is what makes record mode "full codegen speed plus one
+dict write per sampled event").
+
+Soundness (§7) is what licenses this: the recorder cannot change the
+answer, and the trace it writes is — by the equivalence property suite —
+enough to reconstruct what any monitor stack would have observed.
+
+Sampling is decided per activation by a pure function of ``(seed, site,
+occurrence)`` (:func:`repro.tracing.schema.sample_includes`), never of
+wall clock or thread identity, so a sampled trace is byte-identical
+across runs and across the thread/process executors.  A ``post`` event
+inherits its ``pre``'s decision through a per-site LIFO of pending
+activations, keeping pre/post pairs sampled atomically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.monitoring.spec import MonitorSpec
+from repro.monitors.common import context_lookup
+from repro.tracing.schema import (
+    TRACE_VERSION,
+    Site,
+    TraceError,
+    build_site_table,
+    canonical_json,
+    encode_value,
+    sample_includes,
+    site_matches,
+    value_fingerprint,
+)
+
+#: Encodings of the ``values=`` record option.
+VALUE_MODES = ("full", "fingerprint")
+
+
+def _encode_for_mode(mode: str):
+    if mode == "full":
+        return encode_value
+    return lambda value: {"%": "fp", "h": value_fingerprint(value)}
+
+
+class TraceWriter:
+    """Serialize trace records to a path (or any ``.write`` object).
+
+    Writes are line-buffered through the canonical serializer so equal
+    record sequences produce byte-equal files.  :meth:`finish` appends
+    the end record; :meth:`abort` closes without one, leaving exactly
+    the truncated shape the reader diagnoses.
+    """
+
+    def __init__(self, out, header: Dict[str, object]) -> None:
+        if hasattr(out, "write"):
+            self._handle = out
+            self._owned = False
+            self.path = getattr(out, "name", "<stream>")
+        else:
+            self._handle = open(out, "w", encoding="utf-8")
+            self._owned = True
+            self.path = os.fspath(out)
+        self.events = 0
+        self._closed = False
+        self._write(header)
+
+    def _write(self, record: Dict[str, object]) -> None:
+        self._handle.write(canonical_json(record))
+        self._handle.write("\n")
+
+    def event(self, record: Dict[str, object]) -> None:
+        self.events += 1
+        self._write(record)
+
+    def finish(self, **footer: object) -> None:
+        self._write({"t": "end", "events": self.events, **footer})
+        self.close()
+
+    def abort(self) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._owned:
+                self._handle.close()
+            else:
+                self._handle.flush()
+
+
+@dataclass(frozen=True)
+class _SitePlan:
+    """Per-site recording decisions, fixed before the run starts."""
+
+    site: Site
+    enabled: bool
+
+
+class RecorderSpec(MonitorSpec):
+    """The all-claiming monitor that writes the trace.
+
+    Claiming everything is legal for a single-spec stack (Section 6's
+    disjointness constraint only bites with two claimants), and is the
+    point: one inline pass observes every annotated site once, whatever
+    stacks are folded over the result later.
+
+    The spec carries mutable recording state (the writer, occurrence
+    counters, the pending-activation LIFOs), so instances are single-run
+    and must never be shared or compilation-cached.
+    """
+
+    key = "__record__"
+    observes: Tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        writer: TraceWriter,
+        plans: Sequence[_SitePlan],
+        *,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        values: str = "full",
+    ) -> None:
+        self._writer = writer
+        self._plans = tuple(plans)
+        self._by_body = {
+            id(plan.site.body): plan for plan in plans if plan.enabled
+        }
+        self._rate = float(sample_rate)
+        self._seed = int(seed)
+        self._encode = _encode_for_mode(values)
+        self._occ: Dict[int, int] = {}
+        self._pending: Dict[int, List[Tuple[int, bool]]] = {}
+        self.sampled_out = 0
+
+    # MSyn: claim every annotation --------------------------------------------
+    def recognize(self, annotation):
+        return annotation
+
+    def initial_state(self):
+        return None
+
+    def report(self, state):
+        return {"events": self._writer.events, "sampled_out": self.sampled_out}
+
+    def cache_identity(self) -> Tuple:
+        # Single-run mutable state: never share compiled artifacts.
+        return ("__record__", id(self))
+
+    # MFun: write events -------------------------------------------------------
+    def pre(self, annotation, term, ctx, state, inner=None):
+        plan = self._by_body.get(id(term))
+        if plan is None:
+            return state
+        site_id = plan.site.site_id
+        occ = self._occ.get(site_id, 0) + 1
+        self._occ[site_id] = occ
+        include = sample_includes(self._seed, site_id, occ, self._rate)
+        self._pending.setdefault(site_id, []).append((occ, include))
+        if not include:
+            self.sampled_out += 1
+            return state
+        record: Dict[str, object] = {"t": "pre", "s": site_id, "o": occ}
+        if plan.site.params:
+            bindings = {}
+            for param in plan.site.params:
+                value = context_lookup(ctx, param)
+                if value is not None:
+                    bindings[param] = self._encode(value)
+            record["b"] = bindings
+        self._writer.event(record)
+        return state
+
+    def post(self, annotation, term, ctx, result, state, inner=None):
+        plan = self._by_body.get(id(term))
+        if plan is None:
+            return state
+        site_id = plan.site.site_id
+        pending = self._pending.get(site_id)
+        if pending:
+            occ, include = pending.pop()
+        else:  # unmatched post (control escaped a pre) — deterministic fallback
+            occ, include = 0, sample_includes(self._seed, site_id, 0, self._rate)
+        if not include:
+            self.sampled_out += 1
+            return state
+        self._writer.event(
+            {"t": "post", "s": site_id, "o": occ, "v": self._encode(result)}
+        )
+        return state
+
+
+@dataclass
+class RecordResult:
+    """What one recording run produced."""
+
+    answer: object
+    trace: str
+    events: int
+    sites: int
+    enabled_sites: int
+    sampled_out: int
+    metrics: object = None
+
+
+def _site_plans(
+    sites: Sequence[Site],
+    monitors: Sequence[MonitorSpec],
+    selectors: Optional[Sequence[str]],
+) -> List[_SitePlan]:
+    """Combine the two per-site filters: monitor claims and ``--sites``."""
+    plans = []
+    for site in sites:
+        enabled = True
+        if monitors:
+            enabled = any(
+                m.recognize(site.annotation) is not None for m in monitors
+            )
+        if enabled and selectors:
+            enabled = any(site_matches(site, sel) for sel in selectors)
+        plans.append(_SitePlan(site=site, enabled=enabled))
+    return plans
+
+
+def _program_source(language_name: str, program, source: Optional[str]):
+    """The surface syntax to embed in the header (``None`` if unprintable).
+
+    A re-parse must reproduce the same number of annotated sites, or the
+    analyzer's site table would silently shift; when it cannot (or the
+    language has no pretty-printer), the header carries no program and
+    ``analyze`` requires an explicit ``program=``.
+    """
+    from repro.tracing.analyze import parse_program
+
+    if source is None:
+        try:
+            if language_name == "imperative":
+                from repro.languages.imp_syntax import pretty_imp
+
+                source = pretty_imp(program)
+            else:
+                from repro.syntax.pretty import pretty
+
+                source = pretty(program)
+        except Exception:
+            return None
+    try:
+        reparsed = parse_program(language_name, source)
+        if len(build_site_table(reparsed)) != len(build_site_table(program)):
+            return None
+    except Exception:
+        return None
+    return source
+
+
+def record(
+    language,
+    program,
+    out,
+    *,
+    monitors: Sequence[MonitorSpec] = (),
+    sites: Optional[Sequence[str]] = None,
+    sample_rate: Optional[float] = None,
+    seed: Optional[int] = None,
+    values: str = "full",
+    source: Optional[str] = None,
+    config=None,
+) -> RecordResult:
+    """Run ``program`` once, writing its event trace to ``out``.
+
+    ``out`` is a path or a writable object.  ``monitors`` (optional)
+    restricts recording to the sites those specs claim — record only
+    what the stacks you intend to fold will look at; ``sites`` further
+    restricts by annotation name/rendering/site id.  ``sample_rate`` /
+    ``seed`` control deterministic activation sampling; ``values``
+    selects full value capture or content fingerprints.  Remaining run
+    options (engine, max_steps, timeout, metrics, ...) come from
+    ``config``.
+
+    If the program itself fails, the trace is left *without* its end
+    record — exactly the truncated shape ``analyze`` diagnoses — and the
+    error propagates.
+    """
+    from repro.monitoring.compose import flatten_monitors
+    from repro.monitoring.derive import run_monitored
+    from repro.runtime.config import RunConfig
+
+    cfg = (config if config is not None else RunConfig()).validate()
+    rate = cfg.sample_rate if sample_rate is None else float(sample_rate)
+    if not 0.0 <= rate <= 1.0:
+        raise TraceError(f"sample_rate must be within [0, 1], got {rate!r}")
+    seed_value = cfg.trace_seed if seed is None else int(seed)
+    if values not in VALUE_MODES:
+        raise TraceError(
+            f"values must be one of {', '.join(VALUE_MODES)}, got {values!r}"
+        )
+    filter_monitors = flatten_monitors(list(monitors)) if monitors else []
+    site_table = build_site_table(program)
+    plans = _site_plans(site_table, filter_monitors, sites)
+    enabled = [plan.site.site_id for plan in plans if plan.enabled]
+    language_name = getattr(language, "name", "strict")
+
+    from repro.runtime.cache import program_fingerprint
+
+    header: Dict[str, object] = {
+        "t": "header",
+        "trace_version": TRACE_VERSION,
+        "language": language_name,
+        "engine": cfg.engine,
+        "program": _program_source(language_name, program, source),
+        "fingerprint": program_fingerprint(program),
+        "sites": len(site_table),
+        "site_annotations": [plan.site.rendered for plan in plans],
+        "sample": {"rate": rate, "seed": seed_value},
+        "values": values,
+    }
+    if len(enabled) != len(site_table):
+        header["enabled_sites"] = enabled
+
+    writer = TraceWriter(out, header)
+    recorder = RecorderSpec(
+        writer, plans, sample_rate=rate, seed=seed_value, values=values
+    )
+    # The recording run itself: inline mode (never recurse into record),
+    # propagate faults (the recorder does not fault), no compilation cache
+    # (the recorder's writer state is single-run).
+    run_cfg = replace(
+        cfg,
+        mode="inline",
+        record_dir=None,
+        fault_policy="propagate",
+        lint="off",
+        check_disjointness=False,
+    ).with_fresh_metrics()
+    try:
+        result = run_monitored(language, program, [recorder], config=run_cfg)
+    except BaseException:
+        writer.abort()  # leave the honest truncated shape behind
+        raise
+    footer: Dict[str, object] = {"answer": encode_value(result.answer)}
+    if result.metrics is not None:
+        footer["steps"] = result.metrics.steps
+        footer["applications"] = result.metrics.applications
+    writer.finish(**footer)
+    return RecordResult(
+        answer=result.answer,
+        trace=writer.path,
+        events=writer.events,
+        sites=len(site_table),
+        enabled_sites=len(enabled),
+        sampled_out=recorder.sampled_out,
+        metrics=result.metrics,
+    )
+
+
+# -- the RunConfig(mode="record") entry ---------------------------------------
+
+_trace_counter = itertools.count(1)
+_trace_lock = threading.Lock()
+
+
+def _next_trace_path(record_dir: str, fingerprint: str) -> str:
+    with _trace_lock:
+        serial = next(_trace_counter)
+    name = f"trace-{fingerprint[:12]}-{os.getpid()}-{serial}.jsonl"
+    return os.path.join(record_dir, name)
+
+
+def record_run(language, program, monitors: Sequence[MonitorSpec], cfg):
+    """``run_monitored``'s record-mode branch (returns a ``MonitoredResult``).
+
+    The monitor stack is not *run* — it defines the per-site filter, so a
+    record-mode request shaped exactly like an inline one records just
+    the sites its stack would observe.  The result carries the trace
+    path in ``result.trace``; reports/states are empty (fold them later
+    with :func:`repro.tracing.analyze_trace`).
+    """
+    from repro.monitoring.derive import MonitoredResult
+    from repro.monitoring.state import MonitorStateVector
+    from repro.runtime.cache import program_fingerprint
+
+    if not cfg.record_dir:
+        raise TraceError(
+            "mode='record' needs record_dir on the RunConfig (where trace "
+            "files go) — or call repro.tracing.record() with an explicit path"
+        )
+    os.makedirs(cfg.record_dir, exist_ok=True)
+    path = _next_trace_path(cfg.record_dir, program_fingerprint(program))
+    outcome = record(language, program, path, monitors=monitors, config=cfg)
+    return MonitoredResult(
+        answer=outcome.answer,
+        states=MonitorStateVector.initial([]),
+        monitors=(),
+        fault_policy=cfg.fault_policy,
+        metrics=outcome.metrics,
+        trace=outcome.trace,
+    )
+
+
+__all__ = [
+    "RecordResult",
+    "RecorderSpec",
+    "TraceWriter",
+    "VALUE_MODES",
+    "record",
+    "record_run",
+]
