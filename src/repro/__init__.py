@@ -82,6 +82,7 @@ from repro.runtime import (
     Server,
     run_batch,
 )
+from repro.replay import ReplayDebugger, ReplaySession
 from repro.syntax import parse, pretty
 from repro.toolbox import Session, evaluate
 from repro.tracing import (
@@ -108,6 +109,8 @@ __all__ = [
     "MonitorSpec",
     "ParseError",
     "ProcessPoolRunner",
+    "ReplayDebugger",
+    "ReplaySession",
     "ReproError",
     "RunConfig",
     "RunRequest",

@@ -95,6 +95,13 @@ def run_config_from_args(args):
     metrics = RunMetrics() if getattr(args, "metrics", False) else None
     trace_out = getattr(args, "trace_out", None)
     sink = JsonlSink(trace_out, wants_steps=True) if trace_out else None
+    interval = getattr(args, "checkpoint_interval", None)
+    mode = getattr(args, "mode", "inline")
+    record_dir = getattr(args, "record_dir", None)
+    if record_dir and mode == "inline":
+        # --record-dir alone means "record this run": the flag names where
+        # the trace goes, which is only meaningful in record mode.
+        mode = "record"
     return RunConfig(
         engine=getattr(args, "engine", "reference"),
         fault_policy=getattr(args, "fault_policy", "propagate"),
@@ -103,8 +110,9 @@ def run_config_from_args(args):
         event_sink=sink,
         timeout=getattr(args, "timeout", None),
         lint=getattr(args, "lint", "off"),
-        mode=getattr(args, "mode", "inline"),
-        record_dir=getattr(args, "record_dir", None),
+        mode=mode,
+        record_dir=record_dir,
+        checkpoint_interval=interval if interval is not None else 512,
     ).validate()
 
 
@@ -308,9 +316,45 @@ def cmd_debug(args) -> int:
     finally:
         _close_sink(config.event_sink)
     print(f"=> {_render_answer(result.answer)}")
+    if result.trace:
+        print(f"session recorded to {result.trace} (see 'repro replay')")
     for fault in result.faults:
         print(f"monitor fault: {fault}", file=sys.stderr)
     _print_metrics(config.metrics)
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Time-travel over a recorded trace: the debugger with a reverse gear."""
+    from repro.monitors.interactive import ConsoleSource
+    from repro.replay import ReplayDebugger, ReplaySession, default_stack
+
+    program = None
+    if args.program:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            program = handle.read()
+    session = ReplaySession(
+        args.trace,
+        default_stack(capacity=args.capacity),
+        program=program,
+        fault_policy=args.fault_policy,
+        checkpoint_interval=(
+            args.checkpoint_interval if args.checkpoint_interval else 512
+        ),
+        allow_truncated=args.allow_truncated,
+        use_sidecar=args.sidecar,
+    )
+    source = None if args.command else ConsoleSource(prompt="(replay) ")
+    debugger = ReplayDebugger(
+        session,
+        breakpoints=args.breakpoints or None,
+        script=args.command or [],
+        source=source,
+        echo=print,
+    )
+    debugger.run()
+    if args.sidecar:
+        session.save_checkpoints()
     return 0
 
 
@@ -594,6 +638,15 @@ def add_run_flags(parser: argparse.ArgumentParser, *, engine: bool = True) -> No
         help="wall-clock budget per evaluation (cooperative)",
     )
     parser.add_argument(
+        "--checkpoint-interval",
+        dest="checkpoint_interval",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help="replay checkpoint spacing in trace events (default 512; "
+        "smaller = faster backward seeks, more checkpoints)",
+    )
+    parser.add_argument(
         "--lint",
         choices=("off", "warn", "error"),
         default="off",
@@ -642,6 +695,25 @@ def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         default=None,
         help="write the telemetry event stream to FILE as JSON lines",
+    )
+
+
+def _add_debugger_arguments(parser: argparse.ArgumentParser) -> None:
+    """The flags 'repro debug' and 'repro replay' share: both speak the
+    same command grammar, so breakpoints and scripts mean the same thing
+    live and post-hoc."""
+    parser.add_argument(
+        "--break",
+        dest="breakpoints",
+        action="append",
+        metavar="LABEL",
+        help="breakpoint label (repeatable; default: every annotated site)",
+    )
+    parser.add_argument(
+        "--command",
+        action="append",
+        metavar="CMD",
+        help="debugger command to run at stops (repeatable); omit for a console",
     )
 
 
@@ -985,21 +1057,58 @@ def build_parser() -> argparse.ArgumentParser:
 
     debug_parser = subparsers.add_parser("debug", help="scriptable/interactive debugger")
     _add_program_arguments(debug_parser)
+    _add_debugger_arguments(debug_parser)
     debug_parser.add_argument(
-        "--break",
-        dest="breakpoints",
-        action="append",
-        metavar="LABEL",
-        help="breakpoint label (repeatable; default: every annotated site)",
-    )
-    debug_parser.add_argument(
-        "--command",
-        action="append",
-        metavar="CMD",
-        help="debugger command to run at stops (repeatable); omit for a console",
+        "--record-dir",
+        dest="record_dir",
+        metavar="DIR",
+        default=None,
+        help="record the session as a replayable trace into DIR "
+        "(every command you type becomes part of the trace; "
+        "step through it later with 'repro replay')",
     )
     add_run_flags(debug_parser)
     debug_parser.set_defaults(handler=cmd_debug)
+
+    replay_parser = subparsers.add_parser(
+        "replay",
+        help="time-travel debugger over a recorded trace "
+        "(back/goto/rewind plus omniscient queries)",
+    )
+    replay_parser.add_argument(
+        "trace", help="trace file written by 'repro record' or 'repro debug'"
+    )
+    replay_parser.add_argument(
+        "--program",
+        metavar="FILE",
+        default=None,
+        help="the recorded program's source (required when the trace does "
+        "not embed it; enables the 'source' command)",
+    )
+    _add_debugger_arguments(replay_parser)
+    replay_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=4096,
+        metavar="EVENTS",
+        help="history ring size backing events/when-was/value-at "
+        "(default 4096; overflow is reported as REP401)",
+    )
+    replay_parser.add_argument(
+        "--allow-truncated",
+        dest="allow_truncated",
+        action="store_true",
+        help="replay the readable prefix of a trace whose recorder "
+        "crashed mid-write",
+    )
+    replay_parser.add_argument(
+        "--sidecar",
+        action="store_true",
+        help="load/save a checkpoint sidecar next to the trace "
+        "(TRACE.ckpt) so later sessions seek without refolding",
+    )
+    add_run_flags(replay_parser, engine=False)
+    replay_parser.set_defaults(handler=cmd_replay)
 
     return parser
 

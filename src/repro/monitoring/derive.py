@@ -33,6 +33,7 @@ from repro.observability.instrument import (
     instrument_monitors,
 )
 from repro.observability.metrics import RunMetrics
+from repro.runtime.config import UNSET
 from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
 from repro.semantics.machine import Functional, fix
 from repro.semantics.trampoline import Bounce, Step
@@ -324,15 +325,15 @@ def run_monitored(
     program,
     monitors: "MonitorSpec | Sequence[MonitorSpec]",
     *,
-    answers: AnswerAlgebra = STANDARD_ANSWERS,
-    max_steps: Optional[int] = None,
-    check_disjointness: bool = True,
-    engine: str = "reference",
-    fault_policy: str = "propagate",
-    metrics: Optional[RunMetrics] = None,
-    event_sink=None,
-    timeout: Optional[float] = None,
-    lint: str = "off",
+    answers=UNSET,
+    max_steps=UNSET,
+    check_disjointness=UNSET,
+    engine=UNSET,
+    fault_policy=UNSET,
+    metrics=UNSET,
+    event_sink=UNSET,
+    timeout=UNSET,
+    lint=UNSET,
     config=None,
     cache=None,
 ) -> MonitoredResult:
@@ -375,9 +376,12 @@ def run_monitored(
     :class:`repro.errors.EvaluationTimeout`).
 
     ``config`` (a :class:`repro.runtime.RunConfig`) bundles every option
-    above into one reusable value; the loose keyword arguments keep
-    working, but combining ``config`` with a keyword explicitly changed
-    from its default raises ``TypeError``.
+    above into one reusable value and is the supported spelling; the
+    loose per-option keyword arguments are **deprecated** — passing any
+    of them emits a ``DeprecationWarning`` (they still work, normalized
+    through :meth:`RunConfig.from_kwargs`), and combining ``config``
+    with a keyword explicitly changed from its default raises
+    ``TypeError``.
 
     ``cache`` (a :class:`repro.runtime.CompilationCache`) memoizes staged
     compilation for ``engine="compiled"``: identical (program, monitor
@@ -396,8 +400,9 @@ def run_monitored(
     from repro.monitoring.compose import flatten_monitors, validate_observations
     from repro.runtime.config import RunConfig
 
-    cfg = RunConfig.resolve(
+    cfg = RunConfig.from_kwargs(
         config,
+        caller="run_monitored",
         engine=engine,
         fault_policy=fault_policy,
         max_steps=max_steps,

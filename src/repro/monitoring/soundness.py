@@ -19,6 +19,7 @@ from typing import Optional
 from repro.errors import EvalError, ReproError
 from repro.monitoring.compose import MonitorLike, flatten_monitors
 from repro.monitoring.derive import MonitoredResult, run_monitored
+from repro.runtime.config import RunConfig
 from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
 from repro.semantics.machine import run_machine
 from repro.semantics.values import Closure, PrimFun, values_equal
@@ -90,7 +91,10 @@ def check_soundness(
     monitored = None
     try:
         monitored = run_monitored(
-            language, program, monitors, answers=answers, max_steps=max_steps
+            language,
+            program,
+            monitors,
+            config=RunConfig(answers=answers, max_steps=max_steps),
         )
     except EvalError as exc:
         monitored_error = exc

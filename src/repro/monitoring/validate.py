@@ -39,6 +39,7 @@ from repro.errors import MonitorError
 from repro.languages.strict import strict
 from repro.monitoring.derive import run_monitored
 from repro.monitoring.spec import MonitorSpec
+from repro.runtime.config import RunConfig
 from repro.syntax.annotations import FnHeader, Label, Tagged
 from repro.syntax.parser import parse
 
@@ -140,7 +141,10 @@ def validate_monitor(monitor: MonitorSpec) -> List[Finding]:
 
     try:
         result = run_monitored(
-            strict, PROBE_PROGRAM, monitor, check_disjointness=False
+            strict,
+            PROBE_PROGRAM,
+            monitor,
+            config=RunConfig(check_disjointness=False),
         )
     except Exception as exc:
         findings.append(

@@ -1,0 +1,316 @@
+"""The one debugger command grammar, shared live and post-hoc.
+
+Historically the forward debugger (:mod:`repro.monitors.debugger`) parsed
+its command strings inline with a chain of ``startswith`` checks, and the
+replay debugger would have grown a second, subtly different chain.  This
+module is the consolidation: one parser, one :class:`Command` ADT, so
+``step``/``continue``/``print`` mean exactly the same thing at a live
+break site and inside ``repro replay``.
+
+Commands split into three groups:
+
+* **shared** — legal in both debuggers (``print``, ``vars``, ``where``,
+  ``depth``, ``source``, ``break``/``delete``/``breakpoints``,
+  ``continue``, ``step``, ``finish``, ``quit``, ``help``);
+* **replay-only** — time travel and omniscient queries (``back``,
+  ``goto``, ``rewind``, ``events``, ``when-was``, ``value-at``); the
+  live debugger rejects these with a pointer at ``repro replay`` rather
+  than silently misreading them;
+* **unknown** — anything else, preserved verbatim for the error message.
+
+Parsing never raises: malformed input becomes :class:`Unknown` (or a
+:class:`Malformed` naming what was wrong with an otherwise-recognized
+command), so an interactive session survives typos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+# -- the ADT -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class for parsed debugger commands."""
+
+
+@dataclass(frozen=True)
+class PrintVar(Command):
+    name: str
+
+
+@dataclass(frozen=True)
+class Vars(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class Where(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class Depth(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class ShowSource(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class AddBreak(Command):
+    label: str
+
+
+@dataclass(frozen=True)
+class DeleteBreak(Command):
+    label: str
+
+
+@dataclass(frozen=True)
+class ListBreaks(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class StepCmd(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class Finish(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class Quit(Command):
+    pass
+
+
+@dataclass(frozen=True)
+class Help(Command):
+    pass
+
+
+# -- replay-only: time travel and omniscient queries ---------------------------
+
+
+@dataclass(frozen=True)
+class Back(Command):
+    """Step one event backwards."""
+
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class Goto(Command):
+    """Seek the cursor to an absolute event position."""
+
+    position: int
+
+
+@dataclass(frozen=True)
+class Rewind(Command):
+    """Seek back to the start of the trace."""
+
+
+@dataclass(frozen=True)
+class ShowEvents(Command):
+    """Show the history tail up to the cursor."""
+
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class WhenWas(Command):
+    """Omniscient query: when did ``name`` hold ``value`` (rendered)?"""
+
+    name: str
+    value: str
+
+
+@dataclass(frozen=True)
+class ValueAt(Command):
+    """Omniscient query: the value of activation ``n`` of ``label``."""
+
+    label: str
+    activation: int
+
+
+@dataclass(frozen=True)
+class Unknown(Command):
+    text: str
+
+
+@dataclass(frozen=True)
+class Malformed(Command):
+    """A recognized command with bad operands (kept for the message)."""
+
+    text: str
+    reason: str
+
+
+#: Commands only the replay debugger understands (the live debugger
+#: rejects them with a pointer at ``repro replay``).
+REPLAY_ONLY: Tuple[type, ...] = (Back, Goto, Rewind, ShowEvents, WhenWas, ValueAt)
+
+#: The command table shown by ``help``, in display order:
+#: (syntax, scope, effect).  Scope is "both", "live" or "replay".
+COMMAND_TABLE: Tuple[Tuple[str, str, str], ...] = (
+    ("print X", "both", "show the value of X in the current context"),
+    ("vars", "both", "list the bindings visible here"),
+    ("where", "both", "show the stack of active break sites"),
+    ("depth", "both", "show the current nesting depth"),
+    ("source", "both", "show the expression being evaluated"),
+    ("break L", "both", "add a breakpoint at label L"),
+    ("delete L", "both", "remove the breakpoint at label L"),
+    ("breakpoints", "both", "list the effective breakpoints"),
+    ("continue", "both", "run forward to the next enabled breakpoint"),
+    ("step", "both", "run forward to the next annotated event"),
+    ("finish", "both", "run forward until the current site returns"),
+    ("quit", "both", "stop debugging (live: run to completion)"),
+    ("help", "both", "show this table"),
+    ("back [N]", "replay", "step N events backwards (default 1)"),
+    ("goto K", "replay", "seek to event position K"),
+    ("rewind", "replay", "seek back to the start of the trace"),
+    ("events [N]", "replay", "show the last N history events at the cursor"),
+    ("when-was X = V", "replay", "find the events where X held value V"),
+    ("value-at L N", "replay", "the value of the N-th activation of L"),
+)
+
+
+def render_help(*, replay: bool) -> str:
+    """The ``help`` text for one debugger (live hides replay-only rows)."""
+    rows = [
+        (syntax, effect)
+        for syntax, scope, effect in COMMAND_TABLE
+        if replay or scope != "replay"
+    ]
+    width = max(len(syntax) for syntax, _ in rows)
+    return "\n".join(f"  {syntax.ljust(width)}  {effect}" for syntax, effect in rows)
+
+
+def _int_operand(text: str) -> Optional[int]:
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def parse_command(text: str) -> Command:
+    """Parse one command line into the ADT (never raises)."""
+    line = text.strip()
+    word, _, rest = line.partition(" ")
+    rest = rest.strip()
+
+    if word == "print":
+        return PrintVar(rest) if rest else Malformed(line, "print needs a name")
+    if line == "vars":
+        return Vars()
+    if line == "where":
+        return Where()
+    if line == "depth":
+        return Depth()
+    if line == "source":
+        return ShowSource()
+    if word == "break":
+        return AddBreak(rest) if rest else Malformed(line, "break needs a label")
+    if word == "delete":
+        return DeleteBreak(rest) if rest else Malformed(line, "delete needs a label")
+    if line == "breakpoints":
+        return ListBreaks()
+    if line == "continue":
+        return Continue()
+    if line == "step":
+        return StepCmd()
+    if line == "finish":
+        return Finish()
+    if line == "quit":
+        return Quit()
+    if line in ("help", "?"):
+        return Help()
+
+    if word == "back":
+        if not rest:
+            return Back()
+        count = _int_operand(rest)
+        if count is None or count < 1:
+            return Malformed(line, "back takes a positive event count")
+        return Back(count)
+    if word == "goto":
+        position = _int_operand(rest) if rest else None
+        if position is None or position < 0:
+            return Malformed(line, "goto takes an event position (an integer >= 0)")
+        return Goto(position)
+    if line == "rewind":
+        return Rewind()
+    if word == "events":
+        if not rest:
+            return ShowEvents()
+        limit = _int_operand(rest)
+        if limit is None or limit < 1:
+            return Malformed(line, "events takes a positive count")
+        return ShowEvents(limit)
+    if word == "when-was":
+        name, eq, value = rest.partition("=")
+        name, value = name.strip(), value.strip()
+        if not eq or not name or not value:
+            return Malformed(line, "usage: when-was NAME = VALUE")
+        return WhenWas(name, value)
+    if word == "value-at":
+        parts = rest.split()
+        if len(parts) != 2:
+            return Malformed(line, "usage: value-at LABEL ACTIVATION")
+        activation = _int_operand(parts[1])
+        if activation is None or activation < 0:
+            return Malformed(line, "value-at takes an activation index >= 0")
+        return ValueAt(parts[0], activation)
+
+    return Unknown(line)
+
+
+def is_replay_only(command: Command) -> bool:
+    """Is this command meaningful only over a recorded trace?"""
+    return isinstance(command, REPLAY_ONLY)
+
+
+Parsed = Union[Command]
+
+__all__ = [
+    "AddBreak",
+    "Back",
+    "COMMAND_TABLE",
+    "Command",
+    "Continue",
+    "DeleteBreak",
+    "Depth",
+    "Finish",
+    "Goto",
+    "Help",
+    "ListBreaks",
+    "Malformed",
+    "PrintVar",
+    "Quit",
+    "REPLAY_ONLY",
+    "Rewind",
+    "ShowEvents",
+    "ShowSource",
+    "StepCmd",
+    "Unknown",
+    "ValueAt",
+    "Vars",
+    "WhenWas",
+    "Where",
+    "is_replay_only",
+    "parse_command",
+    "render_help",
+]

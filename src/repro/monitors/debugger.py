@@ -43,6 +43,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
 from repro.monitoring.spec import MonitorSpec
+from repro.monitors import commands as cmd
 from repro.monitors.common import context_lookup, recognize_with_namespace
 from repro.monitors.streams import Stream, init_stream
 from repro.semantics.values import value_to_string
@@ -99,6 +100,12 @@ class DebuggerMonitor(MonitorSpec):
         #: produced — for live display; the transcript in the monitor
         #: state is unaffected.
         self.echo = echo
+        #: Optional callable receiving each command string as it is
+        #: consumed (script and live source alike).  The trace recorder
+        #: hooks this to write ``input`` records, so a recorded debug
+        #: session carries its nondeterministic inputs and replays
+        #: bit-identically (see :mod:`repro.replay`).
+        self.on_command = None
 
     def recognize(self, annotation: Annotation):
         return recognize_with_namespace(annotation, self.namespace, (Label, FnHeader))
@@ -133,10 +140,14 @@ class DebuggerMonitor(MonitorSpec):
     def _next_command(self, state: DebuggerState):
         if state.cursor < len(state.commands):
             command = state.commands[state.cursor]
+            if self.on_command is not None:
+                self.on_command(command)
             return command, replace(state, cursor=state.cursor + 1)
         if self.source is not None:
             command = self.source()
             if command is not None:
+                if self.on_command is not None:
+                    self.on_command(command)
                 return command, state
         return None, state
 
@@ -146,43 +157,42 @@ class DebuggerMonitor(MonitorSpec):
             if command is None:
                 # Input exhausted: run to completion, like EOF at a dbx prompt.
                 return replace(state, mode="run")
-            command = command.strip()
+            parsed = cmd.parse_command(command)
 
-            if command.startswith("print "):
-                name = command[len("print "):].strip()
-                value = context_lookup(ctx, name)
+            if isinstance(parsed, cmd.PrintVar):
+                value = context_lookup(ctx, parsed.name)
                 if value is None:
-                    state = self._emit(state, f"{name} is not bound here")
+                    state = self._emit(state, f"{parsed.name} is not bound here")
                 else:
-                    state = self._emit(state, f"{name} = {value_to_string(value)}")
-            elif command == "vars":
+                    state = self._emit(
+                        state, f"{parsed.name} = {value_to_string(value)}"
+                    )
+            elif isinstance(parsed, cmd.Vars):
                 from repro.monitors.common import context_names
 
                 names = context_names(ctx)
                 user_names = [n for n in names if not n.startswith("__")]
                 state = self._emit(state, "vars: " + ", ".join(user_names[:12]))
-            elif command == "where":
+            elif isinstance(parsed, cmd.Where):
                 frames = " > ".join(state.stack) or "(top level)"
                 state = self._emit(state, f"where: {frames}")
-            elif command == "depth":
+            elif isinstance(parsed, cmd.Depth):
                 state = self._emit(state, f"depth: {len(state.stack)}")
-            elif command.startswith("break "):
-                label = command[len("break "):].strip()
+            elif isinstance(parsed, cmd.AddBreak):
                 state = replace(
                     state,
-                    added_breaks=state.added_breaks | {label},
-                    removed_breaks=state.removed_breaks - {label},
+                    added_breaks=state.added_breaks | {parsed.label},
+                    removed_breaks=state.removed_breaks - {parsed.label},
                 )
-                state = self._emit(state, f"breakpoint added: {label}")
-            elif command.startswith("delete "):
-                label = command[len("delete "):].strip()
+                state = self._emit(state, f"breakpoint added: {parsed.label}")
+            elif isinstance(parsed, cmd.DeleteBreak):
                 state = replace(
                     state,
-                    added_breaks=state.added_breaks - {label},
-                    removed_breaks=state.removed_breaks | {label},
+                    added_breaks=state.added_breaks - {parsed.label},
+                    removed_breaks=state.removed_breaks | {parsed.label},
                 )
-                state = self._emit(state, f"breakpoint removed: {label}")
-            elif command == "breakpoints":
+                state = self._emit(state, f"breakpoint removed: {parsed.label}")
+            elif isinstance(parsed, cmd.ListBreaks):
                 static = set(self.breakpoints or ())
                 effective = sorted(
                     (static | state.added_breaks) - state.removed_breaks
@@ -191,24 +201,34 @@ class DebuggerMonitor(MonitorSpec):
                     "(every annotated site)" if self.breakpoints is None else "(none)"
                 )
                 state = self._emit(state, f"breakpoints: {shown}")
-            elif command == "source":
+            elif isinstance(parsed, cmd.ShowSource):
                 try:
                     text = pretty(term)
                 except Exception:
                     text = repr(term)
                 state = self._emit(state, f"source: {text}")
-            elif command == "continue":
+            elif isinstance(parsed, cmd.Help):
+                state = self._emit(state, cmd.render_help(replay=False))
+            elif isinstance(parsed, cmd.Continue):
                 return replace(state, mode="break")
-            elif command == "step":
+            elif isinstance(parsed, cmd.StepCmd):
                 return replace(state, mode="step")
-            elif command == "finish":
+            elif isinstance(parsed, cmd.Finish):
                 return replace(
                     state, mode="finish", finish_depth=len(state.stack) - 1
                 )
-            elif command == "quit":
+            elif isinstance(parsed, cmd.Quit):
                 return replace(state, mode="run")
+            elif cmd.is_replay_only(parsed):
+                state = self._emit(
+                    state,
+                    f"{command.strip().split()[0]} is a replay-only command "
+                    "(record the run and use `repro replay`)",
+                )
+            elif isinstance(parsed, cmd.Malformed):
+                state = self._emit(state, f"malformed command: {parsed.reason}")
             else:
-                state = self._emit(state, f"unknown command: {command!r}")
+                state = self._emit(state, f"unknown command: {parsed.text!r}")
 
     # -- monitoring functions ----------------------------------------------------
 

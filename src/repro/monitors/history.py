@@ -172,6 +172,42 @@ class History:
             return exits[n].value
         return None
 
+    def when_was(self, label: str, value: str) -> List[HistoryEvent]:
+        """Every exit of ``label`` whose rendered value equals ``value``."""
+        return self.filter(
+            lambda e: e.label == label and e.kind == "exit" and e.value == value
+        )
+
+    def drop_diagnostic(self, query: str):
+        """The REP401 diagnostic for an omniscient query over a lossy ring.
+
+        The ring keeps only the most recent ``capacity`` events; once
+        ``dropped > 0``, any whole-history query (``when-was``,
+        ``value-at``, activation counting) may silently miss evicted
+        matches or mis-number activations.  Historically that wrong
+        answer was returned without comment — now callers attach this
+        diagnostic so the caveat travels with the result.  Returns
+        ``None`` while the history is complete.
+        """
+        if not self.dropped:
+            return None
+        from repro.analysis.diagnostics import Diagnostic
+
+        return Diagnostic(
+            code="REP401",
+            severity="warning",
+            message=(
+                f"history ring dropped {self.dropped} earlier event(s); "
+                f"{query} may be missing matches or mis-numbering "
+                "activations"
+            ),
+            subject="history",
+            hint=(
+                "raise HistoryMonitor(capacity=...) above the run's event "
+                "count, or re-record and replay the full trace"
+            ),
+        )
+
     def at_sequence(self, sequence: int) -> Optional[HistoryEvent]:
         for event in self.events:
             if event.sequence == sequence:

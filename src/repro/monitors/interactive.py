@@ -8,17 +8,27 @@ an input stream of commands and produces an output stream; this module
 supplies the plumbing that connects those streams to a console (or to any
 pair of callables), turning the pure monitor into a live tool.
 
-Everything here is thin: the monitor itself is unchanged, so an
-interactive session and a scripted test exercise identical code.
+:func:`debug` is the entry point and returns a typed
+:class:`DebugResult` sharing the batch :class:`~repro.runtime.batch.
+RunResult` wire conventions (``to_dict``/``from_dict``, ``duration``,
+``trace``, ``diagnostics``), so a debug session serializes like any
+other run outcome.  Under ``RunConfig(mode="record", record_dir=...)``
+the session is *recorded while it happens* — every consumed command
+becomes an ``input`` record in the trace — and ``result.trace`` names a
+replayable artifact for ``repro replay``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.languages.strict import strict
 from repro.monitoring.derive import MonitoredResult, run_monitored
 from repro.monitors.debugger import DebuggerMonitor
+from repro.runtime.config import RunConfig, UNSET
 
 
 class IteratorSource:
@@ -48,6 +58,83 @@ class ConsoleSource:
             return None
 
 
+@dataclass
+class DebugResult:
+    """One debugging session's outcome, on the ``RunResult`` wire format.
+
+    ``transcript`` is the full session text (also what :meth:`report`
+    returns, keeping the historical ``result.report()`` spelling
+    working); ``faults`` holds captured :class:`~repro.monitoring.
+    faults.MonitorFault` records under a non-``propagate`` policy;
+    ``trace`` names the recorded artifact when the session ran under
+    ``mode="record"`` — feed it to ``repro replay`` for time travel.
+    ``monitored`` keeps the in-process :class:`~repro.monitoring.derive.
+    MonitoredResult` (``None`` after ``from_dict``, exactly like
+    ``RunResult.monitored``).
+    """
+
+    ok: bool = True
+    answer: object = None
+    transcript: str = ""
+    faults: Tuple = ()
+    stops: int = 0
+    trace: Optional[str] = None
+    duration: float = 0.0
+    diagnostics: Tuple = ()
+    metrics: object = None
+    monitored: Optional[MonitoredResult] = field(default=None, repr=False)
+
+    def report(self, monitor=None) -> str:
+        """The session transcript (the debugger monitor's report)."""
+        if monitor is not None and self.monitored is not None:
+            return self.monitored.report(monitor)
+        return self.transcript
+
+    def healthy(self) -> bool:
+        return not self.faults
+
+    def to_dict(self, *, render=None) -> Dict[str, object]:
+        """A JSON-friendly projection, mirroring ``RunResult.to_dict``."""
+        from repro.runtime.batch import _render_value
+
+        show = render if render is not None else _render_value
+        out: Dict[str, object] = {"ok": self.ok}
+        out["answer"] = show(self.answer)
+        out["reports"] = {"debug": self.transcript}
+        if self.faults:
+            out["faults"] = [
+                [f.monitor_key, f.phase, f.error_type, f.message]
+                if not isinstance(f, (list, tuple))
+                else list(f)
+                for f in self.faults
+            ]
+        if self.trace is not None:
+            out["trace"] = self.trace
+        out["stops"] = self.stops
+        out["duration"] = self.duration
+        if self.diagnostics:
+            out["diagnostics"] = [
+                d if isinstance(d, dict) else d.to_dict()
+                for d in self.diagnostics
+            ]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DebugResult":
+        """Rebuild from a :meth:`to_dict` projection (rendered values)."""
+        reports = dict(data.get("reports", {}))
+        return cls(
+            ok=bool(data.get("ok", True)),
+            answer=data.get("answer"),
+            transcript=str(reports.get("debug", "")),
+            faults=tuple(tuple(f) for f in data.get("faults", ())),
+            stops=int(data.get("stops", 0)),
+            trace=data.get("trace"),
+            duration=float(data.get("duration", 0.0)),
+            diagnostics=tuple(data.get("diagnostics", ())),
+        )
+
+
 def debug(
     program,
     *,
@@ -56,45 +143,86 @@ def debug(
     source: Optional[Callable[[], Optional[str]]] = None,
     output: Callable[[str], None] = print,
     script: Sequence[str] = (),
-    max_steps: Optional[int] = None,
-    engine: str = "reference",
-    fault_policy: str = "propagate",
-    metrics=None,
-    event_sink=None,
-    timeout: Optional[float] = None,
+    max_steps=UNSET,
+    engine=UNSET,
+    fault_policy=UNSET,
+    metrics=UNSET,
+    event_sink=UNSET,
+    timeout=UNSET,
     config=None,
-) -> MonitoredResult:
+) -> DebugResult:
     """Run ``program`` under an interactive debugging session.
 
     ``script`` commands run first; when they are exhausted, ``source`` is
     consulted (default: the console).  ``output`` receives each transcript
-    line as it is produced.  ``max_steps`` bounds the underlying
-    trampoline exactly as in plain evaluation (the debugger adds no
-    budget of its own).  ``fault_policy`` governs debugger-monitor
-    failures like any other monitor's (``"quarantine"`` finishes the
-    program with the transcript collected so far);
-    ``metrics``/``event_sink`` request run telemetry
-    (:mod:`repro.observability`).  ``engine`` selects the execution
-    engine, ``timeout`` bounds wall-clock seconds, and ``config`` (a
-    :class:`repro.runtime.RunConfig`) bundles every run option — all
-    forwarded to :func:`~repro.monitoring.derive.run_monitored`.
-    Returns the full monitored result — including the complete
-    transcript — once the program finishes.
+    line as it is produced.  Run options come from ``config`` (a
+    :class:`repro.runtime.RunConfig`); the loose per-option keywords
+    (``engine``, ``max_steps``, ``fault_policy``, ``metrics``,
+    ``event_sink``, ``timeout``) are **deprecated** — they still work,
+    normalized through :meth:`RunConfig.from_kwargs` with a
+    ``DeprecationWarning``.
+
+    With ``RunConfig(mode="record", record_dir=...)`` the session runs
+    live *and* is recorded: the trace carries every consumed command as
+    an ``input`` record (plus a ``deadline`` record if the timeout
+    fires), so ``repro replay result.trace`` steps through the very same
+    session — backward too.
+
+    Returns a :class:`DebugResult` — ``answer``, the full
+    ``transcript``, ``faults``, ``duration``, ``trace`` — sharing the
+    batch result wire format.
     """
-    if source is None:
-        source = ConsoleSource()
-    monitor = DebuggerMonitor(
-        script, breakpoints=breakpoints, source=source, echo=output
-    )
-    return run_monitored(
-        language,
-        program,
-        monitor,
+    cfg = RunConfig.from_kwargs(
+        config,
+        caller="debug",
         max_steps=max_steps,
         engine=engine,
         fault_policy=fault_policy,
         metrics=metrics,
         event_sink=event_sink,
         timeout=timeout,
-        config=config,
+    )
+    if source is None:
+        source = ConsoleSource()
+    monitor = DebuggerMonitor(
+        script, breakpoints=breakpoints, source=source, echo=output
+    )
+    started = perf_counter()
+
+    if cfg.mode == "record":
+        from repro.runtime.cache import program_fingerprint
+        from repro.tracing.record import _next_trace_path, record
+        from repro.tracing.schema import TraceError
+
+        if not cfg.record_dir:
+            raise TraceError(
+                "debug(mode='record') needs record_dir on the RunConfig "
+                "(where the session trace goes)"
+            )
+        os.makedirs(cfg.record_dir, exist_ok=True)
+        path = _next_trace_path(cfg.record_dir, program_fingerprint(program))
+        outcome = record(language, program, path, config=cfg, live=monitor)
+        state = outcome.live_state
+        return DebugResult(
+            answer=outcome.answer,
+            transcript=monitor.report(state),
+            faults=(),
+            stops=getattr(state, "stops", 0),
+            trace=outcome.trace,
+            duration=perf_counter() - started,
+            metrics=outcome.metrics,
+        )
+
+    result = run_monitored(language, program, monitor, config=cfg)
+    state = result.states.get(monitor.key)
+    return DebugResult(
+        answer=result.answer,
+        transcript=result.report(),
+        faults=result.faults,
+        stops=getattr(state, "stops", 0),
+        trace=result.trace,
+        duration=perf_counter() - started,
+        diagnostics=result.diagnostics,
+        metrics=result.metrics,
+        monitored=result,
     )

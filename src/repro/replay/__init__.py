@@ -1,0 +1,34 @@
+"""Time travel over recorded traces: checkpointed replay and debugging.
+
+The PR 8 trace backend made a run a *value* (record once, fold monitor
+stacks over it later); this package makes that value *navigable*:
+
+* :class:`~repro.replay.session.ReplaySession` — the incremental,
+  seekable trace fold, with automatic monitor-state checkpoints every
+  ``RunConfig(checkpoint_interval=...)`` events so ``seek(k)`` replays
+  at most one interval, not the whole prefix;
+* :class:`~repro.replay.checkpoints.CheckpointIndex` — the checkpoint
+  store, persistable to a ``<trace>.ckpt`` sidecar;
+* :class:`~repro.replay.debugger.ReplayDebugger` — the time-travel
+  debugger behind ``repro replay``: the live command set plus ``back``,
+  ``goto``, ``rewind``, ``events``, and the omniscient queries
+  ``when-was``/``value-at`` over :mod:`repro.monitors.history` state.
+
+Recording is engine- and language-generic (the recorder is an ordinary
+monitor), so anything ``repro run --mode record`` produced — reference,
+compiled, or codegen; L_lambda, L_imp, or L_exc — replays here.
+"""
+
+from repro.replay.checkpoints import Checkpoint, CheckpointIndex, sidecar_path
+from repro.replay.debugger import HISTORY_KEY, ReplayDebugger, default_stack
+from repro.replay.session import ReplaySession
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointIndex",
+    "HISTORY_KEY",
+    "ReplayDebugger",
+    "ReplaySession",
+    "default_stack",
+    "sidecar_path",
+]

@@ -27,6 +27,7 @@ runtime for per-request timeouts.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, fields, replace
 from time import perf_counter
 from typing import Dict, Optional
@@ -35,6 +36,19 @@ from repro.monitoring.faults import check_fault_policy
 from repro.observability.metrics import RunMetrics
 from repro.observability.sinks import EventSink
 from repro.semantics.answers import AnswerAlgebra, STANDARD_ANSWERS
+
+
+class _Unset:
+    """Sentinel type for "this keyword was not passed at all"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+#: Default for legacy per-option keywords on the public entry points:
+#: distinguishes "caller never passed this" from "caller passed the
+#: historical default", so only *explicit* legacy usage warns.
+UNSET = _Unset()
 
 
 @dataclass(frozen=True)
@@ -75,6 +89,13 @@ class RunConfig:
     sample_rate: float = 1.0
     #: The sampling seed (see :func:`repro.tracing.sample_includes`).
     trace_seed: int = 0
+    #: Replay checkpoint cadence: when a recorded trace is opened for
+    #: time travel (``repro replay``, :class:`repro.replay.ReplaySession`)
+    #: the fold snapshots its monitor-state vector every this-many events,
+    #: so seeking to event *k* replays at most ``checkpoint_interval``
+    #: events from the nearest checkpoint instead of all *k* from the
+    #: start.  Smaller = faster seeks, more checkpoint memory.
+    checkpoint_interval: int = 512
 
     def validate(self) -> "RunConfig":
         """Check the enumerated fields; returns ``self`` for chaining."""
@@ -105,6 +126,15 @@ class RunConfig:
         ):
             raise ValueError(
                 f"trace_seed must be an integer, got {self.trace_seed!r}"
+            )
+        if (
+            isinstance(self.checkpoint_interval, bool)
+            or not isinstance(self.checkpoint_interval, int)
+            or self.checkpoint_interval < 1
+        ):
+            raise ValueError(
+                "checkpoint_interval must be a positive integer, got "
+                f"{self.checkpoint_interval!r}"
             )
         return self
 
@@ -145,6 +175,7 @@ class RunConfig:
         "record_dir",
         "sample_rate",
         "trace_seed",
+        "checkpoint_interval",
     )
 
     def scalars(self) -> Dict[str, object]:
@@ -202,6 +233,39 @@ class RunConfig:
             )
         return config.validate()
 
+    @classmethod
+    def from_kwargs(
+        cls,
+        config: "Optional[RunConfig]" = None,
+        *,
+        caller: str = "this function",
+        **legacy: object,
+    ) -> "RunConfig":
+        """The one entry-point normalizer: kwargs in, validated config out.
+
+        Entry points declare their legacy per-option keywords with the
+        :data:`UNSET` default and forward them all here; only keywords the
+        caller *explicitly passed* survive the filter, and any survivor
+        puts the call on the deprecated path — a ``DeprecationWarning``
+        names the keywords and the replacement.  The merge semantics are
+        :meth:`resolve`'s (config wins; explicit conflicts raise
+        ``TypeError``), so behavior is unchanged, just announced.
+        """
+        passed = {
+            name: value
+            for name, value in legacy.items()
+            if not isinstance(value, _Unset)
+        }
+        if passed:
+            warnings.warn(
+                f"{caller}: per-option keyword arguments "
+                f"({', '.join(sorted(passed))}) are deprecated; pass "
+                "config=RunConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return cls.resolve(config, **passed)
+
 
 def _field_defaults() -> Dict[str, object]:
     return {f.name: f.default for f in fields(RunConfig)}
@@ -217,4 +281,4 @@ def _differs(a: object, b: object) -> bool:
         return True
 
 
-__all__ = ["RunConfig"]
+__all__ = ["RunConfig", "UNSET"]

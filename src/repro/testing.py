@@ -22,6 +22,7 @@ from repro.monitoring.derive import run_monitored
 from repro.monitoring.soundness import assert_sound
 from repro.monitoring.validate import assert_valid_monitor
 from repro.partial_eval.codegen import generate_program
+from repro.runtime.config import RunConfig
 from repro.partial_eval.compile import compile_program
 from repro.syntax.ast import Expr
 from repro.syntax.parser import parse
@@ -51,7 +52,10 @@ def assert_implementation_parity(
     monitor_list = flatten_monitors(monitors)
 
     interp = run_monitored(
-        language, program, list(monitor_list), max_steps=max_steps
+        language,
+        program,
+        list(monitor_list),
+        config=RunConfig(max_steps=max_steps),
     ) if monitor_list else None
     interp_answer = (
         interp.answer if interp is not None else language.evaluate(program, max_steps=max_steps)

@@ -21,6 +21,7 @@ from repro.monitoring.compose import MonitorStack, flatten_monitors
 from repro.monitoring.derive import MonitoredResult, run_monitored
 from repro.monitoring.spec import MonitorSpec
 from repro.observability.metrics import RunMetrics
+from repro.runtime.config import UNSET
 from repro.monitors import (
     CallGraphMonitor,
     CollectingMonitor,
@@ -149,13 +150,13 @@ def evaluate(
     program: Union[str, Expr],
     *,
     language: Optional[BaseLanguage] = None,
-    max_steps: Optional[int] = None,
-    engine: str = "reference",
-    fault_policy: str = "propagate",
-    metrics: Optional[RunMetrics] = None,
-    event_sink=None,
-    timeout: Optional[float] = None,
-    lint: str = "off",
+    max_steps=UNSET,
+    engine=UNSET,
+    fault_policy=UNSET,
+    metrics=UNSET,
+    event_sink=UNSET,
+    timeout=UNSET,
+    lint=UNSET,
     config=None,
     cache=None,
 ) -> EvaluationResult:
@@ -177,9 +178,11 @@ def evaluate(
 
     ``timeout`` bounds the run's wall-clock seconds; ``config`` (a
     :class:`repro.runtime.RunConfig`) bundles every option above into one
-    reusable value (conflicting explicit keywords raise ``TypeError``);
-    ``cache`` (a :class:`repro.runtime.CompilationCache`) memoizes
-    compilation for ``engine="compiled"`` and ``engine="codegen"``.
+    reusable value and is the supported spelling — the loose per-option
+    keywords are **deprecated** and emit a ``DeprecationWarning``
+    (conflicting explicit keywords raise ``TypeError``); ``cache`` (a
+    :class:`repro.runtime.CompilationCache`) memoizes compilation for
+    ``engine="compiled"`` and ``engine="codegen"``.
 
     ``lint`` gates the run on the static analyzer (:mod:`repro.analysis`):
     ``"warn"`` attaches findings as ``result.diagnostics``, ``"error"``
@@ -188,8 +191,9 @@ def evaluate(
     """
     from repro.runtime.config import RunConfig
 
-    cfg = RunConfig.resolve(
+    cfg = RunConfig.from_kwargs(
         config,
+        caller="evaluate",
         engine=engine,
         fault_policy=fault_policy,
         max_steps=max_steps,

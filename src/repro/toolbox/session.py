@@ -26,6 +26,7 @@ from repro.errors import ReproError
 from repro.languages.base import BaseLanguage
 from repro.languages.strict import strict
 from repro.monitoring.spec import MonitorSpec
+from repro.runtime.config import UNSET
 from repro.syntax.ast import Expr, Lam, Letrec, strip_annotations_shallow
 from repro.syntax.parser import parse
 from repro.toolbox.autoannotate import annotate_function_bodies
@@ -92,12 +93,12 @@ class Session:
         tools: Union[str, Sequence[Union[str, MonitorSpec]], None] = None,
         *,
         functions: Optional[Sequence[str]] = None,
-        max_steps: Optional[int] = None,
-        engine: str = "reference",
-        fault_policy: str = "propagate",
-        metrics=None,
-        event_sink=None,
-        timeout: Optional[float] = None,
+        max_steps=UNSET,
+        engine=UNSET,
+        fault_policy=UNSET,
+        metrics=UNSET,
+        event_sink=UNSET,
+        timeout=UNSET,
         config=None,
         cache=None,
     ) -> EvaluationResult:
@@ -120,7 +121,22 @@ class Session:
         one value and ``cache`` (a
         :class:`repro.runtime.CompilationCache`) memoizes staged
         compilation — both are forwarded to the toolbox ``evaluate``.
+        The loose per-option keywords are deprecated (they forward, with
+        a ``DeprecationWarning``, through ``RunConfig.from_kwargs``);
+        prefer ``config=``.
         """
+        from repro.runtime.config import RunConfig
+
+        cfg = RunConfig.from_kwargs(
+            config,
+            caller="Session.evaluate",
+            max_steps=max_steps,
+            engine=engine,
+            fault_policy=fault_policy,
+            metrics=metrics,
+            event_sink=event_sink,
+            timeout=timeout,
+        )
         program = self.program_for(expr_source)
 
         if tools is None:
@@ -128,12 +144,7 @@ class Session:
                 (),
                 program,
                 language=self.language,
-                max_steps=max_steps,
-                engine=engine,
-                metrics=metrics,
-                event_sink=event_sink,
-                timeout=timeout,
-                config=config,
+                config=cfg,
                 cache=cache,
             )
 
@@ -155,13 +166,7 @@ class Session:
             monitors,
             program,
             language=self.language,
-            max_steps=max_steps,
-            engine=engine,
-            fault_policy=fault_policy,
-            metrics=metrics,
-            event_sink=event_sink,
-            timeout=timeout,
-            config=config,
+            config=cfg,
             cache=cache,
         )
 

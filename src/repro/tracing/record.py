@@ -28,6 +28,7 @@ import threading
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import EvaluationTimeout
 from repro.monitoring.spec import MonitorSpec
 from repro.monitors.common import context_lookup
 from repro.tracing.schema import (
@@ -82,6 +83,20 @@ class TraceWriter:
         self.events += 1
         self._write(record)
 
+    def input(self, kind: str, value: str) -> None:
+        """Write a nondeterministic-input record (v2; see replay)."""
+        self._write({"t": "input", "k": kind, "v": value})
+
+    def deadline(self, error: str) -> None:
+        """Write the timeout marker (v2): the run died on its deadline.
+
+        The trace stays without an end record — there is no answer — but
+        the reader knows it is complete as a record of the timed-out run
+        rather than a crash-truncated file.
+        """
+        self._write({"t": "deadline", "events": self.events, "error": error})
+        self.close()
+
     def finish(self, **footer: object) -> None:
         self._write({"t": "end", "events": self.events, **footer})
         self.close()
@@ -117,6 +132,13 @@ class RecorderSpec(MonitorSpec):
     The spec carries mutable recording state (the writer, occurrence
     counters, the pending-activation LIFOs), so instances are single-run
     and must never be shared or compilation-cached.
+
+    ``live`` tees a second monitor through the recorder: the cascade
+    strips annotations as it recurses (Section 6), so a recorder stacked
+    *above* a live debugger would starve it — instead one all-claiming
+    spec records every site and forwards the recognized ones to ``live``,
+    carrying its state, key, and report.  This is how an interactive
+    debug session is recorded while it happens.
     """
 
     key = "__record__"
@@ -130,6 +152,7 @@ class RecorderSpec(MonitorSpec):
         sample_rate: float = 1.0,
         seed: int = 0,
         values: str = "full",
+        live: Optional[MonitorSpec] = None,
     ) -> None:
         self._writer = writer
         self._plans = tuple(plans)
@@ -142,15 +165,20 @@ class RecorderSpec(MonitorSpec):
         self._occ: Dict[int, int] = {}
         self._pending: Dict[int, List[Tuple[int, bool]]] = {}
         self.sampled_out = 0
+        self._live = live
+        if live is not None:
+            self.key = live.key
 
     # MSyn: claim every annotation --------------------------------------------
     def recognize(self, annotation):
         return annotation
 
     def initial_state(self):
-        return None
+        return None if self._live is None else self._live.initial_state()
 
     def report(self, state):
+        if self._live is not None:
+            return self._live.report(state)
         return {"events": self._writer.events, "sampled_out": self.sampled_out}
 
     def cache_identity(self) -> Tuple:
@@ -160,43 +188,51 @@ class RecorderSpec(MonitorSpec):
     # MFun: write events -------------------------------------------------------
     def pre(self, annotation, term, ctx, state, inner=None):
         plan = self._by_body.get(id(term))
-        if plan is None:
-            return state
-        site_id = plan.site.site_id
-        occ = self._occ.get(site_id, 0) + 1
-        self._occ[site_id] = occ
-        include = sample_includes(self._seed, site_id, occ, self._rate)
-        self._pending.setdefault(site_id, []).append((occ, include))
-        if not include:
-            self.sampled_out += 1
-            return state
-        record: Dict[str, object] = {"t": "pre", "s": site_id, "o": occ}
-        if plan.site.params:
-            bindings = {}
-            for param in plan.site.params:
-                value = context_lookup(ctx, param)
-                if value is not None:
-                    bindings[param] = self._encode(value)
-            record["b"] = bindings
-        self._writer.event(record)
+        if plan is not None:
+            site_id = plan.site.site_id
+            occ = self._occ.get(site_id, 0) + 1
+            self._occ[site_id] = occ
+            include = sample_includes(self._seed, site_id, occ, self._rate)
+            self._pending.setdefault(site_id, []).append((occ, include))
+            if include:
+                record: Dict[str, object] = {"t": "pre", "s": site_id, "o": occ}
+                if plan.site.params:
+                    bindings = {}
+                    for param in plan.site.params:
+                        value = context_lookup(ctx, param)
+                        if value is not None:
+                            bindings[param] = self._encode(value)
+                    record["b"] = bindings
+                self._writer.event(record)
+            else:
+                self.sampled_out += 1
+        # Forward to the live monitor *after* the event record, so input
+        # records it consumes land after the event they were consumed at.
+        if self._live is not None:
+            view = self._live.recognize(annotation)
+            if view is not None:
+                state = self._live.pre(view, term, ctx, state)
         return state
 
     def post(self, annotation, term, ctx, result, state, inner=None):
         plan = self._by_body.get(id(term))
-        if plan is None:
-            return state
-        site_id = plan.site.site_id
-        pending = self._pending.get(site_id)
-        if pending:
-            occ, include = pending.pop()
-        else:  # unmatched post (control escaped a pre) — deterministic fallback
-            occ, include = 0, sample_includes(self._seed, site_id, 0, self._rate)
-        if not include:
-            self.sampled_out += 1
-            return state
-        self._writer.event(
-            {"t": "post", "s": site_id, "o": occ, "v": self._encode(result)}
-        )
+        if plan is not None:
+            site_id = plan.site.site_id
+            pending = self._pending.get(site_id)
+            if pending:
+                occ, include = pending.pop()
+            else:  # unmatched post (control escaped a pre) — deterministic fallback
+                occ, include = 0, sample_includes(self._seed, site_id, 0, self._rate)
+            if include:
+                self._writer.event(
+                    {"t": "post", "s": site_id, "o": occ, "v": self._encode(result)}
+                )
+            else:
+                self.sampled_out += 1
+        if self._live is not None:
+            view = self._live.recognize(annotation)
+            if view is not None:
+                state = self._live.post(view, term, ctx, result, state)
         return state
 
 
@@ -211,6 +247,8 @@ class RecordResult:
     enabled_sites: int
     sampled_out: int
     metrics: object = None
+    #: Final state of the ``live`` tee monitor, when one was supplied.
+    live_state: object = None
 
 
 def _site_plans(
@@ -275,6 +313,7 @@ def record(
     values: str = "full",
     source: Optional[str] = None,
     config=None,
+    live: Optional[MonitorSpec] = None,
 ) -> RecordResult:
     """Run ``program`` once, writing its event trace to ``out``.
 
@@ -287,9 +326,18 @@ def record(
     options (engine, max_steps, timeout, metrics, ...) come from
     ``config``.
 
+    ``live`` runs a second monitor inline while recording (see
+    :class:`RecorderSpec`); if it consumes commands (an interactive
+    debugger), each consumed command is written as an ``input`` record so
+    the session replays bit-identically.  Its final state comes back in
+    ``RecordResult.live_state``.
+
     If the program itself fails, the trace is left *without* its end
     record — exactly the truncated shape ``analyze`` diagnoses — and the
-    error propagates.
+    error propagates.  A timeout is different: the deadline firing is a
+    *nondeterministic input*, so it is written as a ``deadline`` record
+    (the trace is a complete record of a timed-out run) before the
+    :class:`~repro.errors.EvaluationTimeout` propagates.
     """
     from repro.monitoring.compose import flatten_monitors
     from repro.monitoring.derive import run_monitored
@@ -329,8 +377,23 @@ def record(
 
     writer = TraceWriter(out, header)
     recorder = RecorderSpec(
-        writer, plans, sample_rate=rate, seed=seed_value, values=values
+        writer, plans, sample_rate=rate, seed=seed_value, values=values, live=live
     )
+    # An interactive live monitor consumes commands nondeterministically;
+    # chain its on_command hook so each consumed command becomes an
+    # ``input`` record, positioned at the event it was consumed at.
+    chained_on_command = False
+    previous_on_command = None
+    if live is not None and hasattr(live, "on_command"):
+        previous_on_command = live.on_command
+
+        def _log_command(text, _prev=previous_on_command):
+            writer.input("command", text)
+            if _prev is not None:
+                _prev(text)
+
+        live.on_command = _log_command
+        chained_on_command = True
     # The recording run itself: inline mode (never recurse into record),
     # propagate faults (the recorder does not fault), no compilation cache
     # (the recorder's writer state is single-run).
@@ -344,14 +407,21 @@ def record(
     ).with_fresh_metrics()
     try:
         result = run_monitored(language, program, [recorder], config=run_cfg)
+    except EvaluationTimeout as err:
+        writer.deadline(str(err) or "evaluation timed out")
+        raise
     except BaseException:
         writer.abort()  # leave the honest truncated shape behind
         raise
+    finally:
+        if chained_on_command:
+            live.on_command = previous_on_command
     footer: Dict[str, object] = {"answer": encode_value(result.answer)}
     if result.metrics is not None:
         footer["steps"] = result.metrics.steps
         footer["applications"] = result.metrics.applications
     writer.finish(**footer)
+    live_state = result.states.get(recorder.key) if live is not None else None
     return RecordResult(
         answer=result.answer,
         trace=writer.path,
@@ -360,6 +430,7 @@ def record(
         enabled_sites=len(enabled),
         sampled_out=recorder.sampled_out,
         metrics=result.metrics,
+        live_state=live_state,
     )
 
 

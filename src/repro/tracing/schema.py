@@ -37,12 +37,20 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ReproError
 
 #: Bump when a record's shape changes incompatibly.  The reader refuses
-#: other versions with :class:`TraceVersionError` — a silent mis-fold of
-#: an old trace would fabricate monitoring results.
-TRACE_VERSION = 1
+#: versions outside :data:`READ_VERSIONS` with :class:`TraceVersionError`
+#: — a silent mis-fold of an old trace would fabricate monitoring
+#: results.  Version 2 extends version 1 with the nondeterministic-input
+#: records replay needs (``input``: a debugger command consumed from a
+#: live source; ``deadline``: the run's timeout fired) — every version-1
+#: record reads unchanged, so v1 traces stay readable.
+TRACE_VERSION = 2
 
-#: The record types a version-1 trace may contain.
-RECORD_TYPES = ("header", "pre", "post", "end")
+#: The versions this reader accepts (v2 is a strict superset of v1).
+READ_VERSIONS = (1, 2)
+
+#: The record types a version-2 trace may contain (version 1 lacks
+#: ``input`` and ``deadline``).
+RECORD_TYPES = ("header", "pre", "post", "input", "deadline", "end")
 
 
 class TraceError(ReproError):
@@ -288,15 +296,40 @@ class TraceEvent:
     value: object = None
 
 
+@dataclass(frozen=True)
+class TraceInput:
+    """One nondeterministic input the recorded run consumed (v2).
+
+    ``kind`` names the input channel (currently ``"command"`` — a
+    debugger command drawn from a live source); ``value`` is the input
+    itself; ``pos`` is the number of ``pre``/``post`` events already in
+    the trace when it was consumed, which is how a replay knows *where*
+    in the run the input arrived.
+    """
+
+    kind: str
+    value: str
+    pos: int
+
+
 @dataclass
 class Trace:
-    """A parsed trace: header + events + (unless truncated) the end record."""
+    """A parsed trace: header + events + (unless truncated) the end record.
+
+    ``inputs`` holds the v2 nondeterministic-input records in consumption
+    order; ``deadline`` is the v2 timeout marker (the run was killed by
+    its wall-clock budget after ``deadline["events"]`` events — the trace
+    is *complete as a record of that truncated run*, which is different
+    from ``truncated``, where the recorder itself died mid-write).
+    """
 
     header: Dict[str, object]
     events: List[TraceEvent] = field(default_factory=list)
     footer: Optional[Dict[str, object]] = None
     path: str = "<trace>"
     truncated: bool = False
+    inputs: List[TraceInput] = field(default_factory=list)
+    deadline: Optional[Dict[str, object]] = None
 
     @property
     def version(self) -> int:
@@ -318,6 +351,15 @@ class Trace:
     @property
     def site_annotations(self) -> Tuple[str, ...]:
         return tuple(self.header.get("site_annotations", ()))
+
+    @property
+    def timed_out(self) -> bool:
+        """Did the recorded run die on its wall-clock deadline?"""
+        return self.deadline is not None
+
+    def commands(self) -> List[str]:
+        """The recorded debugger commands, in consumption order."""
+        return [i.value for i in self.inputs if i.kind == "command"]
 
     def answer(self) -> object:
         """The recorded standard answer (``None`` on a truncated trace)."""
@@ -341,10 +383,11 @@ def _parse_header(record: object, path: str) -> Dict[str, object]:
     version = record.get("trace_version")
     if not isinstance(version, int):
         raise _located(path, 1, "header is missing its 'trace_version'")
-    if version != TRACE_VERSION:
+    if version not in READ_VERSIONS:
         raise TraceVersionError(
             f"{path}: trace format version {version} is not supported "
-            f"(this build reads version {TRACE_VERSION}); re-record the "
+            f"(this build reads versions "
+            f"{', '.join(map(str, READ_VERSIONS))}); re-record the "
             "trace with the matching repro version"
         )
     if not isinstance(record.get("sites"), int):
@@ -422,9 +465,30 @@ def read_trace(path: str, *, allow_truncated: bool = False) -> Trace:
             raise _located(path, lineno, "trace records must be JSON objects")
         if trace.footer is not None:
             raise _located(path, lineno, "record after the end-of-trace record")
+        if trace.deadline is not None:
+            raise _located(path, lineno, "record after the deadline record")
         kind = record.get("t")
         if kind in ("pre", "post"):
             trace.events.append(_parse_event(record, path, lineno, site_count))
+        elif kind == "input":
+            if trace.version < 2:
+                raise _located(
+                    path, lineno, "input records need trace version 2"
+                )
+            input_kind, value = record.get("k"), record.get("v")
+            if not isinstance(input_kind, str) or not isinstance(value, str):
+                raise _located(
+                    path, lineno, "input record needs string 'k' and 'v' fields"
+                )
+            trace.inputs.append(
+                TraceInput(kind=input_kind, value=value, pos=len(trace.events))
+            )
+        elif kind == "deadline":
+            if trace.version < 2:
+                raise _located(
+                    path, lineno, "deadline records need trace version 2"
+                )
+            trace.deadline = record
         elif kind == "end":
             trace.footer = record
         elif kind == "header":
@@ -436,7 +500,9 @@ def read_trace(path: str, *, allow_truncated: bool = False) -> Trace:
                 f"unknown event type {kind!r} (this version knows "
                 f"{', '.join(RECORD_TYPES)})",
             )
-    if trace.footer is None and not trace.truncated:
+    if trace.footer is None and not trace.truncated and not trace.timed_out:
+        # A trace ending with a deadline record is *complete*: it is the
+        # honest record of a run the timeout killed, and replays as such.
         if not allow_truncated:
             raise TraceFormatError(
                 f"{path}: trace ends without an end record (recorder "
@@ -449,12 +515,14 @@ def read_trace(path: str, *, allow_truncated: bool = False) -> Trace:
 
 __all__ = [
     "OpaqueValue",
+    "READ_VERSIONS",
     "RECORD_TYPES",
     "Site",
     "TRACE_VERSION",
     "Trace",
     "TraceError",
     "TraceEvent",
+    "TraceInput",
     "TraceFormatError",
     "TraceVersionError",
     "build_site_table",
