@@ -231,9 +231,39 @@ def measure_engines(quick: bool = False, repeats: int = REPEATS):
                 "speedup": t_ref / t_com,
                 "codegen_speedup_vs_reference": t_ref / t_gen,
                 "codegen_speedup_vs_compiled": t_com / t_gen,
+                "compiled_spread": _sample_spread(times["compiled"]),
+                "codegen_spread": _sample_spread(times["codegen"]),
             }
         )
     return rows
+
+
+def _sample_spread(samples) -> float:
+    """Relative scatter of a timing sample set: (median - min) / min."""
+    lo = min(samples)
+    return (median(samples) - lo) / lo if lo > 0 else float("inf")
+
+
+#: Above this spread on a gated row the box is too loaded for the hard
+#: exit-1 gate (matches benchmarks/bench_engines.py's threshold).
+NOISE_SPREAD_THRESHOLD = 0.5
+
+
+def _noise_reasons(gate_rows):
+    """Why the codegen gate should demote to informational ([] = gate)."""
+    reasons = []
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        reasons.append(f"single-core machine (os.cpu_count() == {cpus})")
+    for row in gate_rows:
+        for engine in ("compiled", "codegen"):
+            spread = row[f"{engine}_spread"]
+            if spread > NOISE_SPREAD_THRESHOLD:
+                reasons.append(
+                    f"{row['workload']}: {engine} timing spread {spread:.0%} "
+                    f"over its min (threshold {NOISE_SPREAD_THRESHOLD:.0%})"
+                )
+    return reasons
 
 
 #: Headline targets for the staged engine (checked in the JSON report).
@@ -316,6 +346,9 @@ def json_report(quick: bool, output: str) -> int:
         key: codegen_vs_compiled[key] >= CODEGEN_TARGETS[key]
         for key in CODEGEN_TARGETS
     }
+    noise = _noise_reasons(
+        (by_name["fib_unmonitored"], by_name["loop_traced_monitored"])
+    )
     codegen_payload = {
         "quick": quick,
         "speedups": codegen_vs_compiled,
@@ -324,6 +357,7 @@ def json_report(quick: bool, output: str) -> int:
         },
         "targets": CODEGEN_TARGETS,
         "targets_met": codegen_targets_met,
+        "noise": noise,
     }
     merge_section(output, "engines", engines_payload)
     merge_section(output, "codegen", codegen_payload)
@@ -353,6 +387,16 @@ def json_report(quick: bool, output: str) -> int:
                 f"on {key} (gate >= {CODEGEN_TARGETS[key]:.1f}x)",
                 file=sys.stderr,
             )
+        if noise:
+            # A single-core or heavily-loaded box cannot support a hard
+            # ratio gate: demote to informational, loudly, instead of
+            # flaking CI on machine load.
+            print(
+                "PERF GATE DEMOTED TO INFORMATIONAL — environment unfit "
+                "for a hard gate: " + "; ".join(noise),
+                file=sys.stderr,
+            )
+            return 0
         return 1
     return 0
 

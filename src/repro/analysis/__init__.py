@@ -33,6 +33,12 @@ from repro.analysis.diagnostics import (
     render_json,
     render_text,
 )
+from repro.analysis.flow import (
+    FlowAnalysis,
+    SiteFlow,
+    analyze_flow,
+    flow_diagnostics,
+)
 from repro.analysis.scope import analyze_scope, free_vars
 from repro.analysis.specs import analyze_spec, probe_monitor
 from repro.analysis.stack import analyze_stack, claim_sets
@@ -83,6 +89,7 @@ def analyze(
     source: Optional[str] = None,
     include_specs: bool = True,
     probe: bool = False,
+    flow: bool = False,
 ) -> AnalysisReport:
     """Run every static-analysis pass and return the combined report.
 
@@ -94,7 +101,10 @@ def analyze(
     (defaults to the strict language's primitives).  ``include_specs``
     controls the static monitor-spec pass; ``probe`` additionally runs
     the *dynamic* probe linter of :mod:`repro.monitoring.validate`
-    against each spec (executes monitor code — off by default).
+    against each spec (executes monitor code — off by default).  ``flow``
+    adds the claim-flow & reachability pass (``REP5xx`` — see
+    :mod:`repro.analysis.flow`), also reachable via
+    ``repro check --flow`` and ``RunConfig(optimize="flow")``.
     """
     if isinstance(program, str):
         if source is None:
@@ -114,6 +124,8 @@ def analyze(
     if probe:
         for monitor in monitor_list:
             diagnostics.extend(probe_monitor(monitor))
+    if flow and hasattr(program, "walk"):
+        diagnostics.extend(flow_diagnostics(analyze_flow(program, monitor_list)))
     diagnostics.sort(key=Diagnostic.sort_key)
     return AnalysisReport(tuple(diagnostics), source)
 
@@ -121,14 +133,18 @@ def analyze(
 __all__ = [
     "AnalysisReport",
     "Diagnostic",
+    "FlowAnalysis",
     "LINT_LEVELS",
+    "SiteFlow",
     "StaticAnalysisError",
     "analyze",
+    "analyze_flow",
     "analyze_scope",
     "analyze_spec",
     "analyze_stack",
     "check_lint_level",
     "claim_sets",
+    "flow_diagnostics",
     "free_vars",
     "probe_monitor",
     "render_json",

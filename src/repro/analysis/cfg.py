@@ -1,0 +1,424 @@
+"""Abstract-interpretation reachability over ``L_lambda`` and ``L_imp``.
+
+This is the engine behind the claim-flow pass (:mod:`repro.analysis.flow`):
+a may-reach analysis that computes which AST nodes *can* be evaluated on
+some execution, per the reference semantics of each language.  A node the
+analysis does not mark is **provably never evaluated** — that guarantee is
+what lets codegen erase monitoring hooks and the trace recorder drop
+sites without changing any observable behavior (reports, ``RunMetrics``,
+fault records).
+
+The abstract domain is deliberately small:
+
+* ``("const", type, value)`` — the expression always evaluates to exactly
+  this value (the type tag keeps ``True`` and ``1`` distinct, which
+  Python's ``==`` would conflate);
+* ``("prim", name, args)`` — a primitive, possibly partially applied to
+  folded constant arguments;
+* ``TOP`` — anything else.
+
+Soundness rules, all of which over-approximate reachability:
+
+* only an *exact* boolean constant prunes a conditional branch — any
+  other condition analyzes both arms (non-boolean constants would error
+  at runtime, which reaches strictly fewer nodes than we claim);
+* primitive folding failures (wrong types, division by zero) degrade to
+  ``TOP`` instead of cutting the path;
+* every lambda that is evaluated is assumed callable with an arbitrary
+  argument: its body is analyzed under ``param -> TOP`` with the
+  creation-time environments joined across visits (joins are monotone
+  toward ``TOP``, so the worklist terminates);
+* ``letrec`` follows Figure 2's equation faithfully: the recursive knot
+  is tied *without* evaluating the bound expressions, so annotation
+  layers wrapping the bound lambdas are never reached (every engine
+  strips them — see ``Environment.extend_recursive``), and bindings not
+  transitively referenced from the body are entirely dead;
+* ``while`` widens every variable assigned in the body to ``TOP`` before
+  analyzing it; a loop whose condition is constant-``True`` both on entry
+  and after widening makes the code after it unreachable.
+
+Node identity is by ``id()``: a verdict is only meaningful for the exact
+AST object it was computed from.  :mod:`repro.analysis.flow` translates
+it into position-stable pre-order site ids before anything caches it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.analysis.scope import free_vars, _reachable_letrec_names
+from repro.semantics.primitives import PRIMITIVE_TABLE, make_primitive
+from repro.semantics.values import NIL, PrimFun
+from repro.syntax.ast import (
+    Annotated,
+    App,
+    Const,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Letrec,
+    Var,
+    strip_annotations_shallow,
+)
+
+
+class _Top:
+    """The no-information element of the abstract value lattice."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TOP"
+
+
+TOP = _Top()
+
+#: An abstract value: ``TOP`` or a ``("const", ...)`` / ``("prim", ...)``
+#: tuple (see the module docstring).
+AbstractValue = object
+
+
+def _aconst(value) -> Tuple:
+    return ("const", type(value), value)
+
+
+def _is_const(av: AbstractValue) -> bool:
+    return isinstance(av, tuple) and av[0] == "const"
+
+
+def _is_exactly(av: AbstractValue, literal: bool) -> bool:
+    return _is_const(av) and av[2] is literal
+
+
+def _join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a is TOP or b is TOP:
+        return TOP
+    try:
+        if a == b:
+            return a
+    except Exception:  # pragma: no cover - exotic value equality
+        pass
+    return TOP
+
+
+def _join_env(
+    a: Dict[str, AbstractValue], b: Dict[str, AbstractValue]
+) -> Dict[str, AbstractValue]:
+    """Pointwise join; a name bound on only one side joins to ``TOP``."""
+    out: Dict[str, AbstractValue] = {}
+    for name in set(a) | set(b):
+        if name in a and name in b:
+            out[name] = _join(a[name], b[name])
+        else:
+            out[name] = TOP
+    return out
+
+
+def _apply(fn: AbstractValue, arg: AbstractValue) -> AbstractValue:
+    """Abstract application: fold saturated primitives on constants."""
+    if not isinstance(fn, tuple) or fn[0] != "prim" or not _is_const(arg):
+        return TOP
+    name, args = fn[1], fn[2] + (arg[2],)
+    arity = PRIMITIVE_TABLE[name][0]
+    if len(args) < arity:
+        return ("prim", name, args)
+    try:
+        prim: PrimFun = make_primitive(name)
+        result = prim
+        for value in args:
+            result = result.apply(value)
+        if isinstance(result, PrimFun):  # pragma: no cover - arity guard
+            return TOP
+        return _aconst(result)
+    except Exception:
+        # The concrete run would error here; TOP keeps the path alive,
+        # which only over-approximates reachability.
+        return TOP
+
+
+class _Interpreter:
+    """One reachability analysis run over a single AST object."""
+
+    def __init__(self) -> None:
+        self.reached: Set[int] = set()
+        # id(Lam) -> (lam node, joined creation environment)
+        self._lam_envs: Dict[int, Tuple[Lam, Dict[str, AbstractValue]]] = {}
+        self._pending: Set[int] = set()
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _mark(self, node) -> None:
+        self.reached.add(id(node))
+
+    def _mark_all(self, node) -> None:
+        for child in node.walk():
+            self.reached.add(id(child))
+
+    def _lookup(
+        self, env: Dict[str, AbstractValue], name: str, *, nil: bool
+    ) -> AbstractValue:
+        if name in env:
+            return env[name]
+        if name in PRIMITIVE_TABLE:
+            return ("prim", name, ())
+        if nil and name == "nil":
+            return _aconst(NIL)
+        return TOP  # unbound: the run would error, TOP over-approximates
+
+    # -- L_lambda --------------------------------------------------------------
+
+    def eval_expr(self, expr: Expr, env: Dict[str, AbstractValue]) -> AbstractValue:
+        self._mark(expr)
+        node_type = type(expr)
+
+        if node_type is Const:
+            return _aconst(expr.value)
+
+        if node_type is Var:
+            return self._lookup(env, expr.name, nil=True)
+
+        if node_type is Lam:
+            self._visit_lam(expr, env)
+            return TOP
+
+        if node_type is Annotated:
+            return self.eval_expr(expr.body, env)
+
+        if node_type is If:
+            cond = self.eval_expr(expr.cond, env)
+            if _is_exactly(cond, True):
+                return self.eval_expr(expr.then_branch, env)
+            if _is_exactly(cond, False):
+                return self.eval_expr(expr.else_branch, env)
+            then_value = self.eval_expr(expr.then_branch, env)
+            else_value = self.eval_expr(expr.else_branch, env)
+            return _join(then_value, else_value)
+
+        if node_type is App:
+            arg = self.eval_expr(expr.arg, env)
+            fn = self.eval_expr(expr.fn, env)
+            return _apply(fn, arg)
+
+        if node_type is Let:
+            bound = self.eval_expr(expr.bound, env)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self.eval_expr(expr.body, inner)
+
+        if node_type is Letrec:
+            used = _reachable_letrec_names(expr)
+            rec_env = dict(env)
+            for name, _ in expr.bindings:
+                rec_env[name] = TOP
+            for name, bound in expr.bindings:
+                if name not in used:
+                    continue  # never referenced: the closure cannot be called
+                lam = strip_annotations_shallow(bound)
+                # Figure 2 ties the knot without evaluating the binding:
+                # wrapper annotation layers stay unreached, the lambda
+                # itself exists as a value and may be called.
+                self._mark(lam)
+                self._visit_lam(lam, rec_env)
+            return self.eval_expr(expr.body, rec_env)
+
+        # Unknown node kind (extension language): claim nothing.
+        self._mark_all(expr)
+        return TOP
+
+    def _visit_lam(self, lam: Lam, env: Dict[str, AbstractValue]) -> None:
+        relevant = free_vars(lam.body) - {lam.param}
+        snapshot = {
+            name: self._lookup(env, name, nil=True) for name in relevant
+        }
+        key = id(lam)
+        previous = self._lam_envs.get(key)
+        if previous is None:
+            self._lam_envs[key] = (lam, snapshot)
+            self._pending.add(key)
+            return
+        joined = _join_env(previous[1], snapshot)
+        if joined != previous[1]:
+            self._lam_envs[key] = (lam, joined)
+            self._pending.add(key)
+
+    def drain(self) -> None:
+        """Analyze every evaluated lambda's body to a fixpoint."""
+        while self._pending:
+            key = self._pending.pop()
+            lam, env = self._lam_envs[key]
+            body_env = dict(env)
+            body_env[lam.param] = TOP
+            self.eval_expr(lam.body, body_env)
+
+    # -- L_imp -----------------------------------------------------------------
+
+    def eval_iexpr(self, expr, store: Dict[str, AbstractValue]) -> AbstractValue:
+        self._mark(expr)
+        node_type = type(expr)
+
+        if node_type is Const:
+            return _aconst(expr.value)
+
+        if node_type is Var:
+            return self._lookup(store, expr.name, nil=False)
+
+        if node_type is Annotated:
+            return self.eval_iexpr(expr.body, store)
+
+        if node_type is If:
+            cond = self.eval_iexpr(expr.cond, store)
+            if _is_exactly(cond, True):
+                return self.eval_iexpr(expr.then_branch, store)
+            if _is_exactly(cond, False):
+                return self.eval_iexpr(expr.else_branch, store)
+            then_value = self.eval_iexpr(expr.then_branch, store)
+            else_value = self.eval_iexpr(expr.else_branch, store)
+            return _join(then_value, else_value)
+
+        if node_type is App:
+            arg = self.eval_iexpr(expr.arg, store)
+            fn = self.eval_iexpr(expr.fn, store)
+            return _apply(fn, arg)
+
+        self._mark_all(expr)
+        return TOP
+
+    def eval_cmd(
+        self, cmd, store: Dict[str, AbstractValue]
+    ) -> Optional[Dict[str, AbstractValue]]:
+        """Abstract command execution; ``None`` means the continuation
+        after ``cmd`` is unreachable (the command provably never completes)."""
+        from repro.languages.imperative import (
+            AnnotatedCmd,
+            Assign,
+            Emit,
+            IfC,
+            Local,
+            Seq,
+            Skip,
+            While,
+        )
+
+        # Flatten Seq chains iteratively so recursion depth stays the
+        # *nesting* depth, not the statement count.
+        node = cmd
+        while type(node) is Seq:
+            self._mark(node)
+            after = self.eval_cmd(node.first, store)
+            if after is None:
+                return None
+            store = after
+            node = node.second
+
+        self._mark(node)
+        node_type = type(node)
+
+        if node_type is Skip:
+            return store
+
+        if node_type is Assign:
+            value = self.eval_iexpr(node.expr, store)
+            out = dict(store)
+            out[node.name] = value
+            return out
+
+        if node_type is IfC:
+            cond = self.eval_iexpr(node.cond, store)
+            if _is_exactly(cond, True):
+                return self.eval_cmd(node.then_branch, store)
+            if _is_exactly(cond, False):
+                return self.eval_cmd(node.else_branch, store)
+            then_store = self.eval_cmd(node.then_branch, store)
+            else_store = self.eval_cmd(node.else_branch, store)
+            if then_store is None:
+                return else_store
+            if else_store is None:
+                return then_store
+            return _join_env(then_store, else_store)
+
+        if node_type is While:
+            entry_cond = self.eval_iexpr(node.cond, store)
+            if _is_exactly(entry_cond, False):
+                return store  # the body never runs
+            widened = dict(store)
+            for name in _assigned_names(node.body):
+                widened[name] = TOP
+            body_out = self.eval_cmd(node.body, widened)
+            if body_out is None:
+                # An iteration, once entered, never completes; the code
+                # after the loop is reachable only via zero iterations.
+                return None if _is_exactly(entry_cond, True) else store
+            widened_cond = self.eval_iexpr(node.cond, widened)
+            if _is_exactly(entry_cond, True) and _is_exactly(widened_cond, True):
+                return None  # provably infinite: nothing after is reachable
+            return widened
+
+        if node_type is Local:
+            value = self.eval_iexpr(node.init, store)
+            inner = dict(store)
+            inner[node.name] = value
+            out = self.eval_cmd(node.body, inner)
+            if out is None:
+                return None
+            restored = dict(out)
+            if node.name in store:
+                restored[node.name] = store[node.name]
+            else:
+                restored.pop(node.name, None)
+            return restored
+
+        if node_type is Emit:
+            self.eval_iexpr(node.expr, store)
+            return store
+
+        if node_type is AnnotatedCmd:
+            return self.eval_cmd(node.body, store)
+
+        # Unknown command kind: assume it may run anything and clobber
+        # every variable.
+        self._mark_all(node)
+        return {name: TOP for name in store}
+
+
+def _assigned_names(body) -> Set[str]:
+    """Every variable a command body may write (widened across iterations)."""
+    from repro.languages.imperative import Assign, Local
+
+    names: Set[str] = set()
+    for node in body.walk():
+        if isinstance(node, Assign) or isinstance(node, Local):
+            names.add(node.name)
+    return names
+
+
+def reachable_nodes(program) -> FrozenSet[int]:
+    """The set of ``id()``s of AST nodes some execution may evaluate.
+
+    Accepts an ``L_lambda`` :class:`~repro.syntax.ast.Expr` or an
+    ``L_imp`` command; any other program shape conservatively marks every
+    node reachable.  The returned ids are only meaningful against the
+    exact AST object passed in.
+    """
+    interpreter = _Interpreter()
+    if isinstance(program, Expr):
+        interpreter.eval_expr(program, {})
+        interpreter.drain()
+        return frozenset(interpreter.reached)
+    walk = getattr(program, "walk", None)
+    if callable(walk):
+        try:
+            from repro.languages.imperative import Cmd
+
+            if isinstance(program, Cmd):
+                interpreter.eval_cmd(program, {})
+                interpreter.drain()
+                return frozenset(interpreter.reached)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        interpreter._mark_all(program)
+        return frozenset(interpreter.reached)
+    return frozenset()
+
+
+__all__ = ["TOP", "reachable_nodes"]

@@ -14,7 +14,10 @@ Code ranges:
 * ``REP1xx`` — program scope/binding analysis;
 * ``REP2xx`` — annotation and monitor-stack lint;
 * ``REP30x`` — monitor-spec static inspection;
-* ``REP31x`` — monitor-spec probe findings (``monitoring/validate``).
+* ``REP31x`` — monitor-spec probe findings (``monitoring/validate``);
+* ``REP4xx`` — *reserved* for runtime-surfaced warnings (``REP401``
+  replay ring overflow lives here; static passes must not use the band);
+* ``REP5xx`` — claim-flow & reachability analysis (``analysis/flow``).
 """
 
 from __future__ import annotations
@@ -28,8 +31,9 @@ from repro.errors import NO_LOCATION, ReproError, SourceLocation
 #: Valid values for ``RunConfig.lint`` / the ``--lint`` CLI flag.
 LINT_LEVELS = ("off", "warn", "error")
 
-#: Diagnostic severities, most severe first.
-SEVERITIES = ("error", "warning")
+#: Diagnostic severities, most severe first.  ``info`` findings are
+#: purely informational: they never gate a run at any lint level.
+SEVERITIES = ("error", "warning", "info")
 
 
 def check_lint_level(level: str) -> None:
@@ -158,7 +162,11 @@ class AnalysisReport:
 
     @property
     def warnings(self) -> Tuple[Diagnostic, ...]:
-        return tuple(d for d in self.diagnostics if not d.is_error)
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "info")
 
     def ok(self) -> bool:
         """True when no *error*-severity diagnostic was produced."""
@@ -179,15 +187,25 @@ class AnalysisReport:
         return "\n".join(d.render(text) for d in self.diagnostics)
 
     def summary(self) -> str:
-        return f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        base = f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        infos = self.infos
+        if infos:
+            base += f", {len(infos)} info(s)"
+        return base
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "ok": self.ok(),
             "errors": len(self.errors),
             "warnings": len(self.warnings),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
+        # Only mention infos when present: keeps pre-info JSON documents
+        # (and their goldens) byte-identical.
+        infos = self.infos
+        if infos:
+            out["infos"] = len(infos)
+        return out
 
 
 def render_text(report: AnalysisReport, source: Optional[str] = None) -> str:

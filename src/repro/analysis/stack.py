@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.diagnostics import NO_LOCATION, Diagnostic
 from repro.monitoring.spec import MonitorSpec
 from repro.syntax.annotations import Tagged
 
@@ -116,6 +116,11 @@ def analyze_stack(
             continue
         shown = _render_annotation(annotation)
         claimed = _claimants(monitors, annotation)
+        # L_imp's AnnotatedCmd carries no source location (commands are
+        # rebuilt by desugaring); the lint still applies, just unlocated.
+        location = getattr(node, "location", None)
+        if location is None:
+            location = NO_LOCATION
         if len(claimed) > 1:
             diagnostics.append(
                 Diagnostic(
@@ -124,7 +129,7 @@ def analyze_stack(
                     message=f"annotation {shown} is recognized by multiple "
                     f"monitors: {claimed} — cascaded monitors must have "
                     "disjoint annotation syntaxes (Section 6)",
-                    location=node.location,
+                    location=location,
                     span=len(shown),
                     hint="namespace the annotation ({tool: ...}) or the "
                     "monitors so exactly one claims it",
@@ -140,7 +145,7 @@ def analyze_stack(
                         message=f"annotation {shown} names tool "
                         f"{annotation.tool!r}, which matches no monitor in "
                         f"the stack (known: {known})",
-                        location=node.location,
+                        location=location,
                         span=len(shown),
                         hint="fix the tool prefix or add the monitor to "
                         "the stack",
@@ -153,7 +158,7 @@ def analyze_stack(
                         severity="warning",
                         message=f"dead annotation {shown}: no monitor in "
                         "the stack recognizes it",
-                        location=node.location,
+                        location=location,
                         span=len(shown),
                         hint="the standard semantics ignores it "
                         "(Definition 7.1); remove it or add the monitor "

@@ -95,25 +95,50 @@ def run_config_from_args(args):
     metrics = RunMetrics() if getattr(args, "metrics", False) else None
     trace_out = getattr(args, "trace_out", None)
     sink = JsonlSink(trace_out, wants_steps=True) if trace_out else None
-    interval = getattr(args, "checkpoint_interval", None)
+    interval = _checkpoint_interval(args)
     mode = getattr(args, "mode", "inline")
     record_dir = getattr(args, "record_dir", None)
     if record_dir and mode == "inline":
         # --record-dir alone means "record this run": the flag names where
         # the trace goes, which is only meaningful in record mode.
         mode = "record"
-    return RunConfig(
-        engine=getattr(args, "engine", "reference"),
-        fault_policy=getattr(args, "fault_policy", "propagate"),
-        max_steps=getattr(args, "max_steps", None),
-        metrics=metrics,
-        event_sink=sink,
-        timeout=getattr(args, "timeout", None),
-        lint=getattr(args, "lint", "off"),
-        mode=mode,
-        record_dir=record_dir,
-        checkpoint_interval=interval if interval is not None else 512,
-    ).validate()
+    try:
+        return RunConfig(
+            engine=getattr(args, "engine", "reference"),
+            fault_policy=getattr(args, "fault_policy", "propagate"),
+            max_steps=getattr(args, "max_steps", None),
+            metrics=metrics,
+            event_sink=sink,
+            timeout=getattr(args, "timeout", None),
+            lint=getattr(args, "lint", "off"),
+            mode=mode,
+            record_dir=record_dir,
+            checkpoint_interval=interval,
+            optimize=getattr(args, "optimize", "none"),
+        ).validate()
+    except ValueError as exc:
+        # Validation failures are user input errors, not crashes: surface
+        # them the way every other CLI error is surfaced.
+        _close_sink(sink)
+        raise ReproError(str(exc)) from None
+
+
+def _checkpoint_interval(args) -> int:
+    """Resolve ``--checkpoint-interval``, rejecting non-positive values.
+
+    Validated here — at flag-parsing time, with the flag named — rather
+    than letting ``RunConfig.validate()``'s ValueError escape ``main()``
+    as a traceback.  ``0`` is an error, not "use the default": silently
+    mapping it to 512 would hide the typo.
+    """
+    interval = getattr(args, "checkpoint_interval", None)
+    if interval is None:
+        return 512
+    if isinstance(interval, bool) or not isinstance(interval, int) or interval < 1:
+        raise ReproError(
+            f"--checkpoint-interval must be a positive integer, got {interval!r}"
+        )
+    return interval
 
 
 def _close_sink(sink) -> None:
@@ -255,7 +280,12 @@ def cmd_compile(args) -> int:
     check_engine_support("codegen", language.name)
     program = _load_program(args)
     monitors = _tools(args.tools)
-    generated = generate_program(program, monitors)
+    flow = None
+    if getattr(args, "optimize", "none") == "flow":
+        from repro.analysis.flow import analyze_flow
+
+        flow = analyze_flow(program, monitors)
+    generated = generate_program(program, monitors, flow=flow)
     if args.emit_source:
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
@@ -269,6 +299,12 @@ def cmd_compile(args) -> int:
           + (f" ({', '.join(m.key for m in generated.monitors)})"
              if generated.monitors else ""))
     print(f"instrumented sites: {generated.site_count}")
+    if flow is not None:
+        stats = flow.stats()
+        print(
+            f"flow optimization: {stats['erased_sites']} site(s) erased, "
+            f"{stats['dead_monitors']} dead monitor(s) dropped from dispatch"
+        )
     print(f"residual source: {lines} lines (use --emit-source to print)")
     return 0
 
@@ -338,9 +374,7 @@ def cmd_replay(args) -> int:
         default_stack(capacity=args.capacity),
         program=program,
         fault_policy=args.fault_policy,
-        checkpoint_interval=(
-            args.checkpoint_interval if args.checkpoint_interval else 512
-        ),
+        checkpoint_interval=_checkpoint_interval(args),
         allow_truncated=args.allow_truncated,
         use_sidecar=args.sidecar,
     )
@@ -391,6 +425,7 @@ def cmd_check(args) -> int:
             language=_language(args),
             source=source,
             probe=args.probe and bool(monitors),
+            flow=args.flow,
         )
     if args.format == "json":
         print(render_json(report))
@@ -653,6 +688,14 @@ def add_run_flags(parser: argparse.ArgumentParser, *, engine: bool = True) -> No
         help="run the static analyzer before executing: warn prints "
         "diagnostics, error rejects programs with error-severity findings",
     )
+    parser.add_argument(
+        "--optimize",
+        choices=("none", "flow"),
+        default="none",
+        help="static optimization level: flow runs the claim-flow analysis "
+        "and erases monitor hooks at provably-unreachable sites (codegen "
+        "engine) — observable behavior is unchanged",
+    )
     _add_telemetry_arguments(parser)
 
 
@@ -800,6 +843,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write --emit-source output to FILE instead of stdout",
     )
+    compile_parser.add_argument(
+        "--optimize",
+        choices=("none", "flow"),
+        default="none",
+        help="'flow' erases hooks at statically-unreachable sites and "
+        "drops monitors the claim-flow analysis proves can never fire",
+    )
     compile_parser.set_defaults(handler=cmd_compile)
 
     session_parser = subparsers.add_parser(
@@ -838,6 +888,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         default=True,
         help="skip the dynamic probe pass over the monitor specs",
+    )
+    check_parser.add_argument(
+        "--flow",
+        action="store_true",
+        default=False,
+        help="run the claim-flow & reachability pass (REP5xx): unreachable "
+        "annotation sites, monitors no reachable site can trigger, and "
+        "sites reachable only through quarantinable paths",
     )
     check_parser.set_defaults(handler=cmd_check)
 

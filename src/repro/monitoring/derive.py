@@ -419,7 +419,12 @@ def run_monitored(
     if cfg.lint != "off":
         from repro.analysis import StaticAnalysisError, analyze
 
-        report = analyze(program, monitor_list, language=language)
+        report = analyze(
+            program,
+            monitor_list,
+            language=language,
+            flow=cfg.optimize == "flow",
+        )
         diagnostics = report.diagnostics
         if cfg.lint == "error" and not report.ok():
             raise StaticAnalysisError(report)
@@ -492,13 +497,25 @@ def run_monitored(
                         active_list,
                         fault_policy=cfg.fault_policy,
                         engine="codegen",
+                        optimize=cfg.optimize,
                     )
                 else:
+                    flow = None
+                    if cfg.optimize == "flow":
+                        # Erase hooks at provably-unreachable sites; the
+                        # verdict is memoized when a cache is attached.
+                        if cache is not None:
+                            flow = cache.flow_verdict(active_list, program)
+                        else:
+                            from repro.analysis.flow import analyze_flow
+
+                            flow = analyze_flow(program, active_list)
                     compiled = generate_program(
                         program,
                         active_list,
                         check_disjointness=False,
                         telemetry=telemetry,
+                        flow=flow,
                     )
             answer, final_states = compiled.run(
                 answers=cfg.answers,

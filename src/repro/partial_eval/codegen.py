@@ -458,6 +458,7 @@ class _Generator:
         *,
         counted: bool = False,
         guarded: bool = False,
+        erased: frozenset = frozenset(),
     ) -> None:
         self.monitors = list(monitors)
         self.sites: List[_Site] = []
@@ -466,6 +467,11 @@ class _Generator:
         self.emitter = _Emitter()
         self.counted = counted
         self.guarded = guarded
+        #: ``id()``s of Annotated nodes the flow analysis proved
+        #: unreachable: their hooks are erased (the per-site dispatch
+        #: table never sees them), which is observation-free because the
+        #: residual code there never executes.
+        self.erased = erased
         #: Python names statically known to be residual functions —
         #: applications through them skip the generic ``_apply`` dispatch.
         self.known_fns: set = set()
@@ -716,6 +722,13 @@ class _Generator:
         return out
 
     def _gen_annotated(self, expr: Annotated, scope: Dict[str, str]) -> str:
+        if id(expr) in self.erased:
+            # Statically unreachable site (optimize="flow"): generate it
+            # exactly like an unrecognized annotation.  The node still
+            # charges its counted-mode step — trivially parity-safe, the
+            # code never runs.
+            self._count(expr)
+            return self.gen(expr.body, scope)
         for monitor in reversed(self.monitors):
             annotation = monitor.recognize(expr.annotation)
             if annotation is not None:
@@ -934,8 +947,38 @@ def _register_displays(entry: Callable, displays: Dict[str, str]) -> None:
                 stack.append(const)
 
 
-def _build(program: Expr, monitor_list, counted: bool, guarded: bool):
-    generator = _Generator(monitor_list, counted=counted, guarded=guarded)
+def _erased_nodes(program: Expr, flow) -> frozenset:
+    """Translate a flow verdict's site ids into this AST's node ids.
+
+    The cached :class:`~repro.analysis.flow.FlowAnalysis` is keyed by
+    pre-order site id (stable across structurally-equal programs); the
+    generator needs node identity, so the mapping is recomputed per
+    generation with the same walk ``build_site_table`` uses.
+    """
+    if flow is None:
+        return frozenset()
+    erasable = flow.erasable_sites
+    erased = set()
+    site_id = 0
+    for node in program.walk():
+        if getattr(node, "annotation", None) is None:
+            continue
+        if site_id in erasable:
+            erased.add(id(node))
+        site_id += 1
+    return frozenset(erased)
+
+
+def _build(
+    program: Expr,
+    monitor_list,
+    counted: bool,
+    guarded: bool,
+    erased: frozenset = frozenset(),
+):
+    generator = _Generator(
+        monitor_list, counted=counted, guarded=guarded, erased=erased
+    )
     source = generator.generate_module(program)
     namespace: Dict[str, object] = {}
     exec(compile(source, "<residual>", "exec"), namespace)  # noqa: S102
@@ -950,6 +993,7 @@ def generate_program(
     *,
     check_disjointness: bool = True,
     telemetry=None,
+    flow=None,
 ) -> GeneratedProgram:
     """Specialize and emit ``program`` as residual Python source.
 
@@ -960,20 +1004,29 @@ def generate_program(
     optimization disabled — so ``RunMetrics`` compares equal across
     engines.  Counted programs are bound to that telemetry object and
     must not be cached.
+
+    ``flow`` (a :class:`~repro.analysis.flow.FlowAnalysis` for the same
+    program x stack) erases monitoring hooks at sites the analysis
+    proved unreachable; monitors none of whose claimed sites survive
+    drop out of the per-site dispatch table entirely.  Observable
+    behavior is unchanged — erased code can never run.
     """
     monitor_list = flatten_monitors(monitors)
     validate_observations(monitor_list)
     if check_disjointness:
         check_disjoint(monitor_list, program)
     counted = telemetry is not None
+    erased = _erased_nodes(program, flow)
     source, entry, sites, locations = _build(
-        program, monitor_list, counted, guarded=False
+        program, monitor_list, counted, guarded=False, erased=erased
     )
 
     def guarded_factory() -> Callable:
         # Site/location numbering is deterministic, so the guarded variant
         # shares the primary build's tables.
-        _, guarded_entry, _, _ = _build(program, monitor_list, counted, guarded=True)
+        _, guarded_entry, _, _ = _build(
+            program, monitor_list, counted, guarded=True, erased=erased
+        )
         return guarded_entry
 
     return GeneratedProgram(

@@ -48,7 +48,9 @@ def _mangle(name: str) -> str:
 
 
 class _ImpGenerator:
-    def __init__(self, monitors: Sequence[MonitorSpec]) -> None:
+    def __init__(
+        self, monitors: Sequence[MonitorSpec], erased: frozenset = frozenset()
+    ) -> None:
         self.monitors = list(monitors)
         self.sites: List[_Site] = []
         self.counter = itertools.count()
@@ -56,6 +58,9 @@ class _ImpGenerator:
         self.indent = 1
         #: every L_imp variable assigned anywhere (static store shape)
         self.variables: Set[str] = set()
+        #: ``id()``s of annotated nodes the flow analysis proved
+        #: unreachable — generated without hooks (see codegen.py).
+        self.erased = erased
 
     def emit(self, line: str) -> None:
         self.lines.append("    " * self.indent + line)
@@ -120,6 +125,8 @@ class _ImpGenerator:
         return "{" + ", ".join(f"{src!r}: {py}" for src, py in scope.items()) + "}"
 
     def _gen_annotated_expr(self, expr: Annotated, scope: Dict[str, str]) -> str:
+        if id(expr) in self.erased:
+            return self.gen_expr(expr.body, scope)
         for monitor in reversed(self.monitors):
             view = monitor.recognize(expr.annotation)
             if view is not None:
@@ -212,6 +219,8 @@ class _ImpGenerator:
             return scope
 
         if node_type is AnnotatedCmd:
+            if id(command) in self.erased:
+                return self.gen_cmd(command.body, scope)
             for monitor in reversed(self.monitors):
                 view = monitor.recognize(command.annotation)
                 if view is not None:
@@ -300,14 +309,22 @@ def generate_imp_program(
     monitors: MonitorLike = (),
     *,
     check_disjointness: bool = True,
+    flow=None,
 ) -> GeneratedImpProgram:
-    """Specialize the (monitored) ``L_imp`` interpreter to ``program``."""
+    """Specialize the (monitored) ``L_imp`` interpreter to ``program``.
+
+    ``flow`` (a :class:`~repro.analysis.flow.FlowAnalysis` for the same
+    program x stack) erases hooks at provably-unreachable sites, exactly
+    as :func:`repro.partial_eval.codegen.generate_program` does.
+    """
     monitor_list = flatten_monitors(monitors)
     validate_observations(monitor_list)
     if check_disjointness:
         check_disjoint(monitor_list, program)
 
-    generator = _ImpGenerator(monitor_list)
+    from repro.partial_eval.codegen import _erased_nodes
+
+    generator = _ImpGenerator(monitor_list, erased=_erased_nodes(program, flow))
     generator.lines.append("def _program(_rt):")
     generator.emit("_truth = _rt.truth")
     generator.emit("_pre = _rt.pre")

@@ -88,12 +88,16 @@ def cache_key(
     fault_policy: str = "propagate",
     counted: bool = False,
     engine: str = "compiled",
+    optimize: str = "none",
 ) -> Tuple:
     """The full cache key for one compilation request (hashable).
 
     ``engine`` distinguishes artifact kinds: the staged-closure programs
     of ``engine="compiled"`` and the residual-source programs of
     ``engine="codegen"`` share one cache but never one entry.
+    ``optimize`` keeps flow-erased codegen artifacts apart from their
+    unoptimized twins (the generated source differs even though behavior
+    is identical).
     """
     return (
         program_fingerprint(program),
@@ -102,6 +106,7 @@ def cache_key(
         fault_policy,
         counted,
         engine,
+        optimize,
     )
 
 
@@ -167,6 +172,13 @@ class CompilationCache:
         self._disjoint: "OrderedDict[Tuple, Optional[str]]" = OrderedDict()
         self._disjoint_hits = 0
         self._disjoint_misses = 0
+        # Memoized claim-flow verdicts (repro.analysis.flow), keyed like
+        # the disjointness memo.  A FlowAnalysis is keyed purely by
+        # pre-order site id, so one verdict serves every structurally
+        # equal program object.
+        self._flow: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._flow_hits = 0
+        self._flow_misses = 0
 
     # -- observability -------------------------------------------------------
 
@@ -201,6 +213,7 @@ class CompilationCache:
         fault_policy: str = "propagate",
         counted: bool = False,
         engine: str = "compiled",
+        optimize: str = "none",
     ):
         """Return the compiled program for this request, compiling on miss.
 
@@ -213,6 +226,10 @@ class CompilationCache:
         ``counted=True`` is rejected: counted-mode code burns the run's own
         telemetry accumulator into every node, so telemetry runs must
         compile fresh (callers bypass the cache for them).
+
+        ``optimize="flow"`` (codegen only) erases hooks at sites the
+        claim-flow analysis proves unreachable; the verdict itself comes
+        from :meth:`flow_verdict`, so warm traffic pays one memo lookup.
         """
         if counted:
             raise ValueError(
@@ -224,6 +241,10 @@ class CompilationCache:
                 f"cache has no compiler for engine {engine!r}; "
                 "expected 'compiled' or 'codegen'"
             )
+        if optimize not in ("none", "flow"):
+            raise ValueError(
+                f"optimize must be 'none' or 'flow', got {optimize!r}"
+            )
         key = cache_key(
             language,
             program,
@@ -231,6 +252,16 @@ class CompilationCache:
             fault_policy=fault_policy,
             counted=False,
             engine=engine,
+            optimize=optimize,
+        )
+        # The flow verdict is memoized under its own lock, so fetch it
+        # before taking the entry lock (no nesting).  A hit wastes one
+        # memo lookup; optimize="flow" is opt-in, so the default path
+        # pays nothing.
+        flow = (
+            self.flow_verdict(monitors, program)
+            if engine == "codegen" and optimize == "flow"
+            else None
         )
         digest = _key_digest(key)
         with self._lock:
@@ -251,7 +282,7 @@ class CompilationCache:
                 # isolated path per run — but the policy stays in the key
                 # to mirror the compiled engine's keyspace.
                 compiled = generate_program(
-                    program, monitors, check_disjointness=False
+                    program, monitors, check_disjointness=False, flow=flow
                 )
             else:
                 from repro.semantics.compiled import compile_program
@@ -314,10 +345,51 @@ class CompilationCache:
                 "size": len(self._disjoint),
             }
 
+    def flow_verdict(self, monitors: Sequence, program):
+        """The memoized claim-flow verdict (:func:`repro.analysis.flow
+        .analyze_flow`) for this program x stack.
+
+        Like :meth:`check_disjoint`, the verdict is a pure function of
+        the program and the stack's ``recognize`` predicates, keyed by
+        (program fingerprint, stack identity) and bounded separately from
+        the compiled-program LRU.  Returns the shared
+        :class:`~repro.analysis.flow.FlowAnalysis` (frozen — safe across
+        threads).
+        """
+        from repro.analysis.flow import analyze_flow
+
+        key = (
+            program_fingerprint(program),
+            tuple(monitor.cache_identity() for monitor in monitors),
+        )
+        with self._lock:
+            cached = self._flow.get(key)
+            if cached is not None:
+                self._flow.move_to_end(key)
+                self._flow_hits += 1
+                return cached
+        verdict = analyze_flow(program, monitors)
+        with self._lock:
+            self._flow[key] = verdict
+            self._flow_misses += 1
+            while len(self._flow) > max(self.maxsize, 128):
+                self._flow.popitem(last=False)
+        return verdict
+
+    def flow_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the claim-flow memo (for benchmarks)."""
+        with self._lock:
+            return {
+                "hits": self._flow_hits,
+                "misses": self._flow_misses,
+                "size": len(self._flow),
+            }
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._disjoint.clear()
+            self._flow.clear()
 
     def __len__(self) -> int:
         with self._lock:

@@ -96,6 +96,13 @@ class RunConfig:
     #: events from the nearest checkpoint instead of all *k* from the
     #: start.  Smaller = faster seeks, more checkpoint memory.
     checkpoint_interval: int = 512
+    #: Static-optimization level: "none" (default) changes nothing;
+    #: "flow" runs the claim-flow analysis (:mod:`repro.analysis.flow`)
+    #: and lets consumers exploit it — codegen erases hooks at provably
+    #: unreachable sites, record mode skips tracing them, and the lint
+    #: gate includes the ``REP5xx`` pass.  Observable behavior (reports,
+    #: metrics, fault records) is property-tested identical either way.
+    optimize: str = "none"
 
     def validate(self) -> "RunConfig":
         """Check the enumerated fields; returns ``self`` for chaining."""
@@ -135,6 +142,10 @@ class RunConfig:
             raise ValueError(
                 "checkpoint_interval must be a positive integer, got "
                 f"{self.checkpoint_interval!r}"
+            )
+        if self.optimize not in ("none", "flow"):
+            raise ValueError(
+                f"optimize must be 'none' or 'flow', got {self.optimize!r}"
             )
         return self
 
@@ -176,6 +187,7 @@ class RunConfig:
         "sample_rate",
         "trace_seed",
         "checkpoint_interval",
+        "optimize",
     )
 
     def scalars(self) -> Dict[str, object]:

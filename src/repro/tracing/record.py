@@ -355,6 +355,20 @@ def record(
     filter_monitors = flatten_monitors(list(monitors)) if monitors else []
     site_table = build_site_table(program)
     plans = _site_plans(site_table, filter_monitors, sites)
+    if cfg.optimize == "flow":
+        # Static --sites filter: claim-flow analysis proves which sites can
+        # never fire; disabling them is fold-equivalent (they produce zero
+        # events either way) and shrinks the header's enabled_sites list.
+        from repro.analysis.flow import analyze_flow
+
+        erasable = analyze_flow(program, filter_monitors).erasable_sites
+        if erasable:
+            plans = [
+                replace(plan, enabled=False)
+                if plan.site.site_id in erasable
+                else plan
+                for plan in plans
+            ]
     enabled = [plan.site.site_id for plan in plans if plan.enabled]
     language_name = getattr(language, "name", "strict")
 

@@ -442,3 +442,69 @@ class TestDebug:
         assert "stopped at fac" in out
         assert "x = 4" in out
         assert "=> 24" in out
+
+
+class TestCheckpointIntervalValidation:
+    """--checkpoint-interval is rejected at flag level, not as a traceback."""
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_run_rejects_non_positive(self, capsys, value):
+        assert main(["run", "-e", "1 + 1", "--checkpoint-interval", value]) == 1
+        err = capsys.readouterr().err
+        assert "error: --checkpoint-interval must be a positive integer" in err
+
+    def test_replay_rejects_non_positive(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("", encoding="utf-8")
+        assert (
+            main(["replay", str(trace), "--checkpoint-interval", "0"]) == 1
+        )
+        err = capsys.readouterr().err
+        assert "--checkpoint-interval must be a positive integer" in err
+
+    def test_valid_interval_still_accepted(self, capsys):
+        assert main(["run", "-e", "1 + 1", "--checkpoint-interval", "7"]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+
+class TestOptimizeFlag:
+    def test_flow_run_matches_plain(self, capsys):
+        assert main(["run", "-e", FAC, "--tools", "count", "--engine", "codegen"]) == 0
+        plain = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "run",
+                    "-e",
+                    FAC,
+                    "--tools",
+                    "count",
+                    "--engine",
+                    "codegen",
+                    "--optimize",
+                    "flow",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == plain
+
+    def test_lint_warn_includes_flow_pass(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "-e",
+                    "if false then {p}: 1 else 2",
+                    "--tools",
+                    "count",
+                    "--optimize",
+                    "flow",
+                    "--lint",
+                    "warn",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "REP501" in captured.err

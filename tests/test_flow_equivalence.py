@@ -1,0 +1,171 @@
+"""The flow-optimization soundness property, CI-gated.
+
+``RunConfig(optimize="flow")`` lets the codegen engine erase monitoring
+hooks at statically-unreachable sites and drop REP502-dead monitors from
+the per-site dispatch table.  The license for that is an equivalence
+theorem: on every program × monitor stack × fault policy, the optimized
+run is observably identical to the unoptimized one — answers, monitor
+reports, ``RunMetrics`` counters, and fault records.  This suite states
+the theorem over random ``L_lambda`` and ``L_imp`` programs.
+
+It also checks the erasure is *proof-driven*: a monitor is dropped only
+when no reachable site can trigger it, witnessed by the unoptimized run
+never moving that monitor off its initial state.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_flow
+from repro.languages import imperative, strict
+from repro.monitoring.derive import run_monitored
+from repro.monitoring.faults import FlakyMonitor
+from repro.monitors import LabelCounterMonitor, ProfilerMonitor, TracerMonitor
+from repro.observability import RunMetrics
+from repro.partial_eval.imp_codegen import generate_imp_program
+from repro.runtime import RunConfig
+
+from tests.generators import closed_program
+from tests.test_imp_properties import closed_imp_program
+
+#: Monitor-stack builders (fresh instances per run: tracer state is
+#: mutable-adjacent and flaky monitors carry call counters).
+STACKS = {
+    "count": lambda: [LabelCounterMonitor()],
+    "trace": lambda: [TracerMonitor()],
+    "count+trace": lambda: [LabelCounterMonitor(), TracerMonitor()],
+}
+
+
+def _run(program, make_stack, **config):
+    return run_monitored(
+        strict, program, make_stack(), config=RunConfig(**config)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(closed_program(), st.sampled_from(sorted(STACKS)))
+def test_flow_codegen_equals_unoptimized_codegen(program, stack_name):
+    make_stack = STACKS[stack_name]
+    plain = _run(program, make_stack, engine="codegen")
+    flowed = _run(program, make_stack, engine="codegen", optimize="flow")
+    assert flowed.answer == plain.answer
+    assert flowed.reports() == plain.reports()
+
+
+@settings(max_examples=40, deadline=None)
+@given(closed_program(), st.sampled_from(sorted(STACKS)))
+def test_flow_codegen_equals_reference(program, stack_name):
+    make_stack = STACKS[stack_name]
+    reference = _run(program, make_stack, engine="reference")
+    flowed = _run(program, make_stack, engine="codegen", optimize="flow")
+    assert flowed.answer == reference.answer
+    assert flowed.reports() == reference.reports()
+
+
+@settings(max_examples=30, deadline=None)
+@given(closed_program())
+def test_flow_preserves_run_metrics(program):
+    counters = {}
+    for optimize in ("none", "flow"):
+        result = run_monitored(
+            strict,
+            program,
+            [LabelCounterMonitor()],
+            config=RunConfig(
+                engine="codegen", optimize=optimize, metrics=RunMetrics()
+            ),
+        )
+        counters[optimize] = (
+            result.metrics.steps,
+            result.metrics.applications,
+        )
+    assert counters["none"] == counters["flow"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    closed_program(),
+    st.sampled_from(["quarantine", "log"]),
+    st.integers(1, 4),
+)
+def test_flow_preserves_fault_records(program, policy, fail_on):
+    results = {}
+    for optimize in ("none", "flow"):
+        results[optimize] = run_monitored(
+            strict,
+            program,
+            [FlakyMonitor(LabelCounterMonitor(), fail_on=fail_on)],
+            config=RunConfig(
+                engine="codegen", optimize=optimize, fault_policy=policy
+            ),
+        )
+    plain, flowed = results["none"], results["flow"]
+    assert flowed.answer == plain.answer
+    assert flowed.faults == plain.faults
+    assert flowed.quarantined_keys() == plain.quarantined_keys()
+    assert flowed.reports() == plain.reports()
+
+
+@settings(max_examples=40, deadline=None)
+@given(closed_program())
+def test_dead_monitors_erased_only_when_proven(program):
+    # Every monitor the analysis calls dead must be observably inert in
+    # the *unoptimized* reference run: erasure never guesses.
+    stack = [LabelCounterMonitor(), TracerMonitor()]
+    flow = analyze_flow(program, stack)
+    if not flow.dead_monitors:
+        return
+    result = run_monitored(strict, program, [LabelCounterMonitor(), TracerMonitor()])
+    for monitor in stack:
+        if monitor.key in flow.dead_monitors:
+            untouched = monitor.report(monitor.initial_state())
+            assert result.reports()[monitor.key] == untouched
+
+
+@settings(max_examples=50, deadline=None)
+@given(closed_imp_program())
+def test_imp_flow_residual_parity(program):
+    stack = [LabelCounterMonitor()]
+    flow = analyze_flow(program, stack)
+    plain = generate_imp_program(program, stack)
+    flowed = generate_imp_program(program, stack, flow=flow)
+    plain_answer, plain_states = plain.run()
+    flowed_answer, flowed_states = flowed.run()
+    assert flowed_answer == plain_answer
+    assert flowed_states.get("count") == plain_states.get("count")
+    # ... and both agree with the reference interpreter.
+    interp = run_monitored(
+        imperative,
+        program,
+        LabelCounterMonitor(),
+        config=RunConfig(max_steps=1_000_000),
+    )
+    assert flowed_answer == interp.answer
+    assert flowed_states.get("count") == interp.state_of("count")
+
+
+@settings(max_examples=25, deadline=None)
+@given(closed_program())
+def test_record_static_filter_folds_identically(program):
+    from repro.tracing import analyze_trace, record
+
+    folds = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for optimize in ("none", "flow"):
+            path = os.path.join(tmp, f"trace-{optimize}.jsonl")
+            record(
+                strict,
+                program,
+                path,
+                monitors=[LabelCounterMonitor()],
+                config=RunConfig(optimize=optimize),
+            )
+            folds[optimize] = analyze_trace(
+                path, [LabelCounterMonitor()], program=program
+            )
+    assert folds["flow"].answer == folds["none"].answer
+    assert folds["flow"].reports() == folds["none"].reports()

@@ -178,3 +178,29 @@ def test_batch_output_golden(golden, capsys, tmp_path):
     captured = capsys.readouterr()
     golden("cli_batch.jsonl", _normalize_durations(captured.out))
     golden("cli_batch_stats.txt", captured.err)
+
+
+FLOW_PROGRAM = (
+    "let x = if false then {p}: 1 else 2 in\n"
+    "{q}: (x + 3)"
+)
+
+
+def test_check_flow_json_golden(golden, capsys):
+    """The ``repro check --flow`` JSON surface: REP501 + REP502, pinned."""
+    assert (
+        main(
+            [
+                "check",
+                "-e",
+                FLOW_PROGRAM,
+                "--monitors",
+                "profile,trace",
+                "--flow",
+                "--format",
+                "json",
+            ]
+        )
+        == 0
+    )
+    golden("cli_check_flow.json", capsys.readouterr().out)

@@ -110,3 +110,27 @@ def test_shipped_program_is_clean(origin, lineno, program):
             f"{origin}:{lineno}: unbound {diagnostic['message']!r} is not "
             f"declared in OPEN_PROGRAMS"
         )
+
+
+def _check_flow_json(program):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["check", "-e", program, "--format", "json", "--flow"])
+    return code, json.loads(buffer.getvalue())
+
+
+@pytest.mark.parametrize(
+    "origin,lineno,program",
+    EXAMPLE_SNIPPETS + COOKBOOK_SNIPPETS,
+    ids=[f"{origin}:{lineno}" for origin, lineno, _ in EXAMPLE_SNIPPETS + COOKBOOK_SNIPPETS],
+)
+def test_shipped_program_is_flow_clean(origin, lineno, program):
+    """Every shipped program survives the reachability pass: no site the
+    showcase annotates is statically dead (``REP5xx`` stays silent)."""
+    code, report = _check_flow_json(program)
+    flow_findings = [
+        d for d in report["diagnostics"] if d["code"].startswith("REP5")
+    ]
+    assert not flow_findings, (
+        f"{origin}:{lineno} has flow findings: {flow_findings}"
+    )
